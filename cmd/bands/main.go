@@ -1,0 +1,76 @@
+// Command bands prints the lead (contact) band structure of a benchmark
+// device as tab-separated E(k) columns, one line per longitudinal
+// wave number, plus the detected transport gap.
+//
+// Example:
+//
+//	bands -device agnr7 -nk 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		devName = flag.String("device", "agnr7", "device: chain, agnr7, agnr13, zgnr6, sinw, sinw-full, gaasnw, utb")
+		nk      = flag.Int("nk", 33, "longitudinal k-points")
+		bandLo  = flag.Int("bandlo", 0, "first band column to print")
+		bandHi  = flag.Int("bandhi", -1, "last band column to print (-1: all)")
+	)
+	flag.Parse()
+
+	descs := map[string]device.Description{
+		"chain":     {Name: "chain", Kind: device.Chain, CellsX: 4},
+		"agnr7":     {Name: "AGNR-7", Kind: device.ArmchairGNR, CellsX: 4, CellsY: 7},
+		"agnr13":    {Name: "AGNR-13", Kind: device.ArmchairGNR, CellsX: 4, CellsY: 13},
+		"zgnr6":     {Name: "ZGNR-6", Kind: device.ZigzagGNR, CellsX: 4, CellsY: 6},
+		"sinw":      {Name: "SiNW sp3s*", Kind: device.SiNanowire, CellsX: 3, CellsY: 1, CellsZ: 1},
+		"sinw-full": {Name: "SiNW sp3d5s*", Kind: device.SiNanowire, CellsX: 3, CellsY: 1, CellsZ: 1, FullBand: true},
+		"gaasnw":    {Name: "GaAs NW", Kind: device.GaAsNanowire, CellsX: 3, CellsY: 1, CellsZ: 1},
+		"utb":       {Name: "Si UTB", Kind: device.SiUTB, CellsX: 3, CellsY: 1, CellsZ: 1},
+	}
+	desc, ok := descs[*devName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bands: unknown device %q\n", *devName)
+		os.Exit(2)
+	}
+	sim, err := core.New(desc, transport.Config{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bands:", err)
+		os.Exit(1)
+	}
+	bs, err := sim.Bands(*nk)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bands:", err)
+		os.Exit(1)
+	}
+	nb := bs.NumBands()
+	hi := *bandHi
+	if hi < 0 || hi >= nb {
+		hi = nb - 1
+	}
+	lo := *bandLo
+	if lo < 0 {
+		lo = 0
+	}
+	fmt.Printf("# %s: %d bands, k in rad/nm\n", desc.Name, nb)
+	if ev, ec, ok := bs.GapAround(-5, 10); ok {
+		fmt.Printf("# transport gap: Ev = %.4f eV, Ec = %.4f eV, Eg = %.4f eV\n", ev, ec, ec-ev)
+	} else {
+		fmt.Println("# metallic (no transport gap found)")
+	}
+	for ik, k := range bs.K {
+		fmt.Printf("%.6f", k)
+		for n := lo; n <= hi; n++ {
+			fmt.Printf("\t%.6f", bs.Energies[ik][n])
+		}
+		fmt.Println()
+	}
+}

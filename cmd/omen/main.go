@@ -1,0 +1,123 @@
+// Command omen is the device-simulation driver: it builds one of the
+// benchmark devices, computes its transmission spectrum (and optionally a
+// self-consistent gate sweep), and prints tab-separated results suitable
+// for plotting.
+//
+// Examples:
+//
+//	omen -device agnr7 -mode transmission -emin -3 -emax 3 -ne 200
+//	omen -device sinw -mode iv -vd 0.2 -vgmin -0.4 -vgmax 0.6 -nvg 11
+//	omen -device sinw-full -mode stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/transport"
+)
+
+// knownDevices maps CLI names to descriptions.
+func knownDevices() map[string]device.Description {
+	return map[string]device.Description{
+		"chain":     {Name: "chain", Kind: device.Chain, CellsX: 20},
+		"agnr7":     {Name: "AGNR-7", Kind: device.ArmchairGNR, CellsX: 20, CellsY: 7},
+		"agnr13":    {Name: "AGNR-13", Kind: device.ArmchairGNR, CellsX: 20, CellsY: 13},
+		"zgnr6":     {Name: "ZGNR-6", Kind: device.ZigzagGNR, CellsX: 20, CellsY: 6},
+		"sinw":      {Name: "SiNW sp3s*", Kind: device.SiNanowire, CellsX: 10, CellsY: 1, CellsZ: 1},
+		"sinw-full": {Name: "SiNW sp3d5s*", Kind: device.SiNanowire, CellsX: 8, CellsY: 1, CellsZ: 1, FullBand: true},
+		"gaasnw":    {Name: "GaAs NW", Kind: device.GaAsNanowire, CellsX: 8, CellsY: 1, CellsZ: 1},
+		"utb":       {Name: "Si UTB", Kind: device.SiUTB, CellsX: 6, CellsY: 1, CellsZ: 1},
+	}
+}
+
+func main() {
+	var (
+		devName   = flag.String("device", "agnr7", "device: chain, agnr7, agnr13, zgnr6, sinw, sinw-full, gaasnw, utb")
+		mode      = flag.String("mode", "transmission", "mode: transmission, iv, stats")
+		formalism = flag.String("formalism", "wf", "single-energy solver: wf, negf")
+		domains   = flag.Int("domains", 1, "SplitSolve spatial domains (wf only)")
+		nk        = flag.Int("nk", 1, "transverse momentum points (periodic devices)")
+		emin      = flag.Float64("emin", -3, "spectrum lower bound (eV)")
+		emax      = flag.Float64("emax", 3, "spectrum upper bound (eV)")
+		ne        = flag.Int("ne", 101, "energy points")
+		vd        = flag.Float64("vd", 0.2, "drain bias (V) for iv mode")
+		vgMin     = flag.Float64("vgmin", -0.4, "gate sweep start (V)")
+		vgMax     = flag.Float64("vgmax", 0.6, "gate sweep end (V)")
+		nvg       = flag.Int("nvg", 6, "gate sweep points")
+		cellsX    = flag.Int("cellsx", 0, "override transport cells")
+	)
+	flag.Parse()
+
+	desc, ok := knownDevices()[*devName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "omen: unknown device %q\n", *devName)
+		os.Exit(2)
+	}
+	if *cellsX > 0 {
+		desc.CellsX = *cellsX
+	}
+	cfg := transport.Config{Domains: *domains}
+	switch *formalism {
+	case "wf":
+		cfg.Formalism = transport.WaveFunction
+	case "negf":
+		cfg.Formalism = transport.NEGFRGF
+	default:
+		fmt.Fprintf(os.Stderr, "omen: unknown formalism %q\n", *formalism)
+		os.Exit(2)
+	}
+	sim, err := core.New(desc, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	sim.NK = *nk
+
+	switch *mode {
+	case "stats":
+		st := sim.Stats()
+		fmt.Printf("device\t%s (%s)\n", st.Name, st.Kind)
+		fmt.Printf("atoms\t%d\nlayers\t%d\norbitals/atom\t%d\n", st.Atoms, st.Layers, st.OrbitalsAtom)
+		fmt.Printf("matrix order\t%d\nlayer block\t%d\nlength\t%.2f nm\n",
+			st.MatrixOrder, st.BlockSize, st.TransportLen)
+	case "transmission":
+		grid := transport.UniformGrid(*emin, *emax, *ne)
+		ts, err := sim.Transmission(grid, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("# E(eV)\tT(E)")
+		for i, e := range grid {
+			fmt.Printf("%.6f\t%.8g\n", e, ts[i])
+		}
+	case "iv":
+		fet, err := core.NewFET(sim)
+		if err != nil {
+			fatal(err)
+		}
+		// GNR-friendly electrostatics defaults for the CLI devices.
+		fet.Lambda = 1.2
+		fet.SourceDoping = 0.1
+		fet.GateStart, fet.GateEnd = 0.3, 0.7
+		vgs := transport.UniformGrid(*vgMin, *vgMax, *nvg)
+		points, err := fet.GateSweep(vgs, *vd)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("# Vg(V)\tId(A)\titers\tconverged")
+		for _, p := range points {
+			fmt.Printf("%.4f\t%.6e\t%d\t%v\n", p.VGate, p.Current, p.Iterations, p.Converged)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "omen: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "omen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,160 @@
+// Command scaling reproduces the paper-style parallel-performance studies
+// on the calibrated machine model (see DESIGN.md for the Jaguar
+// substitution): strong scaling of a fixed workload, weak scaling with
+// growing device cross-sections, per-level efficiency, and the phase
+// breakdown table.
+//
+// Examples:
+//
+//	scaling -study strong
+//	scaling -study weak
+//	scaling -study levels
+//	scaling -study phases
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+)
+
+// flagshipWorkload mirrors the paper's production scenario: a full I-V
+// sweep (16 bias points) of a large spin-resolved sp3d5s* nanowire FET
+// with 21 momentum points and ~1000 energy points per bias.
+func flagshipWorkload() cluster.Workload {
+	return cluster.Workload{
+		NBias: 16, NK: 21, NE: 1024,
+		NLayers: 140, BlockSize: 480, RHSWidth: 480,
+		SelfEnergyIterations: 30,
+		EnergyCostCV:         0.1,
+		CouplingRank:         120,
+	}
+}
+
+func main() {
+	var (
+		study = flag.String("study", "strong", "study: strong, weak, levels, phases")
+	)
+	flag.Parse()
+	m := cluster.Jaguar()
+
+	switch *study {
+	case "strong":
+		w := flagshipWorkload()
+		counts := []int{672, 1344, 2688, 5376, 10752, 21504, 43008, 86016, 172032, 221400}
+		reports, err := m.StrongScaling(w, counts)
+		if err != nil {
+			fatal(err)
+		}
+		base := reports[0]
+		fmt.Printf("# strong scaling on %s — workload: %d tasks, device %d layers × %d orbitals\n",
+			m.Name, w.Tasks(), w.NLayers, w.BlockSize)
+		fmt.Println("# cores\tdecomposition\twall(s)\tspeedup\tTFlop/s\tefficiency")
+		for _, r := range reports {
+			fmt.Printf("%d\t%s\t%.1f\t%.1f\t%.1f\t%.3f\n",
+				r.CoresUsed, r.Decomposition, r.WallTime, r.Speedup(base),
+				r.SustainedFlops/1e12, r.Efficiency)
+		}
+		// Flagship point: at full machine size the energy grid is chosen
+		// to divide the groups evenly (production practice), which is
+		// where the sustained petaflop headline comes from.
+		tuned := w
+		tuned.NE = 1316 // 2 clean rounds over 658 energy groups
+		rT, err := m.PredictAuto(tuned, 221400)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# tuned flagship: %d cores, %s → %.2f PFlop/s sustained (eff %.3f)\n",
+			rT.CoresUsed, rT.Decomposition, rT.SustainedFlops/1e15, rT.Efficiency)
+	case "weak":
+		// Cross-section grows with the machine: block size doubles per
+		// step (wire diameter sweep), keeping work per core roughly fixed.
+		fmt.Printf("# weak scaling on %s — device grows with the machine\n", m.Name)
+		fmt.Println("# cores\tblock\tlayers\twall(s)\tPFlop/s\tefficiency")
+		type step struct {
+			cores, block, layers int
+		}
+		steps := []step{
+			{2688, 120, 100},
+			{10752, 190, 110},
+			{43008, 300, 120},
+			{120000, 420, 130},
+			{221400, 480, 140},
+		}
+		for _, s := range steps {
+			w := cluster.Workload{
+				NBias: 16, NK: 21, NE: 1024,
+				NLayers: s.layers, BlockSize: s.block, RHSWidth: s.block,
+				SelfEnergyIterations: 30, EnergyCostCV: 0.1,
+				CouplingRank: s.block / 4,
+			}
+			r, err := m.PredictAuto(w, s.cores)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%d\t%d\t%d\t%.1f\t%.3f\t%.3f\n",
+				r.CoresUsed, s.block, s.layers, r.WallTime,
+				r.SustainedFlops/1e15, r.Efficiency)
+		}
+	case "levels":
+		// Each parallelism level exercised in isolation.
+		w := flagshipWorkload()
+		fmt.Printf("# per-level efficiency on %s\n", m.Name)
+		fmt.Println("# level\tgroups\tcores\tefficiency")
+		type lvl struct {
+			name string
+			d    func(n int) cluster.Decomposition
+			max  int
+		}
+		levels := []lvl{
+			{"bias", func(n int) cluster.Decomposition {
+				return cluster.Decomposition{Bias: n, Momentum: 1, Energy: 1, Domains: 1}
+			}, w.NBias},
+			{"momentum", func(n int) cluster.Decomposition {
+				return cluster.Decomposition{Bias: 1, Momentum: n, Energy: 1, Domains: 1}
+			}, w.NK},
+			{"energy", func(n int) cluster.Decomposition {
+				return cluster.Decomposition{Bias: 1, Momentum: 1, Energy: n, Domains: 1}
+			}, w.NE},
+			{"domains", func(n int) cluster.Decomposition {
+				return cluster.Decomposition{Bias: 1, Momentum: 1, Energy: 1, Domains: n}
+			}, w.NLayers},
+		}
+		for _, l := range levels {
+			for _, n := range []int{2, 4, 8, 16, 32, 64, 128} {
+				if n > l.max {
+					break
+				}
+				r, err := m.Predict(w, l.d(n))
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("%s\t%d\t%d\t%.3f\n", l.name, n, r.CoresUsed, r.Efficiency)
+			}
+		}
+	case "phases":
+		w := flagshipWorkload()
+		fmt.Printf("# phase breakdown on %s\n", m.Name)
+		fmt.Println("# cores\tselfE(s)\tsolve(s)\treduced(s)\tcomm(s)\timbalance(s)\ttotal(s)")
+		for _, c := range []int{5376, 43008, 221400} {
+			r, err := m.PredictAuto(w, c)
+			if err != nil {
+				fatal(err)
+			}
+			b := r.Breakdown
+			fmt.Printf("%d\t%.1f\t%.1f\t%.2f\t%.2f\t%.2f\t%.1f\n",
+				r.CoresUsed, b.SelfEnergy, b.Solve, b.Reduced,
+				b.Communication, b.Imbalance, r.WallTime)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "scaling: unknown study %q\n", *study)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scaling:", err)
+	os.Exit(1)
+}

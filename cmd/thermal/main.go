@@ -1,0 +1,117 @@
+// Command thermal runs the phonon side of the simulator: valence-force-
+// field dispersions, ballistic phonon transmission, and the Landauer
+// thermal conductance of nanowires and chains.
+//
+// Examples:
+//
+//	thermal -mode bands -device chain
+//	thermal -mode conductance -device sinw -tmin 2 -tmax 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lattice"
+	"repro/internal/phonon"
+	"repro/internal/sparse"
+)
+
+func buildDevice(name string) (*sparse.BlockTridiag, float64, error) {
+	switch name {
+	case "chain":
+		s, err := lattice.NewLinearChain(0.25, 8)
+		if err != nil {
+			return nil, 0, err
+		}
+		m := phonon.Model{Alpha: 40, Beta: 10, Mass: []float64{28}}
+		d, err := phonon.DynamicalMatrix(s, m)
+		return d, s.LayerPeriod, err
+	case "sinw":
+		s, err := lattice.NewZincblendeNanowire(0.5431, 6, 1, 1)
+		if err != nil {
+			return nil, 0, err
+		}
+		d, err := phonon.DynamicalMatrix(s, phonon.SiliconVFF())
+		return d, s.LayerPeriod, err
+	default:
+		return nil, 0, fmt.Errorf("unknown device %q (chain, sinw)", name)
+	}
+}
+
+func main() {
+	var (
+		mode   = flag.String("mode", "bands", "mode: bands, transmission, conductance")
+		dev    = flag.String("device", "chain", "device: chain, sinw")
+		nq     = flag.Int("nq", 32, "q-points for bands")
+		nw     = flag.Int("nw", 60, "frequency points")
+		tMin   = flag.Float64("tmin", 2, "lowest temperature (K)")
+		tMax   = flag.Float64("tmax", 300, "highest temperature (K)")
+		nTemps = flag.Int("ntemps", 8, "temperature points")
+	)
+	flag.Parse()
+	d, period, err := buildDevice(*dev)
+	if err != nil {
+		fatal(err)
+	}
+	switch *mode {
+	case "bands":
+		disp, err := phonon.Bands(d, period, *nq)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# %s phonon dispersion: q (rad/nm), then ħω per branch (meV)\n", *dev)
+		for iq, q := range disp.Q {
+			fmt.Printf("%.5f", q)
+			for _, w := range disp.Omega[iq] {
+				fmt.Printf("\t%.4f", w*phonon.EnergyQuantum*1e3)
+			}
+			fmt.Println()
+		}
+	case "transmission":
+		disp, err := phonon.Bands(d, period, 16)
+		if err != nil {
+			fatal(err)
+		}
+		wMax := 1.1 * disp.MaxFrequency()
+		fmt.Println("# hw(meV)\tT(w)")
+		for i := 0; i < *nw; i++ {
+			w := wMax * float64(i) / float64(*nw-1)
+			t, err := phonon.Transmission(d, w)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%.4f\t%.6f\n", w*phonon.EnergyQuantum*1e3, t)
+		}
+	case "conductance":
+		disp, err := phonon.Bands(d, period, 16)
+		if err != nil {
+			fatal(err)
+		}
+		wMax := 1.05 * disp.MaxFrequency()
+		omegas := make([]float64, 400)
+		for i := range omegas {
+			omegas[i] = wMax * float64(i) / float64(len(omegas)-1)
+		}
+		fmt.Println("# T(K)\tkappa(W/K)\tkappa/k0")
+		for i := 0; i < *nTemps; i++ {
+			temp := *tMin
+			if *nTemps > 1 {
+				temp += (*tMax - *tMin) * float64(i) / float64(*nTemps-1)
+			}
+			k, err := phonon.ThermalConductance(d, omegas, temp)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%.1f\t%.4e\t%.3f\n", temp, k, k/phonon.ConductanceQuantumThermal(temp))
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thermal:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,122 @@
+// Alloy disorder: random-alloy transport in the tradition of the paper's
+// research lineage (SiGe nanowires, alloyed quantum dots). The example
+// compares the virtual-crystal approximation against configuration-
+// averaged random alloys on a single-band wire, then extracts the
+// localization length from the exponential decay of ⟨ln T⟩ with device
+// length — the physics that makes atomistic (rather than mean-field)
+// simulation necessary.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro/internal/alloy"
+	"repro/internal/lattice"
+	"repro/internal/tb"
+	"repro/internal/transport"
+)
+
+// transmission computes T(E) for a chain with the given site potential.
+func transmission(s *lattice.Structure, pot []float64, e float64) (float64, error) {
+	h, err := tb.Assemble(s, tb.SingleBandChain(0, -1), tb.Options{Potential: pot})
+	if err != nil {
+		return 0, err
+	}
+	eng, err := transport.NewEngine(h, transport.Config{})
+	if err != nil {
+		return 0, err
+	}
+	ts, err := eng.Transmissions([]float64{e})
+	if err != nil {
+		return 0, err
+	}
+	return ts[0], nil
+}
+
+func main() {
+	const (
+		e       = -0.3 // probe energy inside the band
+		nConfig = 24
+	)
+	d := alloy.Disorder{Fraction: 0.5, Shift: 0.6}
+
+	// 1. VCA vs random alloy at fixed length.
+	s, err := lattice.NewLinearChain(0.5, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vcaT, err := transmission(s, d.VCA(s), e)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mean, sem, err := alloy.Average(nConfig, 42, func(rng *rand.Rand) (float64, error) {
+		pot, err := d.Sample(s, rng)
+		if err != nil {
+			return 0, err
+		}
+		return transmission(s, pot, e)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("A0.5B0.5 alloy chain, 40 sites, ΔE = %.1f eV, E = %.1f eV:\n", d.Shift, e)
+	fmt.Printf("  virtual crystal:  T = %.4f (mean-field, scattering-free)\n", vcaT)
+	fmt.Printf("  random alloy:     ⟨T⟩ = %.4f ± %.4f over %d configurations\n", mean, sem, nConfig)
+	fmt.Printf("  VCA overestimates conductance by %.1fx — alloy scattering is real\n", vcaT/mean)
+
+	// 2. Localization: ⟨ln T⟩ vs length.
+	fmt.Println("\nlocalization analysis (⟨ln T⟩ vs length):")
+	fmt.Println("  L(nm)    ⟨ln T⟩")
+	lengths := []int{16, 24, 32, 40, 48}
+	xs := make([]float64, len(lengths))
+	ys := make([]float64, len(lengths))
+	for i, n := range lengths {
+		sl, err := lattice.NewLinearChain(0.5, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, _, err := alloy.Average(nConfig, 7, func(rng *rand.Rand) (float64, error) {
+			pot, err := d.Sample(sl, rng)
+			if err != nil {
+				return 0, err
+			}
+			T, err := transmission(sl, pot, e)
+			if err != nil {
+				return 0, err
+			}
+			return math.Log(math.Max(T, 1e-300)), nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		xs[i] = float64(n) * 0.5
+		ys[i] = m
+		fmt.Printf("  %5.1f    %.3f\n", xs[i], m)
+	}
+	xi, ok := alloy.LocalizationFit(xs, ys)
+	if !ok {
+		log.Fatal("no exponential decay found")
+	}
+	fmt.Printf("fitted localization length: ξ = %.1f nm\n", xi)
+
+	// 3. Disorder-strength sweep.
+	fmt.Println("\nlocalization length vs alloy splitting (32-site chain reference):")
+	fmt.Println("  ΔE(eV)   ⟨T⟩")
+	for _, shift := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		dd := alloy.Disorder{Fraction: 0.5, Shift: shift}
+		m, _, err := alloy.Average(nConfig, 13, func(rng *rand.Rand) (float64, error) {
+			pot, err := dd.Sample(s, rng)
+			if err != nil {
+				return 0, err
+			}
+			return transmission(s, pot, e)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %.1f      %.4f\n", shift, m)
+	}
+}

@@ -1,0 +1,141 @@
+// Quantum dot: the NEMO-3D side of the paper's research program —
+// electronic structure of a fully confined nanocrystal via sparse
+// iterative diagonalization. A silicon dot's band-edge states are
+// extracted with folded-spectrum Lanczos using only sparse matrix-vector
+// products, first cross-checked against the dense eigensolver on a small
+// dot, then run on a dot whose dense diagonalization would be painful.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/lanczos"
+	"repro/internal/lattice"
+	"repro/internal/linalg"
+	"repro/internal/sparse"
+	"repro/internal/tb"
+)
+
+// buildDot assembles the Hamiltonian of a Si nanocrystal of cx×cy×cz
+// conventional cells (hard-wall, passivated) in both block-tridiagonal
+// (for shift-invert) and CSR (for matrix-free Lanczos) forms.
+func buildDot(cx, cy, cz int) (*sparse.BlockTridiag, *lanczos.CSROperator, int, error) {
+	s, err := lattice.NewZincblendeNanowire(0.5431, cx, cy, cz)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	h, err := tb.Assemble(s, tb.SiliconSP3S(), tb.Options{PassivationShift: 12})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return h, &lanczos.CSROperator{M: h.CSR()}, s.NAtoms(), nil
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(2026))
+
+	// 1. Small dot: validate folded-spectrum Lanczos against the dense
+	//    eigensolver.
+	_, op, atoms, err := buildDot(3, 1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("small Si dot: %d atoms, %d orbitals\n", atoms, op.Dim())
+	dense, err := linalg.EigH(op.M.Dense())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Locate the gap.
+	var ev, ec float64
+	for i := 0; i+1 < len(dense.Values); i++ {
+		mid := (dense.Values[i] + dense.Values[i+1]) / 2
+		if dense.Values[i+1]-dense.Values[i] > 1 && mid > 0 && mid < 8 {
+			ev, ec = dense.Values[i], dense.Values[i+1]
+			break
+		}
+	}
+	fmt.Printf("  dense: HOMO = %.4f eV, LUMO = %.4f eV, gap = %.4f eV\n", ev, ec, ec-ev)
+	res, err := lanczos.Interior(op, ec+0.05, 4, 1e-9, 400, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  folded-spectrum Lanczos (%d iterations): lowest states near the conduction edge:\n",
+		res.Iterations)
+	for i, v := range res.Values {
+		fmt.Printf("    state %d: %.4f eV (dense reference Δ = %.2e)\n",
+			i, v, nearest(dense.Values, v))
+	}
+
+	// 2. Larger dot: sparse-only territory.
+	hBig, opBig, atomsBig, err := buildDot(6, 2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlarge Si dot: %d atoms, %d orbitals (dense solve would need %d³ work)\n",
+		atomsBig, opBig.Dim(), opBig.Dim())
+	start := time.Now()
+	ground, err := lanczos.Lowest(opBig, 3, 1e-8, 0, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  3 lowest valence states in %d iterations (%s):\n",
+		ground.Iterations, time.Since(start).Round(time.Millisecond))
+	for i, v := range ground.Values {
+		fmt.Printf("    %.4f eV", v)
+		if i < len(ground.Values)-1 {
+			fmt.Print(",")
+		}
+	}
+	fmt.Println()
+	// Interior states: the folded spectrum is too slowly converging at
+	// this spectral range, so use the production path — shift-invert
+	// Lanczos through the reusable block-tridiagonal factorization.
+	sigma := (ev + ec) / 2
+	start = time.Now()
+	edge, err := lanczos.NearTarget(hBig, sigma, 4, 1e-9, 150, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  shift-invert: 4 states nearest %.2f eV in %d iterations (%s):\n",
+		sigma, edge.Iterations, time.Since(start).Round(time.Millisecond))
+	for _, v := range edge.Values {
+		fmt.Printf("    %.4f eV\n", v)
+	}
+
+	// 3. Length series: the dot levels converge toward the infinite-wire
+	//    limit as the dot grows along the axis (the transverse confinement
+	//    fixes the gap scale).
+	fmt.Println("\ndot gap vs length (converging to the quantum-wire limit):")
+	for _, cx := range []int{2, 3, 4, 5} {
+		hDot, _, _, err := buildDot(cx, 1, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lo, err := lanczos.NearTarget(hDot, sigma, 2, 1e-9, 150, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// States bracketing the mid-gap target: highest occupied and
+		// lowest empty dot level.
+		fmt.Printf("  %d cells: HOMO %.3f eV, LUMO %.3f eV, gap %.3f eV\n",
+			cx, lo.Values[0], lo.Values[1], lo.Values[1]-lo.Values[0])
+	}
+}
+
+// nearest returns the distance from v to the closest entry of vals.
+func nearest(vals []float64, v float64) float64 {
+	best := 1e300
+	for _, d := range vals {
+		x := d - v
+		if x < 0 {
+			x = -x
+		}
+		if x < best {
+			best = x
+		}
+	}
+	return best
+}

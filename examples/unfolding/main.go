@@ -1,0 +1,108 @@
+// Unfolding: effective band structures of random alloys by Brillouin-zone
+// unfolding — the method of the paper's co-author line (Boykin & Klimeck)
+// for making sense of supercell spectra. A clean supercell unfolds to
+// razor-sharp primitive bands; an alloy supercell produces broadened
+// "effective" bands whose sharpness quantifies how well the crystal
+// momentum survives disorder.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/unfold"
+)
+
+func main() {
+	const (
+		nCells = 16
+		a      = 0.5
+		hop    = -1.0
+	)
+	rng := rand.New(rand.NewSource(7))
+	// A generic supercell wavevector avoids the ±k degeneracies of K = 0,
+	// where the eigensolver would return arbitrary mixtures carrying half
+	// weights.
+	const genericK = 0.37
+
+	// 1. Clean crystal: every eigenstate of the supercell carries unit
+	//    weight at exactly one primitive wavevector.
+	clean := make([]float64, nCells)
+	h00, h01 := unfold.SupercellChain(clean, hop)
+	states, err := unfold.Unfold(h00, h01, nCells, 1, a, genericK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("clean 16-cell supercell at K = 0.37 rad/nm (E, dominant k, weight):")
+	for _, st := range states {
+		k, w := st.DominantK()
+		fmt.Printf("  E = %+6.3f eV   k = %+6.3f rad/nm   W = %.3f\n", st.Energy, k, w)
+	}
+
+	// 2. A₀.₅B₀.₅ alloy: the same unfolding now spreads weight — the
+	//    effective bands blur, most strongly where alloy scattering is
+	//    strongest.
+	for _, shift := range []float64{0.2, 0.8} {
+		eps := make([]float64, nCells)
+		for i := range eps {
+			if rng.Float64() < 0.5 {
+				eps[i] = shift
+			}
+		}
+		h00, h01 = unfold.SupercellChain(eps, hop)
+		states, err = unfold.Unfold(h00, h01, nCells, 1, a, genericK)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var avgW, minW float64 = 0, 1
+		for _, st := range states {
+			_, w := st.DominantK()
+			avgW += w / float64(len(states))
+			if w < minW {
+				minW = w
+			}
+		}
+		fmt.Printf("\nA0.5B0.5 alloy, ΔE = %.1f eV: ⟨dominant weight⟩ = %.3f (min %.3f)\n",
+			shift, avgW, minW)
+		fmt.Println("  E(eV)     dominant k   weight")
+		for i, st := range states {
+			if i%3 != 0 {
+				continue // sample every third state for brevity
+			}
+			k, w := st.DominantK()
+			fmt.Printf("  %+6.3f    %+6.3f      %.3f\n", st.Energy, k, w)
+		}
+	}
+
+	// 3. The sharpness metric vs disorder strength: effective bands decay
+	//    smoothly from Bloch-like to fully mixed.
+	fmt.Println("\neffective-band sharpness vs alloy splitting (16 cells, 20 configs):")
+	fmt.Println("  ΔE(eV)   ⟨W_max⟩")
+	for _, shift := range []float64{0.1, 0.3, 0.5, 0.8, 1.2, 2.0} {
+		var acc float64
+		const nCfg = 20
+		for c := 0; c < nCfg; c++ {
+			cfgRng := rand.New(rand.NewSource(int64(100 + c)))
+			eps := make([]float64, nCells)
+			for i := range eps {
+				if cfgRng.Float64() < 0.5 {
+					eps[i] = shift
+				}
+			}
+			h00, h01 = unfold.SupercellChain(eps, hop)
+			states, err = unfold.Unfold(h00, h01, nCells, 1, a, genericK)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, st := range states {
+				_, w := st.DominantK()
+				acc += w / float64(len(states)*nCfg)
+			}
+		}
+		bar := int(math.Round(acc * 40))
+		fmt.Printf("  %.1f      %.3f  %s\n", shift, acc, strings.Repeat("#", bar))
+	}
+}

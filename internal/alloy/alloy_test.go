@@ -1,0 +1,276 @@
+package alloy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lattice"
+	"repro/internal/tb"
+	"repro/internal/transport"
+)
+
+func chain(t *testing.T, n int) *lattice.Structure {
+	t.Helper()
+	s, err := lattice.NewLinearChain(0.5, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDisorderValidate(t *testing.T) {
+	if err := (Disorder{Fraction: -0.1}).Validate(); err == nil {
+		t.Fatal("accepted negative fraction")
+	}
+	if err := (Disorder{Fraction: 1.5}).Validate(); err == nil {
+		t.Fatal("accepted fraction > 1")
+	}
+	if err := (Disorder{Fraction: 0.3, Shift: 0.5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleComposition(t *testing.T) {
+	s := chain(t, 4000)
+	d := Disorder{Fraction: 0.3, Shift: 1}
+	pot, err := d.Sample(s, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nB := 0
+	for _, v := range pot {
+		switch v {
+		case 0:
+		case 1:
+			nB++
+		default:
+			t.Fatalf("unexpected site energy %g", v)
+		}
+	}
+	x := float64(nB) / float64(len(pot))
+	if math.Abs(x-0.3) > 0.03 {
+		t.Fatalf("sampled composition %g, want ≈ 0.3", x)
+	}
+}
+
+func TestSampleOrderedExactComposition(t *testing.T) {
+	s := chain(t, 100)
+	d := Disorder{Fraction: 0.25, Shift: 0.7}
+	pot, err := d.SampleOrdered(s, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nB := 0
+	for _, v := range pot {
+		if v != 0 {
+			nB++
+		}
+	}
+	if nB != 25 {
+		t.Fatalf("ordered sample has %d B sites, want exactly 25", nB)
+	}
+}
+
+func TestVCAUniform(t *testing.T) {
+	s := chain(t, 10)
+	d := Disorder{Fraction: 0.4, Shift: 0.5}
+	pot := d.VCA(s)
+	for _, v := range pot {
+		if math.Abs(v-0.2) > 1e-15 {
+			t.Fatalf("VCA site energy %g, want 0.2", v)
+		}
+	}
+}
+
+func TestAverageStatistics(t *testing.T) {
+	// Averaging a deterministic function returns it exactly with zero SEM.
+	mean, sem, err := Average(8, 1, func(*rand.Rand) (float64, error) { return 3.5, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 3.5 || sem != 0 {
+		t.Fatalf("mean=%g sem=%g", mean, sem)
+	}
+	// Uniform random values have mean ≈ 0.5 and positive SEM.
+	mean, sem, err = Average(400, 7, func(rng *rand.Rand) (float64, error) {
+		return rng.Float64(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-0.5) > 0.05 || sem <= 0 || sem > 0.05 {
+		t.Fatalf("mean=%g sem=%g", mean, sem)
+	}
+	if _, _, err := Average(0, 1, nil); err == nil {
+		t.Fatal("accepted zero configurations")
+	}
+}
+
+// transmissionAt computes T at energy e for a disordered chain potential.
+func transmissionAt(t *testing.T, s *lattice.Structure, pot []float64, e float64) float64 {
+	t.Helper()
+	h, err := tb.Assemble(s, tb.SingleBandChain(0, -1), tb.Options{Potential: pot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := transport.NewEngine(h, transport.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := eng.Transmissions([]float64{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts[0]
+}
+
+// TestDisorderSuppressesTransmission: any realization of on-site disorder
+// can only scatter — ⟨T⟩ must fall below the clean value, and stronger
+// disorder must suppress it further.
+func TestDisorderSuppressesTransmission(t *testing.T) {
+	s := chain(t, 30)
+	const e = -0.3
+	clean := transmissionAt(t, s, nil, e)
+	if math.Abs(clean-1) > 1e-4 {
+		t.Fatalf("clean chain T = %g", clean)
+	}
+	avg := func(shift float64) float64 {
+		d := Disorder{Fraction: 0.5, Shift: shift}
+		mean, _, err := Average(12, 3, func(rng *rand.Rand) (float64, error) {
+			pot, err := d.Sample(s, rng)
+			if err != nil {
+				return 0, err
+			}
+			return transmissionAt(t, s, pot, e), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mean
+	}
+	weak := avg(0.2)
+	strong := avg(0.8)
+	if weak >= clean {
+		t.Fatalf("weak disorder did not scatter: ⟨T⟩ = %g vs clean %g", weak, clean)
+	}
+	if strong >= weak {
+		t.Fatalf("stronger disorder transmits more: %g vs %g", strong, weak)
+	}
+}
+
+// TestVCABeatsNaiveAverageNearEdge: the VCA shifts the band rigidly, so at
+// a fixed energy inside the shifted band it predicts ballistic T = 1,
+// while the true disordered ensemble scatters — the classic VCA
+// overestimate the unfolding literature corrects for.
+func TestVCAOverestimatesTransmission(t *testing.T) {
+	s := chain(t, 30)
+	d := Disorder{Fraction: 0.5, Shift: 0.6}
+	const e = 0.3 // inside the band for both clean and VCA-shifted chains
+	vcaT := transmissionAt(t, s, d.VCA(s), e)
+	mean, _, err := Average(12, 5, func(rng *rand.Rand) (float64, error) {
+		pot, err := d.Sample(s, rng)
+		if err != nil {
+			return 0, err
+		}
+		return transmissionAt(t, s, pot, e), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vcaT <= mean {
+		t.Fatalf("VCA T = %g does not exceed disordered ⟨T⟩ = %g", vcaT, mean)
+	}
+	if math.Abs(vcaT-1) > 1e-3 {
+		t.Fatalf("VCA chain not ballistic: T = %g", vcaT)
+	}
+}
+
+// TestLocalizationLength: ⟨ln T⟩ decays linearly with chain length in the
+// localized regime, and the fitted ξ shrinks with disorder strength.
+func TestLocalizationLength(t *testing.T) {
+	const e = 0.0
+	xi := func(shift float64) float64 {
+		lengths := []int{16, 24, 32, 40}
+		xs := make([]float64, len(lengths))
+		ys := make([]float64, len(lengths))
+		for i, n := range lengths {
+			s := chain(t, n)
+			d := Disorder{Fraction: 0.5, Shift: shift}
+			mean, _, err := Average(16, 11, func(rng *rand.Rand) (float64, error) {
+				pot, err := d.Sample(s, rng)
+				if err != nil {
+					return 0, err
+				}
+				T := transmissionAt(t, s, pot, e)
+				if T < 1e-300 {
+					T = 1e-300
+				}
+				return math.Log(T), nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs[i] = float64(n) * 0.5 // nm
+			ys[i] = mean
+		}
+		v, ok := LocalizationFit(xs, ys)
+		if !ok {
+			t.Fatalf("no localization decay found for shift %g: %v", shift, ys)
+		}
+		return v
+	}
+	xiWeak := xi(0.5)
+	xiStrong := xi(1.2)
+	if xiWeak <= 0 || xiStrong <= 0 {
+		t.Fatalf("non-positive localization lengths: %g, %g", xiWeak, xiStrong)
+	}
+	if xiStrong >= xiWeak {
+		t.Fatalf("localization length grew with disorder: ξ(0.5)=%g ≤ ξ(1.2)=%g", xiWeak, xiStrong)
+	}
+}
+
+func TestLocalizationFitEdgeCases(t *testing.T) {
+	if _, ok := LocalizationFit([]float64{1}, []float64{0}); ok {
+		t.Fatal("accepted single point")
+	}
+	if _, ok := LocalizationFit([]float64{1, 2}, []float64{0}); ok {
+		t.Fatal("accepted mismatched lengths")
+	}
+	// Flat data: no decay.
+	if _, ok := LocalizationFit([]float64{1, 2, 3}, []float64{-1, -1, -1}); ok {
+		t.Fatal("fitted a localization length to flat data")
+	}
+	// Known slope: lnT = −2L/ξ with ξ = 4.
+	xs := []float64{1, 2, 3, 4}
+	ys := make([]float64, 4)
+	for i, x := range xs {
+		ys[i] = -2 * x / 4
+	}
+	v, ok := LocalizationFit(xs, ys)
+	if !ok || math.Abs(v-4) > 1e-12 {
+		t.Fatalf("ξ = %g, want 4", v)
+	}
+}
+
+func TestQuickSampleBinary(t *testing.T) {
+	s := chain(t, 50)
+	f := func(seed int64, xRaw uint8) bool {
+		x := float64(xRaw%11) / 10
+		d := Disorder{Fraction: x, Shift: 0.3}
+		pot, err := d.Sample(s, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		for _, v := range pot {
+			if v != 0 && v != 0.3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,296 @@
+package cluster
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// flagship is a Jaguar-scale workload: a full I-V sweep of a large
+// nanowire FET (the paper's production scenario).
+func flagship() Workload {
+	return Workload{
+		NBias: 16, NK: 21, NE: 1024,
+		NLayers: 140, BlockSize: 480, RHSWidth: 480,
+		SelfEnergyIterations: 30,
+		EnergyCostCV:         0.1,
+		CouplingRank:         120,
+	}
+}
+
+func small() Workload {
+	return Workload{
+		NBias: 2, NK: 3, NE: 16,
+		NLayers: 12, BlockSize: 8, RHSWidth: 8,
+		SelfEnergyIterations: 20,
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	w := small()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := w
+	bad.NE = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted zero energy points")
+	}
+	bad = w
+	bad.NLayers = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted single-layer device")
+	}
+}
+
+func TestAutoDecomposeSaturatesLevels(t *testing.T) {
+	w := small() // 2×3×16 tasks, 12 layers
+	d, err := AutoDecompose(2*3*16, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Bias != 2 || d.Momentum != 3 || d.Energy != 16 || d.Domains != 1 {
+		t.Fatalf("decomposition %v did not saturate the cheap levels first", d)
+	}
+	// With more cores than tasks, spatial domains absorb the rest.
+	d2, err := AutoDecompose(2*3*16*4, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Domains != 4 {
+		t.Fatalf("excess cores not spent on domains: %v", d2)
+	}
+	// Never exceeds the budget.
+	if d2.Cores() > 2*3*16*4 {
+		t.Fatalf("decomposition %v exceeds its core budget", d2)
+	}
+}
+
+func TestPredictBasicInvariants(t *testing.T) {
+	m := Jaguar()
+	w := flagship()
+	for _, cores := range []int{12, 1200, 12000, 120000} {
+		r, err := m.PredictAuto(w, cores)
+		if err != nil {
+			t.Fatalf("%d cores: %v", cores, err)
+		}
+		if r.WallTime <= 0 {
+			t.Fatalf("%d cores: non-positive wall time", cores)
+		}
+		if r.Efficiency <= 0 || r.Efficiency > 1+1e-9 {
+			t.Fatalf("%d cores: efficiency %g outside (0, 1]", cores, r.Efficiency)
+		}
+		peak := float64(r.CoresUsed) * m.PeakFlopsPerCore
+		if r.SustainedFlops > peak {
+			t.Fatalf("%d cores: sustained %g exceeds peak %g", cores, r.SustainedFlops, peak)
+		}
+		// Breakdown must reassemble the wall time.
+		if math.Abs(r.Breakdown.Total()-r.WallTime) > 1e-6*r.WallTime {
+			t.Fatalf("%d cores: breakdown %g != wall %g", cores, r.Breakdown.Total(), r.WallTime)
+		}
+	}
+}
+
+func TestStrongScalingShape(t *testing.T) {
+	m := Jaguar()
+	w := flagship()
+	counts := []int{1344, 5376, 21504, 86016, 221400}
+	reports, err := m.StrongScaling(w, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wall time must decrease monotonically with core count.
+	for i := 1; i < len(reports); i++ {
+		if reports[i].WallTime >= reports[i-1].WallTime {
+			t.Fatalf("no speedup from %d to %d cores: %g vs %g s",
+				counts[i-1], counts[i], reports[i-1].WallTime, reports[i].WallTime)
+		}
+	}
+	// Efficiency must roll off at scale (the paper's curves bend once the
+	// embarrassing levels saturate and domain overheads appear).
+	if reports[len(reports)-1].Efficiency >= reports[0].Efficiency {
+		t.Fatal("efficiency did not roll off at scale")
+	}
+	// The flagship point: sustained performance at 221,400 cores must be
+	// petaflop-class — the 1.44 PFlop/s headline within modeling slack.
+	last := reports[len(reports)-1]
+	if last.SustainedFlops < 0.7e15 || last.SustainedFlops > 2.5e15 {
+		t.Fatalf("221,400-core sustained %.3g Flop/s not petaflop-class", last.SustainedFlops)
+	}
+}
+
+func TestDomainsOnlyAmdahl(t *testing.T) {
+	// With a single (bias,k,E) task, all parallelism must come from
+	// domains, whose reduced system caps the speedup (Amdahl).
+	m := Jaguar()
+	w := flagship()
+	w.NBias, w.NK, w.NE = 1, 1, 1
+	base, err := m.Predict(w, Decomposition{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevSpeedup := 0.0
+	sat := false
+	for _, p := range []int{2, 4, 8, 16, 32, 64, 128} {
+		if p > w.NLayers {
+			break
+		}
+		r, err := m.Predict(w, Decomposition{1, 1, 1, p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := r.Speedup(base)
+		if s < prevSpeedup*0.5 {
+			sat = true // strong saturation/regression appears
+		}
+		prevSpeedup = s
+	}
+	// Speedup at the largest domain count must be visibly sublinear.
+	rMax, err := m.Predict(w, Decomposition{1, 1, 1, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rMax.Speedup(base) > 128*0.7 {
+		t.Fatalf("domain-level speedup %g at P=128 is implausibly linear", rMax.Speedup(base))
+	}
+	_ = sat
+}
+
+func TestCommunicationMatters(t *testing.T) {
+	// A zero-latency, infinite-bandwidth machine must predict a shorter
+	// wall time for a domain-decomposed run.
+	w := flagship()
+	w.NBias, w.NK, w.NE = 1, 1, 4
+	m := Jaguar()
+	fast := m
+	fast.Latency = 0
+	fast.Bandwidth = 1e15
+	d := Decomposition{1, 1, 4, 16}
+	slow, err := m.Predict(w, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quick0, err := fast.Predict(w, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quick0.WallTime >= slow.WallTime {
+		t.Fatal("removing communication cost did not reduce wall time")
+	}
+	if slow.Breakdown.Communication <= 0 {
+		t.Fatal("communication phase missing from breakdown")
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	m := Jaguar()
+	w := small()
+	if _, err := m.Predict(w, Decomposition{0, 1, 1, 1}); err == nil {
+		t.Fatal("accepted zero-level decomposition")
+	}
+	if _, err := m.Predict(w, Decomposition{3, 1, 1, 1}); err == nil {
+		t.Fatal("accepted bias level above task count")
+	}
+	if _, err := m.Predict(w, Decomposition{1, 1, 1, 20}); err == nil {
+		t.Fatal("accepted more domains than layers")
+	}
+	huge := Decomposition{2, 3, 16, 12}
+	m2 := m
+	m2.TotalCores = 100
+	if _, err := m2.Predict(w, huge); err == nil {
+		t.Fatal("accepted decomposition beyond machine size")
+	}
+}
+
+func TestSplitSolveCostCrossover(t *testing.T) {
+	// The reduced-system cost grows as P³; past some P it dominates and
+	// per-solve time rises again — the crossover the F3 experiment shows.
+	w := flagship()
+	m := Jaguar()
+	rate := m.SustainedFlopsPerCore()
+	timeAt := func(p int) float64 {
+		ss, err := w.SplitSolve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return (float64(ss.CriticalFlops) + float64(ss.ReducedFlops)) / rate
+	}
+	t2 := timeAt(2)
+	t8 := timeAt(8)
+	t128 := timeAt(128)
+	if t8 >= t2 {
+		t.Fatalf("moderate decomposition not beneficial: t(8)=%g ≥ t(2)=%g", t8, t2)
+	}
+	if t128 <= t8 {
+		t.Fatalf("no reduced-system crossover: t(128)=%g ≤ t(8)=%g", t128, t8)
+	}
+}
+
+func TestRunTasksCoversAllAndIsOrdered(t *testing.T) {
+	const nb, nk, ne = 2, 3, 5
+	var count atomic.Int64
+	seen := make([]atomic.Bool, nb*nk*ne)
+	err := RunTasks(nb, nk, ne, 4, func(task Task) error {
+		idx := (task.Bias*nk+task.K)*ne + task.E
+		if seen[idx].Swap(true) {
+			t.Errorf("task %v executed twice", task)
+		}
+		count.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != nb*nk*ne {
+		t.Fatalf("executed %d tasks, want %d", count.Load(), nb*nk*ne)
+	}
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Fatalf("task %d never executed", i)
+		}
+	}
+}
+
+func TestRunTasksPropagatesError(t *testing.T) {
+	err := RunTasks(1, 1, 4, 2, func(task Task) error {
+		if task.E == 2 {
+			return errTest
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error not propagated")
+	}
+}
+
+var errTest = errDummy{}
+
+type errDummy struct{}
+
+func (errDummy) Error() string { return "dummy" }
+
+func TestQuickAutoDecomposeBudget(t *testing.T) {
+	w := flagship()
+	f := func(coresRaw uint32) bool {
+		cores := int(coresRaw%500000) + 1
+		d, err := AutoDecompose(cores, w)
+		if err != nil {
+			return false
+		}
+		return d.Cores() <= cores && d.Validate(w) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateBlockSolve(t *testing.T) {
+	n, err := CalibrateBlockSolve(func() error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("no-op calibration measured %d flops", n)
+	}
+}

@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Task identifies one independent work item of the multi-level sweep.
+type Task struct {
+	// Bias, K, E index the bias point, transverse momentum point, and
+	// energy point.
+	Bias, K, E int
+}
+
+// RunTasks executes fn for every (bias, k, E) task on a bounded worker
+// pool — the real (shared-memory) counterpart of the distributed
+// decomposition modeled by Predict. Each task must write only to its own
+// output slot; the runner guarantees all tasks complete before returning
+// and surfaces the first error encountered (by task order, so failures
+// are deterministic too).
+func RunTasks(nBias, nK, nE, workers int, fn func(Task) error) error {
+	if nBias < 1 || nK < 1 || nE < 1 {
+		return fmt.Errorf("cluster: task counts must be positive")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	total := nBias * nK * nE
+	errs := make([]error, total)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for idx := 0; idx < total; idx++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t := Task{
+				Bias: idx / (nK * nE),
+				K:    (idx / nE) % nK,
+				E:    idx % nE,
+			}
+			errs[idx] = fn(t)
+		}(idx)
+	}
+	wg.Wait()
+	for idx, err := range errs {
+		if err != nil {
+			return fmt.Errorf("cluster: task %d (bias %d, k %d, E %d): %w",
+				idx, idx/(nK*nE), (idx/nE)%nK, idx%nE, err)
+		}
+	}
+	return nil
+}

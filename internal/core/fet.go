@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/negf"
+	"repro/internal/poisson"
+	"repro/internal/transport"
+)
+
+// FET couples a Simulator to the gate-all-around electrostatic model for
+// self-consistent ballistic I-V simulation — the paper's flagship
+// "atomistic device engineering" application. All potentials inside the
+// loop are electron potential energies U(x) in eV (U = −e·V_electrostatic),
+// so a positive gate voltage lowers the channel barrier of the n-FET.
+type FET struct {
+	Sim *Simulator
+	// GateStart and GateEnd bound the gated window as fractions of the
+	// transport length.
+	GateStart, GateEnd float64
+	// Lambda is the gate screening length (nm); EpsOx and EpsCh the oxide
+	// and channel relative permittivities.
+	Lambda, EpsOx, EpsCh float64
+	// SourceDoping is the donor density of the contact extensions (1/nm³).
+	SourceDoping float64
+	// MuOffset places the source Fermi level relative to the lead
+	// conduction-band minimum (eV; positive = degenerate source).
+	MuOffset float64
+	// Temperature in kelvin.
+	Temperature float64
+	// NE is the charge-integration grid size per iteration.
+	NE int
+	// Mixing is the potential under-relaxation factor (0 < Mixing ≤ 1).
+	Mixing float64
+	// Tol is the self-consistency tolerance on max|ΔU| (eV).
+	Tol float64
+	// MaxIter bounds the self-consistent loop.
+	MaxIter int
+	// gapWindow is fixed at construction: the energy window the transport
+	// gap was located in.
+	ev, ec float64
+}
+
+// NewFET builds a self-consistent FET driver around a simulator with
+// production-style defaults. The device must be semiconducting.
+func NewFET(sim *Simulator) (*FET, error) {
+	f := &FET{
+		Sim:          sim,
+		GateStart:    0.35,
+		GateEnd:      0.65,
+		Lambda:       2.5,
+		EpsOx:        3.9,
+		EpsCh:        11.7,
+		SourceDoping: 5e-1, // degenerate extensions (≈ 5e20 cm⁻³)
+		MuOffset:     0.025,
+		Temperature:  300,
+		NE:           180,
+		Mixing:       0.7,
+		Tol:          2e-3,
+		MaxIter:      60,
+	}
+	ev, ec, err := sim.ConductionBandEdge(-5, 10)
+	if err != nil {
+		return nil, err
+	}
+	f.ev, f.ec = ev, ec
+	return f, nil
+}
+
+// IVPoint is one bias point of a sweep.
+type IVPoint struct {
+	VGate, VDrain float64
+	// Current in amperes.
+	Current float64
+	// Iterations used by the self-consistent loop.
+	Iterations int
+	// Converged reports whether Tol was reached within MaxIter.
+	Converged bool
+	// Potential is the converged layer potential-energy profile (eV).
+	Potential []float64
+}
+
+// dopingProfile returns the donor density per layer (1/nm³): doped
+// extensions outside the gate window, intrinsic channel inside.
+func (f *FET) dopingProfile(nl int) []float64 {
+	nd := make([]float64, nl)
+	for i := range nd {
+		frac := (float64(i) + 0.5) / float64(nl)
+		if frac < f.GateStart || frac > f.GateEnd {
+			nd[i] = f.SourceDoping
+		}
+	}
+	return nd
+}
+
+// gateMask marks the gated layers.
+func (f *FET) gateMask(nl int) []bool {
+	mask := make([]bool, nl)
+	for i := range mask {
+		frac := (float64(i) + 0.5) / float64(nl)
+		mask[i] = frac >= f.GateStart && frac <= f.GateEnd
+	}
+	return mask
+}
+
+// SolveBias runs the self-consistent loop at one (VGate, VDrain) point.
+func (f *FET) SolveBias(vg, vd float64) (*IVPoint, error) {
+	s := f.Sim.Built.Structure
+	nl := s.NLayers()
+	atoms := s.NAtoms()
+	layerVol := f.Sim.LayerVolume()
+	kT := KT(f.Temperature)
+	muS := f.ec + f.MuOffset
+	muD := muS - vd
+	bias := transport.Bias{MuL: muS, MuR: muD, Temperature: f.Temperature}
+	nd := f.dopingProfile(nl)
+	gaa := &poisson.GateAllAround1D{
+		Dx:         s.LayerPeriod,
+		EpsChannel: f.EpsCh,
+		EpsOxide:   f.EpsOx,
+		Lambda:     f.Lambda,
+		GateMask:   f.gateMask(nl),
+		VSource:    0,
+		VDrain:     -vd,
+	}
+
+	u := make([]float64, nl) // layer potential energy (eV)
+	// Pin the contact layers from the start so the lead blocks — and with
+	// them the cached contact self-energies — stay fixed through the loop.
+	u[nl-1] = -vd
+	pot := make([]float64, atoms)
+	point := &IVPoint{VGate: vg, VDrain: vd}
+
+	// The contacts are flat-band and pinned, so the expensive Sancho-Rubio
+	// surface functions depend only on energy: share one cache across all
+	// iterations (the production optimization of the paper's code).
+	cfg := f.Sim.Transport
+	cfg.Cache = negf.NewSelfEnergyCache()
+
+	// Conduction-electron window, fixed per bias point so every iteration
+	// reuses the same cached energies: from just below the lowest
+	// plausible local band minimum to well above the hotter contact,
+	// clamped above the (shifted) valence bands.
+	uLo := math.Min(0, math.Min(-vd, -vg)) - 0.05
+	uHi := math.Max(0, -vd) + 0.05
+	lo := f.ec + uLo - 4*kT
+	if vb := f.ev + uHi + 6*kT; lo < vb {
+		lo = vb
+	}
+	hi := math.Max(muS, muD) + 10*kT
+	if hi <= lo {
+		hi = lo + 20*kT
+	}
+	grid := transport.UniformGrid(lo, hi, f.NE)
+
+	for iter := 1; iter <= f.MaxIter; iter++ {
+		point.Iterations = iter
+		// Spread the layer potential onto atoms.
+		for i, a := range s.Atoms {
+			pot[i] = u[a.Layer]
+		}
+		h, err := f.Sim.Hamiltonian(pot, 0)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := transport.NewEngine(h, cfg)
+		if err != nil {
+			return nil, err
+		}
+		occ, err := eng.ChargeDensity(grid, bias)
+		if err != nil {
+			return nil, err
+		}
+		// Layer electron density (spin degeneracy included), 1/nm³.
+		nLayer := make([]float64, nl)
+		off := h.Offsets()
+		for li := 0; li < nl; li++ {
+			var sum float64
+			for k := off[li]; k < off[li+1]; k++ {
+				sum += occ[k]
+			}
+			nLayer[li] = f.Sim.SpinDegeneracy() * sum / layerVol
+		}
+		// Poisson in potential-energy convention: charge term n − N_D and
+		// gate energy −Vg (see type comment), with the Gummel-linearized
+		// charge response ∂n/∂U = −n/kT on the diagonal for stability.
+		rho := make([]float64, nl)
+		dRho := make([]float64, nl)
+		for i := range rho {
+			rho[i] = nLayer[i] - nd[i]
+			dRho[i] = -nLayer[i] / kT
+		}
+		uNew, err := gaa.SolveLinearized(-vg, rho, dRho, u)
+		if err != nil {
+			return nil, err
+		}
+		var maxDelta float64
+		for i := range u {
+			d := uNew[i] - u[i]
+			if math.Abs(d) > maxDelta {
+				maxDelta = math.Abs(d)
+			}
+			u[i] += f.Mixing * d
+		}
+		if maxDelta < f.Tol {
+			point.Converged = true
+			break
+		}
+	}
+	// Final current from a denser transmission grid over the bias window,
+	// still sharing the self-energy cache.
+	for i, a := range s.Atoms {
+		pot[i] = u[a.Layer]
+	}
+	eLo := math.Min(muS, muD) - 12*kT
+	if vb := f.ev + maxOf(u) + 4*kT; eLo < vb {
+		eLo = vb
+	}
+	eHi := math.Max(muS, muD) + 12*kT
+	iGrid := transport.UniformGrid(eLo, eHi, 2*f.NE)
+	h, err := f.Sim.Hamiltonian(pot, 0)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := transport.NewEngine(h, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := eng.Transmissions(iGrid)
+	if err != nil {
+		return nil, err
+	}
+	i, err := f.Sim.CurrentFromSpectrum(iGrid, ts, bias)
+	if err != nil {
+		return nil, err
+	}
+	point.Current = i
+	point.Potential = u
+	return point, nil
+}
+
+// GateSweep runs SolveBias over a gate-voltage ladder at fixed drain bias,
+// warm-starting each point from scratch (points are independent, so they
+// can also be distributed — this is the bias level of the parallel
+// scheme; see cmd/scaling for the modeled version).
+func (f *FET) GateSweep(vgs []float64, vd float64) ([]IVPoint, error) {
+	out := make([]IVPoint, len(vgs))
+	for i, vg := range vgs {
+		p, err := f.SolveBias(vg, vd)
+		if err != nil {
+			return nil, fmt.Errorf("core: Vg=%g: %w", vg, err)
+		}
+		out[i] = *p
+	}
+	return out, nil
+}
+
+// SubthresholdSlope extracts the subthreshold slope (mV/decade) from two
+// I-V points in the exponential regime.
+func SubthresholdSlope(p1, p2 IVPoint) (float64, error) {
+	if p1.Current <= 0 || p2.Current <= 0 {
+		return 0, fmt.Errorf("core: non-positive currents in slope extraction")
+	}
+	dec := math.Log10(p2.Current) - math.Log10(p1.Current)
+	if dec == 0 {
+		return 0, fmt.Errorf("core: identical currents in slope extraction")
+	}
+	return (p2.VGate - p1.VGate) * 1000 / dec, nil
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	lo, hi = v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func maxOf(v []float64) float64 {
+	_, hi := minMax(v)
+	return hi
+}

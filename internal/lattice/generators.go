@@ -1,0 +1,201 @@
+package lattice
+
+import (
+	"fmt"
+	"math"
+)
+
+// neighborTol is the relative tolerance on bond length used when detecting
+// nearest neighbors in ideal (unstrained) structures.
+const neighborTol = 0.05
+
+// zincblendeBasis lists the 8-atom conventional-cell basis of the
+// zinc-blende (and, with equal species, diamond) lattice in units of the
+// lattice constant. Species 0 sits on the anion sublattice, species 1 on
+// the cation sublattice.
+var zincblendeBasis = []struct {
+	Species int
+	Frac    Vec3
+}{
+	{0, Vec3{0, 0, 0}},
+	{0, Vec3{0, 0.5, 0.5}},
+	{0, Vec3{0.5, 0, 0.5}},
+	{0, Vec3{0.5, 0.5, 0}},
+	{1, Vec3{0.25, 0.25, 0.25}},
+	{1, Vec3{0.25, 0.75, 0.75}},
+	{1, Vec3{0.75, 0.25, 0.75}},
+	{1, Vec3{0.75, 0.75, 0.25}},
+}
+
+// NewZincblendeNanowire builds a free-standing rectangular [100] nanowire:
+// cellsX conventional cells along the transport direction (one principal
+// layer per cell), and a cross-section of cellsY×cellsZ cells with hard
+// walls. a is the lattice constant in nm. Surface atoms keep their
+// dangling-bond count for the tight-binding passivation model.
+func NewZincblendeNanowire(a float64, cellsX, cellsY, cellsZ int) (*Structure, error) {
+	if cellsX < 1 || cellsY < 1 || cellsZ < 1 {
+		return nil, fmt.Errorf("lattice: nanowire needs at least 1 cell per direction, got %d×%d×%d",
+			cellsX, cellsY, cellsZ)
+	}
+	if a <= 0 {
+		return nil, fmt.Errorf("lattice: non-positive lattice constant %g", a)
+	}
+	s := &Structure{
+		LayerPeriod: a,
+		BondLength:  a * math.Sqrt(3) / 4,
+		CoordMax:    4,
+	}
+	for cx := 0; cx < cellsX; cx++ {
+		for cy := 0; cy < cellsY; cy++ {
+			for cz := 0; cz < cellsZ; cz++ {
+				for _, b := range zincblendeBasis {
+					p := Vec3{
+						(float64(cx) + b.Frac.X) * a,
+						(float64(cy) + b.Frac.Y) * a,
+						(float64(cz) + b.Frac.Z) * a,
+					}
+					s.Atoms = append(s.Atoms, Atom{Species: b.Species, Pos: p, Layer: cx})
+				}
+			}
+		}
+	}
+	s.sortIntoLayers(cellsX)
+	s.buildNeighbors(neighborTol)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewZincblendeUTB builds an ultra-thin body: hard-wall confinement in z
+// (cellsZ conventional cells thick), Bloch-periodic in y with period
+// cellsY·a, and cellsX principal layers along transport. Transverse
+// momentum enters the Hamiltonian through the bonds that wrap in y.
+func NewZincblendeUTB(a float64, cellsX, cellsY, cellsZ int) (*Structure, error) {
+	s, err := NewZincblendeNanowire(a, cellsX, cellsY, cellsZ)
+	if err != nil {
+		return nil, err
+	}
+	s.PeriodicY = true
+	s.PeriodY = float64(cellsY) * a
+	// Rebuild neighbors so the periodic images in y are bonded.
+	s.buildNeighbors(neighborTol)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// GrapheneBond is the carbon-carbon distance in nm.
+const GrapheneBond = 0.142
+
+// NewArmchairGNR builds an armchair-edge graphene nanoribbon with nRows
+// atomic rows across the width and nCells principal layers (period 3·d)
+// along transport. The standard "N-AGNR" naming has N = nRows.
+func NewArmchairGNR(nRows, nCells int) (*Structure, error) {
+	if nRows < 2 || nCells < 1 {
+		return nil, fmt.Errorf("lattice: armchair GNR needs nRows ≥ 2, nCells ≥ 1; got %d, %d", nRows, nCells)
+	}
+	d := GrapheneBond
+	rowPitch := math.Sqrt(3) * d / 2
+	period := 3 * d
+	s := &Structure{
+		LayerPeriod: period,
+		BondLength:  d,
+		CoordMax:    3,
+	}
+	// Honeycomb with armchair direction along x: lattice vectors
+	// a1 = (3d/2, +√3d/2), a2 = (3d/2, −√3d/2), B sublattice at +(d, 0).
+	// Enumerate generously and cut to the ribbon box.
+	wMax := float64(nRows-1)*rowPitch + 1e-9
+	lMax := float64(nCells)*period - 1e-9
+	for n1 := -2 * nCells; n1 <= 2*nCells+2; n1++ {
+		for n2 := -2*nCells - nRows; n2 <= 2*nCells+nRows+2; n2++ {
+			ax := 1.5 * d * float64(n1+n2)
+			ay := rowPitch * float64(n1-n2)
+			for _, off := range []Vec3{{0, 0, 0}, {d, 0, 0}} {
+				p := Vec3{ax + off.X, ay + off.Y, 0}
+				if p.X < -1e-9 || p.X > lMax || p.Y < -1e-9 || p.Y > wMax {
+					continue
+				}
+				layer := int(math.Floor(p.X/period + 1e-9))
+				if layer >= nCells {
+					continue
+				}
+				s.Atoms = append(s.Atoms, Atom{Pos: p, Layer: layer})
+			}
+		}
+	}
+	s.sortIntoLayers(nCells)
+	s.buildNeighbors(neighborTol)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewZigzagGNR builds a zigzag-edge graphene nanoribbon with nChains zigzag
+// chains across the width and nCells principal layers (period √3·d) along
+// transport.
+func NewZigzagGNR(nChains, nCells int) (*Structure, error) {
+	if nChains < 1 || nCells < 1 {
+		return nil, fmt.Errorf("lattice: zigzag GNR needs nChains ≥ 1, nCells ≥ 1; got %d, %d", nChains, nCells)
+	}
+	d := GrapheneBond
+	period := math.Sqrt(3) * d
+	s := &Structure{
+		LayerPeriod: period,
+		BondLength:  d,
+		CoordMax:    3,
+	}
+	lMax := float64(nCells)*period - 1e-9
+	// Rows m = 0..nChains-1, each contributing an A atom at y = 1.5·d·m and
+	// a B atom at y = 1.5·d·m + d; odd rows shift x by half a period.
+	for m := 0; m < nChains; m++ {
+		xOff := 0.0
+		if m%2 == 1 {
+			xOff = period / 2
+		}
+		for n := -1; n <= nCells+1; n++ {
+			x := float64(n)*period + xOff
+			for _, y := range []float64{1.5 * d * float64(m), 1.5*d*float64(m) + d} {
+				if x < -1e-9 || x > lMax {
+					continue
+				}
+				layer := int(math.Floor(x/period + 1e-9))
+				if layer >= nCells {
+					continue
+				}
+				s.Atoms = append(s.Atoms, Atom{Pos: Vec3{x, y, 0}, Layer: layer})
+			}
+		}
+	}
+	s.sortIntoLayers(nCells)
+	s.buildNeighbors(neighborTol)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewLinearChain builds a 1-D atomic chain with nAtoms sites at spacing
+// a nm — the analytic workhorse of the validation suite.
+func NewLinearChain(a float64, nAtoms int) (*Structure, error) {
+	if nAtoms < 1 {
+		return nil, fmt.Errorf("lattice: chain needs at least one atom")
+	}
+	s := &Structure{
+		LayerPeriod: a,
+		BondLength:  a,
+		CoordMax:    2,
+	}
+	for i := 0; i < nAtoms; i++ {
+		s.Atoms = append(s.Atoms, Atom{Pos: Vec3{float64(i) * a, 0, 0}, Layer: i})
+	}
+	s.sortIntoLayers(nAtoms)
+	s.buildNeighbors(neighborTol)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,316 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/perf"
+)
+
+// Eigen holds the eigendecomposition of a general complex matrix:
+// A·Vectors[:,j] = Values[j]·Vectors[:,j]. Vectors columns are normalized to
+// unit Euclidean length but are not mutually orthogonal in general.
+type Eigen struct {
+	Values  []complex128
+	Vectors *Matrix
+}
+
+// maxQRIterations bounds the shifted-QR sweeps per eigenvalue.
+const maxQRIterations = 80
+
+// Eig computes all eigenvalues and right eigenvectors of a general complex
+// matrix. The algorithm is the dense non-Hermitian standard: unitary
+// reduction to upper Hessenberg form, explicit single-shift (Wilkinson) QR
+// iteration with Givens rotations to Schur form, and triangular
+// back-substitution for the eigenvectors. It is the kernel behind the lead
+// (contact) Bloch-mode solver in the wave-function formalism.
+func Eig(a *Matrix) (*Eigen, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: Eig requires a square matrix")
+	}
+	n := a.Rows
+	if n == 0 {
+		return &Eigen{Values: nil, Vectors: New(0, 0)}, nil
+	}
+	h := a.Clone()
+	z := Identity(n)
+	hessenberg(h, z)
+	if err := schurQR(h, z); err != nil {
+		return nil, err
+	}
+	perf.AddFlops(25 * int64(n) * int64(n) * int64(n)) // typical cost of QR to Schur with vectors
+
+	values := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		values[i] = h.At(i, i)
+	}
+	vectors := triangularEigenvectors(h, z)
+	return &Eigen{Values: values, Vectors: vectors}, nil
+}
+
+// EigValues computes only the eigenvalues of a general complex matrix.
+func EigValues(a *Matrix) ([]complex128, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: EigValues requires a square matrix")
+	}
+	n := a.Rows
+	h := a.Clone()
+	hessenberg(h, nil)
+	if err := schurQR(h, nil); err != nil {
+		return nil, err
+	}
+	values := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		values[i] = h.At(i, i)
+	}
+	return values, nil
+}
+
+// hessenberg reduces h to upper Hessenberg form in place by complex
+// Householder reflections. If z is non-nil, the accumulated unitary
+// similarity is multiplied into it (z ← z·Q).
+func hessenberg(h, z *Matrix) {
+	n := h.Rows
+	v := make([]complex128, n)
+	for k := 0; k < n-2; k++ {
+		var norm float64
+		for i := k + 1; i < n; i++ {
+			norm += real(h.At(i, k))*real(h.At(i, k)) + imag(h.At(i, k))*imag(h.At(i, k))
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		x0 := h.At(k+1, k)
+		var alpha complex128
+		if x0 == 0 {
+			alpha = complex(-norm, 0)
+		} else {
+			alpha = -x0 / complex(cmplx.Abs(x0), 0) * complex(norm, 0)
+		}
+		var vnorm float64
+		for i := k + 1; i < n; i++ {
+			vi := h.At(i, k)
+			if i == k+1 {
+				vi -= alpha
+			}
+			v[i] = vi
+			vnorm += real(vi)*real(vi) + imag(vi)*imag(vi)
+		}
+		vnorm = math.Sqrt(vnorm)
+		if vnorm == 0 {
+			continue
+		}
+		for i := k + 1; i < n; i++ {
+			v[i] /= complex(vnorm, 0)
+		}
+		// Left update: h ← (I − 2vv†)·h on rows k+1..n-1.
+		for j := k; j < n; j++ {
+			var s complex128
+			for i := k + 1; i < n; i++ {
+				s += cmplx.Conj(v[i]) * h.At(i, j)
+			}
+			s *= 2
+			for i := k + 1; i < n; i++ {
+				h.Set(i, j, h.At(i, j)-s*v[i])
+			}
+		}
+		// Right update: h ← h·(I − 2vv†) on cols k+1..n-1.
+		for i := 0; i < n; i++ {
+			var s complex128
+			for j := k + 1; j < n; j++ {
+				s += h.At(i, j) * v[j]
+			}
+			s *= 2
+			for j := k + 1; j < n; j++ {
+				h.Set(i, j, h.At(i, j)-s*cmplx.Conj(v[j]))
+			}
+		}
+		if z != nil {
+			for i := 0; i < n; i++ {
+				var s complex128
+				for j := k + 1; j < n; j++ {
+					s += z.At(i, j) * v[j]
+				}
+				s *= 2
+				for j := k + 1; j < n; j++ {
+					z.Set(i, j, z.At(i, j)-s*cmplx.Conj(v[j]))
+				}
+			}
+		}
+	}
+	perf.AddFlops(40 * int64(n) * int64(n) * int64(n) / 3)
+}
+
+// givens computes a complex plane rotation with real cosine c ≥ 0 and
+// complex sine s such that
+//
+//	[  c   s ] [a]   [r]
+//	[ −s̄   c ] [b] = [0].
+func givens(a, b complex128) (c float64, s complex128) {
+	if b == 0 {
+		return 1, 0
+	}
+	if a == 0 {
+		return 0, cmplx.Conj(b) / complex(cmplx.Abs(b), 0)
+	}
+	aa, ab := cmplx.Abs(a), cmplx.Abs(b)
+	t := math.Hypot(aa, ab)
+	c = aa / t
+	s = a / complex(aa, 0) * cmplx.Conj(b) / complex(t, 0)
+	return c, s
+}
+
+// schurQR drives h (upper Hessenberg) to upper triangular Schur form by
+// explicit single-shift QR with deflation, accumulating rotations into z
+// when z is non-nil.
+func schurQR(h, z *Matrix) error {
+	n := h.Rows
+	cs := make([]float64, n)
+	sn := make([]complex128, n)
+	hnorm := h.FrobeniusNorm()
+	if hnorm == 0 {
+		return nil
+	}
+	m := n - 1 // active block is rows/cols l..m
+	iter := 0
+	for m > 0 {
+		// Deflate: find the start l of the active unreduced block.
+		l := m
+		for l > 0 {
+			sub := cmplx.Abs(h.At(l, l-1))
+			if sub <= machEps*(cmplx.Abs(h.At(l-1, l-1))+cmplx.Abs(h.At(l, l))+machEps*hnorm) {
+				h.Set(l, l-1, 0)
+				break
+			}
+			l--
+		}
+		if l == m {
+			m--
+			iter = 0
+			continue
+		}
+		iter++
+		if iter > maxQRIterations {
+			return errors.New("linalg: QR iteration failed to converge")
+		}
+		// Wilkinson shift from the trailing 2×2 of the active block; every
+		// few stalled sweeps take an exceptional ad-hoc shift to break
+		// symmetry-induced cycling.
+		var mu complex128
+		if iter%12 == 0 {
+			mu = h.At(m, m) + complex(cmplx.Abs(h.At(m, m-1)), 0)*complex(1.0, 0.5)
+		} else {
+			a := h.At(m-1, m-1)
+			b := h.At(m-1, m)
+			c := h.At(m, m-1)
+			d := h.At(m, m)
+			tr2 := (a + d) / 2
+			disc := cmplx.Sqrt(tr2*tr2 - (a*d - b*c))
+			mu1 := tr2 + disc
+			mu2 := tr2 - disc
+			if cmplx.Abs(mu1-d) < cmplx.Abs(mu2-d) {
+				mu = mu1
+			} else {
+				mu = mu2
+			}
+		}
+		// Explicit QR step on the active block: factor (H − μI) = Q·R with
+		// Givens rotations, then form R·Q† + μI block-wise.
+		for i := l; i <= m; i++ {
+			h.Set(i, i, h.At(i, i)-mu)
+		}
+		for i := l; i < m; i++ {
+			c, s := givens(h.At(i, i), h.At(i+1, i))
+			cs[i], sn[i] = c, s
+			// Apply the rotation to rows i, i+1 over columns i..n-1.
+			for j := i; j < h.Cols; j++ {
+				t1 := h.At(i, j)
+				t2 := h.At(i+1, j)
+				h.Set(i, j, complex(c, 0)*t1+s*t2)
+				h.Set(i+1, j, -cmplx.Conj(s)*t1+complex(c, 0)*t2)
+			}
+		}
+		for i := l; i < m; i++ {
+			c, s := cs[i], sn[i]
+			// Apply the adjoint rotation to columns i, i+1 over rows 0..i+1.
+			top := i + 2
+			if top > h.Rows {
+				top = h.Rows
+			}
+			for r := 0; r < top; r++ {
+				t1 := h.At(r, i)
+				t2 := h.At(r, i+1)
+				h.Set(r, i, complex(c, 0)*t1+cmplx.Conj(s)*t2)
+				h.Set(r, i+1, -s*t1+complex(c, 0)*t2)
+			}
+			if z != nil {
+				for r := 0; r < z.Rows; r++ {
+					t1 := z.At(r, i)
+					t2 := z.At(r, i+1)
+					z.Set(r, i, complex(c, 0)*t1+cmplx.Conj(s)*t2)
+					z.Set(r, i+1, -s*t1+complex(c, 0)*t2)
+				}
+			}
+		}
+		for i := l; i <= m; i++ {
+			h.Set(i, i, h.At(i, i)+mu)
+		}
+	}
+	// Clean the strictly-lower part, which holds converged rotations' noise.
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			h.Set(i, j, 0)
+		}
+	}
+	return nil
+}
+
+// triangularEigenvectors back-substitutes on the upper triangular Schur
+// factor t to obtain its eigenvectors, then rotates them back with z.
+func triangularEigenvectors(t, z *Matrix) *Matrix {
+	n := t.Rows
+	small := machEps * (1 + t.FrobeniusNorm())
+	vecs := New(n, n)
+	x := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		lambda := t.At(j, j)
+		for i := range x {
+			x[i] = 0
+		}
+		x[j] = 1
+		for i := j - 1; i >= 0; i-- {
+			var s complex128
+			for k := i + 1; k <= j; k++ {
+				s += t.At(i, k) * x[k]
+			}
+			den := t.At(i, i) - lambda
+			if cmplx.Abs(den) < small {
+				// Perturb repeated eigenvalues just enough to keep the
+				// back-substitution bounded (LAPACK ztrevc convention).
+				den = complex(small, 0)
+			}
+			x[i] = -s / den
+		}
+		// v = Z·x, normalized.
+		var norm float64
+		for i := 0; i < n; i++ {
+			var s complex128
+			for k := 0; k <= j; k++ {
+				s += z.At(i, k) * x[k]
+			}
+			vecs.Set(i, j, s)
+			norm += real(s)*real(s) + imag(s)*imag(s)
+		}
+		norm = math.Sqrt(norm)
+		if norm > 0 {
+			inv := complex(1/norm, 0)
+			for i := 0; i < n; i++ {
+				vecs.Set(i, j, vecs.At(i, j)*inv)
+			}
+		}
+	}
+	perf.AddFlops(4 * int64(n) * int64(n) * int64(n))
+	return vecs
+}

@@ -1,0 +1,244 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"repro/internal/perf"
+)
+
+// EigenH holds the spectral decomposition of a Hermitian matrix:
+// A = V·diag(Values)·V†, with Values ascending and V unitary
+// (eigenvectors in columns).
+type EigenH struct {
+	Values  []float64
+	Vectors *Matrix
+}
+
+// maxQLIterations bounds the implicit-QL sweeps per eigenvalue.
+const maxQLIterations = 64
+
+// EigH computes all eigenvalues and eigenvectors of the Hermitian matrix a.
+// Only the lower triangle is referenced; the input is not modified.
+// The algorithm is Householder reduction to real symmetric tridiagonal form
+// followed by the implicit-shift QL iteration, accumulating the complex
+// unitary transformation throughout.
+func EigH(a *Matrix) (*EigenH, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: EigH requires a square matrix")
+	}
+	n := a.Rows
+	if n == 0 {
+		return &EigenH{Values: nil, Vectors: New(0, 0)}, nil
+	}
+	w := a.Clone() // working copy, reduced in place
+	q := Identity(n)
+
+	// Householder reduction to Hermitian tridiagonal form.
+	v := make([]complex128, n)
+	hv := make([]complex128, n)
+	for k := 0; k < n-2; k++ {
+		// Vector to eliminate: w[k+1:n, k].
+		var norm float64
+		for i := k + 1; i < n; i++ {
+			norm += real(w.At(i, k))*real(w.At(i, k)) + imag(w.At(i, k))*imag(w.At(i, k))
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		x0 := w.At(k+1, k)
+		var alpha complex128
+		if x0 == 0 {
+			alpha = complex(-norm, 0)
+		} else {
+			alpha = -x0 / complex(cmplx.Abs(x0), 0) * complex(norm, 0)
+		}
+		// v = x − alpha·e1, normalized.
+		var vnorm float64
+		for i := k + 1; i < n; i++ {
+			vi := w.At(i, k)
+			if i == k+1 {
+				vi -= alpha
+			}
+			v[i] = vi
+			vnorm += real(vi)*real(vi) + imag(vi)*imag(vi)
+		}
+		vnorm = math.Sqrt(vnorm)
+		if vnorm == 0 {
+			continue
+		}
+		for i := k + 1; i < n; i++ {
+			v[i] /= complex(vnorm, 0)
+		}
+		// Two-sided update on the trailing block, rows/cols k..n-1:
+		// H = I − 2vv†;  w ← H·w·H = w − 2vw† − 2wv† + 4(v†w)vv†
+		// where wv = w·v restricted to the active block.
+		for i := k; i < n; i++ {
+			var s complex128
+			for j := k + 1; j < n; j++ {
+				s += w.At(i, j) * v[j]
+			}
+			hv[i] = s
+		}
+		var c complex128 // v†·(w·v)
+		for i := k + 1; i < n; i++ {
+			c += cmplx.Conj(v[i]) * hv[i]
+		}
+		for i := k; i < n; i++ {
+			vi := complex128(0)
+			if i > k {
+				vi = v[i]
+			}
+			for j := k; j < n; j++ {
+				vj := complex128(0)
+				if j > k {
+					vj = v[j]
+				}
+				d := -2*vi*cmplx.Conj(hv[j]) - 2*hv[i]*cmplx.Conj(vj) + 4*c*vi*cmplx.Conj(vj)
+				w.Set(i, j, w.At(i, j)+d)
+			}
+		}
+		// Accumulate Q ← Q·H = Q − 2(Q·v)v†.
+		for i := 0; i < n; i++ {
+			var s complex128
+			for j := k + 1; j < n; j++ {
+				s += q.At(i, j) * v[j]
+			}
+			for j := k + 1; j < n; j++ {
+				q.Set(i, j, q.At(i, j)-2*s*cmplx.Conj(v[j]))
+			}
+		}
+	}
+	perf.AddFlops(16 * int64(n) * int64(n) * int64(n) / 3) // reduction + accumulation, leading order
+
+	// Extract the tridiagonal and phase-rotate it real.
+	d := make([]float64, n)
+	e := make([]float64, n)
+	phase := make([]complex128, n)
+	phase[0] = 1
+	for i := 0; i < n; i++ {
+		d[i] = real(w.At(i, i))
+	}
+	for i := 0; i < n-1; i++ {
+		t := w.At(i+1, i)
+		at := cmplx.Abs(t)
+		e[i] = at
+		if at > 0 {
+			phase[i+1] = phase[i] * t / complex(at, 0)
+		} else {
+			phase[i+1] = phase[i]
+		}
+	}
+	for j := 0; j < n; j++ {
+		if phase[j] == 1 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			q.Set(i, j, q.At(i, j)*phase[j])
+		}
+	}
+
+	if err := tql2(d, e, q); err != nil {
+		return nil, err
+	}
+	perf.AddFlops(6 * int64(n) * int64(n) * int64(n)) // QL vector accumulation, leading order
+
+	// Sort ascending, permuting eigenvector columns to match.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return d[idx[a]] < d[idx[b]] })
+	vals := make([]float64, n)
+	vecs := New(n, n)
+	for j, p := range idx {
+		vals[j] = d[p]
+		for i := 0; i < n; i++ {
+			vecs.Set(i, j, q.At(i, p))
+		}
+	}
+	return &EigenH{Values: vals, Vectors: vecs}, nil
+}
+
+// EigHValues computes only the eigenvalues of the Hermitian matrix a.
+func EigHValues(a *Matrix) ([]float64, error) {
+	eig, err := EigH(a)
+	if err != nil {
+		return nil, err
+	}
+	return eig.Values, nil
+}
+
+// tql2 runs the implicit-shift QL iteration on the real symmetric
+// tridiagonal matrix (diagonal d, subdiagonal e with e[i] coupling i and
+// i+1), applying every plane rotation to the columns of z.
+func tql2(d, e []float64, z *Matrix) error {
+	n := len(d)
+	if n <= 1 {
+		return nil
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			// Look for a negligible subdiagonal element to split at.
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= machEps*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > maxQLIterations {
+				return errors.New("linalg: QL iteration failed to converge")
+			}
+			// Wilkinson shift from the leading 2×2.
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				// Rotate eigenvector columns i and i+1.
+				for k := 0; k < n; k++ {
+					fk := z.At(k, i+1)
+					z.Set(k, i+1, complex(s, 0)*z.At(k, i)+complex(c, 0)*fk)
+					z.Set(k, i, complex(c, 0)*z.At(k, i)-complex(s, 0)*fk)
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}
+
+// machEps is the double-precision unit roundoff used by convergence tests.
+const machEps = 2.220446049250313e-16

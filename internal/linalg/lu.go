@@ -1,0 +1,164 @@
+package linalg
+
+import (
+	"errors"
+	"math/cmplx"
+
+	"repro/internal/perf"
+)
+
+// ErrSingular is returned when a factorization encounters an exactly zero
+// pivot, i.e. the matrix is singular to working precision.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// LU holds an LU factorization with partial (row) pivoting: P·A = L·U.
+// L is unit lower triangular and U upper triangular, packed together in lu.
+type LU struct {
+	lu   *Matrix
+	piv  []int // piv[k] is the row swapped with row k at step k
+	sign int   // parity of the permutation, for determinants
+}
+
+// Factor computes the LU factorization of the square matrix a.
+// The input is not modified.
+func Factor(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: Factor requires a square matrix")
+	}
+	n := a.Rows
+	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1}
+	lu := f.lu.Data
+	for k := 0; k < n; k++ {
+		// Partial pivoting: pick the largest-modulus entry in column k.
+		p, maxAbs := k, cmplx.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := cmplx.Abs(lu[i*n+k]); a > maxAbs {
+				p, maxAbs = i, a
+			}
+		}
+		f.piv[k] = p
+		if maxAbs == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rowK := lu[k*n : (k+1)*n]
+			rowP := lu[p*n : (p+1)*n]
+			for j := range rowK {
+				rowK[j], rowP[j] = rowP[j], rowK[j]
+			}
+			f.sign = -f.sign
+		}
+		pivInv := 1 / lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] * pivInv
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			rowI := lu[i*n+k+1 : (i+1)*n]
+			rowK := lu[k*n+k+1 : (k+1)*n]
+			for j := range rowK {
+				rowI[j] -= m * rowK[j]
+			}
+		}
+	}
+	perf.AddFlops(perf.LUFlops(n))
+	return f, nil
+}
+
+// N returns the order of the factorized matrix.
+func (f *LU) N() int { return f.lu.Rows }
+
+// Solve returns X solving A·X = B for a block right-hand side B.
+// B is not modified.
+func (f *LU) Solve(b *Matrix) *Matrix {
+	x := b.Clone()
+	f.SolveInPlace(x)
+	return x
+}
+
+// SolveInPlace overwrites b with the solution of A·X = B.
+func (f *LU) SolveInPlace(b *Matrix) {
+	n := f.lu.Rows
+	if b.Rows != n {
+		panic("linalg: RHS row count mismatch in Solve")
+	}
+	nrhs := b.Cols
+	lu := f.lu.Data
+	// Apply the row permutation to b.
+	for k := 0; k < n; k++ {
+		if p := f.piv[k]; p != k {
+			rowK := b.Data[k*nrhs : (k+1)*nrhs]
+			rowP := b.Data[p*nrhs : (p+1)*nrhs]
+			for j := range rowK {
+				rowK[j], rowP[j] = rowP[j], rowK[j]
+			}
+		}
+	}
+	// Forward substitution with unit lower triangular L.
+	for k := 0; k < n; k++ {
+		rowK := b.Data[k*nrhs : (k+1)*nrhs]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k]
+			if m == 0 {
+				continue
+			}
+			rowI := b.Data[i*nrhs : (i+1)*nrhs]
+			for j := range rowK {
+				rowI[j] -= m * rowK[j]
+			}
+		}
+	}
+	// Back substitution with U.
+	for k := n - 1; k >= 0; k-- {
+		rowK := b.Data[k*nrhs : (k+1)*nrhs]
+		dInv := 1 / lu[k*n+k]
+		for j := range rowK {
+			rowK[j] *= dInv
+		}
+		for i := 0; i < k; i++ {
+			m := lu[i*n+k]
+			if m == 0 {
+				continue
+			}
+			rowI := b.Data[i*nrhs : (i+1)*nrhs]
+			for j := range rowK {
+				rowI[j] -= m * rowK[j]
+			}
+		}
+	}
+	perf.AddFlops(perf.SolveFlops(n, nrhs))
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() complex128 {
+	d := complex(float64(f.sign), 0)
+	n := f.lu.Rows
+	for i := 0; i < n; i++ {
+		d *= f.lu.Data[i*n+i]
+	}
+	return d
+}
+
+// Inverse returns A⁻¹ computed from the factorization.
+func (f *LU) Inverse() *Matrix {
+	return f.Solve(Identity(f.lu.Rows))
+}
+
+// Solve is a convenience wrapper: factorize a and solve A·X = B.
+func Solve(a, b *Matrix) (*Matrix, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Inverse is a convenience wrapper returning a⁻¹.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Inverse(), nil
+}

@@ -1,0 +1,127 @@
+package linalg
+
+import (
+	"errors"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestLUSolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{1, 2, 5, 17, 40} {
+		a := randMatrix(rng, n, n)
+		// Diagonal boost keeps the random systems comfortably non-singular.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+complex(float64(n), 0))
+		}
+		b := randMatrix(rng, n, 3)
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("n=%d: Solve failed: %v", n, err)
+		}
+		res := a.Mul(x).Sub(b)
+		if res.MaxAbs() > 1e-10 {
+			t.Fatalf("n=%d: residual %g too large", n, res.MaxAbs())
+		}
+	}
+}
+
+func TestLUInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 12
+	a := randMatrix(rng, n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+10)
+	}
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(inv).Equal(Identity(n), 1e-10) {
+		t.Fatal("A·A⁻¹ != I")
+	}
+	if !inv.Mul(a).Equal(Identity(n), 1e-10) {
+		t.Fatal("A⁻¹·A != I")
+	}
+}
+
+func TestLUDeterminant(t *testing.T) {
+	// Known 2×2 determinant.
+	a := FromRows([][]complex128{{1, 2}, {3, 4}})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(f.Det()-(-2)) > 1e-13 {
+		t.Fatalf("det = %v, want -2", f.Det())
+	}
+	// Determinant of the identity is 1 regardless of pivoting.
+	f2, _ := Factor(Identity(5))
+	if cmplx.Abs(f2.Det()-1) > 1e-14 {
+		t.Fatalf("det(I) = %v", f2.Det())
+	}
+	// det is multiplicative on a random pair.
+	rng := rand.New(rand.NewSource(12))
+	x := randMatrix(rng, 6, 6)
+	y := randMatrix(rng, 6, 6)
+	fx, _ := Factor(x)
+	fy, _ := Factor(y)
+	fxy, _ := Factor(x.Mul(y))
+	if cmplx.Abs(fxy.Det()-fx.Det()*fy.Det()) > 1e-8*(1+cmplx.Abs(fxy.Det())) {
+		t.Fatal("det(XY) != det(X)det(Y)")
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {2, 4}})
+	if _, err := Factor(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Factor of singular matrix returned %v, want ErrSingular", err)
+	}
+	if _, err := Factor(New(3, 3)); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Factor of zero matrix returned %v", err)
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := Factor(New(2, 3)); err == nil {
+		t.Fatal("Factor accepted a non-square matrix")
+	}
+}
+
+func TestLUPivotingStability(t *testing.T) {
+	// Without pivoting this system loses all accuracy: tiny leading pivot.
+	a := FromRows([][]complex128{{1e-20, 1}, {1, 1}})
+	b := FromRows([][]complex128{{1}, {2}})
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := a.Mul(x).Sub(b)
+	if res.MaxAbs() > 1e-12 {
+		t.Fatalf("pivoted solve residual %g", res.MaxAbs())
+	}
+}
+
+func TestLUSolveManyRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 15
+	a := randMatrix(rng, n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+8)
+	}
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solving column-by-column must agree with the block solve.
+	b := randMatrix(rng, n, 7)
+	block := f.Solve(b)
+	for j := 0; j < 7; j++ {
+		col := b.Submatrix(0, j, n, 1)
+		xj := f.Solve(col)
+		if !xj.Equal(block.Submatrix(0, j, n, 1), 1e-11) {
+			t.Fatalf("column %d of block solve disagrees with single solve", j)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package negf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/linalg"
+	"repro/internal/tb"
+)
+
+// chainSolver builds an NEGF solver for a uniform single-band chain with
+// optional per-site potential.
+func chainSolver(t *testing.T, nSites int, eps0, hop float64, pot []float64, eta float64) *Solver {
+	t.Helper()
+	s, err := lattice.NewLinearChain(0.5, nSites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := tb.SingleBandChain(eps0, hop)
+	h, err := tb.Assemble(s, mat, tb.Options{Potential: pot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := NewSolver(h, eta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+// TestSurfaceGFAnalyticChain compares the decimated self-energy of a
+// semi-infinite single-band chain with the textbook closed form
+// Σ(E) = (E/2) − i·√(t² − E²/4) inside the band (for ε₀ = 0).
+func TestSurfaceGFAnalyticChain(t *testing.T) {
+	const hop = -1.0
+	sol := chainSolver(t, 4, 0, hop, nil, 1e-6)
+	for _, e := range []float64{-1.5, -0.7, 0.0, 0.4, 1.2, 1.9} {
+		sigL, sigR, err := sol.Leads.SelfEnergies(complex(e, 1e-6))
+		if err != nil {
+			t.Fatalf("E=%g: %v", e, err)
+		}
+		wantRe := e / 2
+		wantIm := -math.Sqrt(hop*hop - e*e/4)
+		for name, sig := range map[string]*linalg.Matrix{"L": sigL, "R": sigR} {
+			got := sig.At(0, 0)
+			if math.Abs(real(got)-wantRe) > 5e-4 || math.Abs(imag(got)-wantIm) > 5e-4 {
+				t.Fatalf("Σ_%s(%g) = %v, want (%g, %g)", name, e, got, wantRe, wantIm)
+			}
+		}
+	}
+}
+
+func TestSurfaceGFOutsideBand(t *testing.T) {
+	// Outside the band the self-energy must be (almost) purely real:
+	// no states to decay into.
+	sol := chainSolver(t, 4, 0, -1, nil, 1e-6)
+	sigL, _, err := sol.Leads.SelfEnergies(complex(3.0, 1e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(imag(sigL.At(0, 0))) > 1e-5 {
+		t.Fatalf("Σ_L outside band has Im = %g", imag(sigL.At(0, 0)))
+	}
+}
+
+func TestSurfaceGFValidation(t *testing.T) {
+	id := linalg.Identity(2)
+	if _, err := SurfaceGF(id, linalg.New(3, 3), complex(0, 1e-6)); err == nil {
+		t.Fatal("accepted mismatched lead blocks")
+	}
+	if _, err := SurfaceGF(id, id, complex(0, -1e-6)); err == nil {
+		t.Fatal("accepted non-positive broadening")
+	}
+}
+
+// TestChainTransmissionPerfect checks the hallmark ballistic result: a
+// uniform chain transmits exactly one mode inside the band and nothing
+// outside.
+func TestChainTransmissionPerfect(t *testing.T) {
+	const eps0, hop = 0.2, -1.0
+	sol := chainSolver(t, 8, eps0, hop, nil, 1e-6)
+	for _, e := range []float64{eps0 - 1.9, eps0 - 1.0, eps0, eps0 + 0.5, eps0 + 1.9} {
+		T, err := sol.Transmission(e)
+		if err != nil {
+			t.Fatalf("E=%g: %v", e, err)
+		}
+		if math.Abs(T-1) > 1e-4 {
+			t.Fatalf("in-band T(%g) = %g, want 1", e, T)
+		}
+	}
+	for _, e := range []float64{eps0 - 2.5, eps0 + 2.5, eps0 + 4} {
+		T, err := sol.Transmission(e)
+		if err != nil {
+			t.Fatalf("E=%g: %v", e, err)
+		}
+		if T > 1e-5 {
+			t.Fatalf("out-of-band T(%g) = %g, want ~0", e, T)
+		}
+	}
+}
+
+// TestChainBarrierAgainstAnalytic compares the transmission through a
+// single-site barrier with the exact discrete-lattice formula
+// T = 1 / (1 + (V/(2·t·sin ka))²) for a delta barrier of height V.
+func TestChainBarrierAgainstAnalytic(t *testing.T) {
+	const hop, v0 = -1.0, 0.6
+	n := 9
+	pot := make([]float64, n)
+	pot[n/2] = v0
+	sol := chainSolver(t, n, 0, hop, pot, 1e-6)
+	for _, e := range []float64{-1.2, -0.5, 0.3, 1.0} {
+		// Dispersion E = 2t·cos(ka) → sin(ka) = √(1 − (E/2t)²).
+		sinka := math.Sqrt(1 - e*e/(4*hop*hop))
+		want := 1 / (1 + math.Pow(v0/(2*math.Abs(hop)*sinka), 2))
+		T, err := sol.Transmission(e)
+		if err != nil {
+			t.Fatalf("E=%g: %v", e, err)
+		}
+		if math.Abs(T-want) > 1e-4 {
+			t.Fatalf("delta-barrier T(%g) = %g, want %g", e, T, want)
+		}
+	}
+}
+
+// TestRGFMatchesDenseReference cross-validates the recursive algorithm
+// against brute-force inversion on a disordered multi-orbital device.
+func TestRGFMatchesDenseReference(t *testing.T) {
+	s, err := lattice.NewZincblendeNanowire(0.5431, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A non-trivial potential profile to break uniformity in the interior.
+	pot := make([]float64, s.NAtoms())
+	for i, a := range s.Atoms {
+		switch a.Layer {
+		case 1:
+			pot[i] = 0.15
+		case 2:
+			pot[i] = 0.25
+		}
+	}
+	h, err := tb.Assemble(s, tb.SiliconSP3S(), tb.Options{PassivationShift: 10, Potential: pot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := NewSolver(h, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []float64{1.0, 1.6, 2.2} {
+		rgf, err := sol.Solve(e, false)
+		if err != nil {
+			t.Fatalf("E=%g: %v", e, err)
+		}
+		dense, err := sol.DenseReference(e)
+		if err != nil {
+			t.Fatalf("E=%g: %v", e, err)
+		}
+		if math.Abs(rgf.T-dense.T) > 1e-8*(1+dense.T) {
+			t.Fatalf("E=%g: RGF T=%g, dense T=%g", e, rgf.T, dense.T)
+		}
+		for i := range rgf.DOS {
+			if math.Abs(rgf.DOS[i]-dense.DOS[i]) > 1e-7*(1+math.Abs(dense.DOS[i])) {
+				t.Fatalf("E=%g: DOS[%d] RGF %g vs dense %g", e, i, rgf.DOS[i], dense.DOS[i])
+			}
+		}
+	}
+}
+
+// TestBallisticSpectralIdentity checks A = A_L + A_R: the total spectral
+// function must equal the sum of the two contact-injected parts in a
+// ballistic device (here expressed on the diagonal).
+func TestBallisticSpectralIdentity(t *testing.T) {
+	sol := chainSolver(t, 7, 0, -1, nil, 1e-6)
+	for _, e := range []float64{-1.0, 0.0, 0.8} {
+		r, err := sol.Solve(e, true)
+		if err != nil {
+			t.Fatalf("E=%g: %v", e, err)
+		}
+		for i := range r.DOS {
+			total := 2 * math.Pi * r.DOS[i] // A_ii = 2π·DOS
+			if math.Abs(total-(r.SpectralL[i]+r.SpectralR[i])) > 1e-4*(1+total) {
+				t.Fatalf("E=%g site %d: A=%g but A_L+A_R=%g",
+					e, i, total, r.SpectralL[i]+r.SpectralR[i])
+			}
+		}
+	}
+}
+
+func TestDOSNonNegative(t *testing.T) {
+	sol := chainSolver(t, 6, 0, -1, nil, 1e-6)
+	for e := -2.5; e <= 2.5; e += 0.25 {
+		r, err := sol.Solve(e, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, d := range r.DOS {
+			if d < -1e-9 {
+				t.Fatalf("negative DOS %g at site %d, E=%g", d, i, e)
+			}
+		}
+	}
+}
+
+// TestTransmissionMatchesModeCount verifies the quantized ballistic
+// conductance of a clean multi-mode device: T(E) must equal the number of
+// lead bands crossing E.
+func TestTransmissionMatchesModeCount(t *testing.T) {
+	s, err := lattice.NewArmchairGNR(5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tb.Assemble(s, tb.Graphene(), tb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h00, h01 := tb.LeadBlocks(h, false)
+	bands, err := tb.LeadBands(h00, h01, s.LayerPeriod, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := NewSolver(h, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []float64{0.5, 1.3, 2.4} {
+		modes := 0
+		// Count band crossings: for each band, count k-intervals where the
+		// band passes through e; sum over bands of crossing parity gives
+		// the number of right-movers, i.e. the mode count.
+		for n := 0; n < bands.NumBands(); n++ {
+			crossings := 0
+			for ik := 0; ik+1 < len(bands.K); ik++ {
+				e1, e2 := bands.Energies[ik][n], bands.Energies[ik+1][n]
+				if (e1-e)*(e2-e) < 0 {
+					crossings++
+				}
+			}
+			modes += crossings / 2 // each mode crosses E going up and down over the BZ
+		}
+		T, err := sol.Transmission(e)
+		if err != nil {
+			t.Fatalf("E=%g: %v", e, err)
+		}
+		if math.Abs(T-float64(modes)) > 1e-3 {
+			t.Fatalf("E=%g: T=%g but lead has %d modes", e, T, modes)
+		}
+	}
+}
+
+func TestNewSolverValidation(t *testing.T) {
+	s, _ := lattice.NewLinearChain(0.5, 3)
+	h, _ := tb.Assemble(s, tb.SingleBandChain(0, -1), tb.Options{})
+	if _, err := NewSolver(h, 0); err == nil {
+		t.Fatal("accepted zero broadening")
+	}
+	if _, err := NewSolver(h, -1); err == nil {
+		t.Fatal("accepted negative broadening")
+	}
+}
+
+// TestTransmissionReciprocity: in a two-terminal device T_LR = T_RL, which
+// with our Caroli evaluation corresponds to evaluating the trace with the
+// roles of the contacts exchanged. We verify via the dense reference using
+// the transposed arrangement: transmission of the spatially mirrored device.
+func TestTransmissionReciprocity(t *testing.T) {
+	const hop = -1.0
+	n := 8
+	pot := []float64{0, 0, 0.3, 0.7, 0.1, 0, 0, 0}
+	sol := chainSolver(t, n, 0, hop, pot, 1e-6)
+	// Mirrored potential.
+	rpot := make([]float64, n)
+	for i := range pot {
+		rpot[n-1-i] = pot[i]
+	}
+	solR := chainSolver(t, n, 0, hop, rpot, 1e-6)
+	for _, e := range []float64{-1.1, 0.2, 0.9} {
+		t1, err := sol.Transmission(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := solR.Transmission(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(t1-t2) > 1e-8 {
+			t.Fatalf("E=%g: T=%g but mirrored T=%g", e, t1, t2)
+		}
+	}
+}

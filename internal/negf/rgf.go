@@ -1,0 +1,197 @@
+package negf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/sparse"
+)
+
+// Solver runs ballistic NEGF calculations on a fixed device Hamiltonian.
+type Solver struct {
+	// H is the Hermitian device Hamiltonian in block-tridiagonal layer form.
+	H *sparse.BlockTridiag
+	// Leads are the semi-infinite contacts.
+	Leads *Leads
+	// Eta is the imaginary broadening (eV) added to the energy; it must be
+	// positive for the retarded functions to exist. Typical: 1e-6.
+	Eta float64
+	// Cache optionally memoizes the contact self-energies across solves
+	// (valid while the lead blocks stay fixed, e.g. within a
+	// self-consistent loop with pinned contacts).
+	Cache *SelfEnergyCache
+}
+
+// NewSolver builds a Solver with flat-band leads continued from the device
+// end layers.
+func NewSolver(h *sparse.BlockTridiag, eta float64) (*Solver, error) {
+	if eta <= 0 {
+		return nil, fmt.Errorf("negf: broadening must be positive, got %g", eta)
+	}
+	leads, err := LeadsFromDevice(h)
+	if err != nil {
+		return nil, err
+	}
+	return &Solver{H: h, Leads: leads, Eta: eta}, nil
+}
+
+// Result holds the single-energy output of an NEGF solve.
+type Result struct {
+	// E is the real part of the energy (eV).
+	E float64
+	// T is the transmission function from left to right contact.
+	T float64
+	// DOS is the orbital-resolved density of states −Im(diag G)/π (1/eV).
+	DOS []float64
+	// SpectralL and SpectralR are the contact-resolved spectral function
+	// diagonals [G·Γ_L·G†]_ii and [G·Γ_R·G†]_ii (populated when the solve
+	// is run with density output). Electron density follows as
+	// n_i = ∫ dE/(2π) [SpectralL·f_L + SpectralR·f_R].
+	SpectralL, SpectralR []float64
+}
+
+// Solve runs the RGF algorithm at energy e. With density=false only the
+// transmission and DOS are produced (one forward pass plus the boundary
+// column); with density=true the contact-resolved spectral diagonals are
+// also assembled.
+func (s *Solver) Solve(e float64, density bool) (*Result, error) {
+	z := complex(e, s.Eta)
+	sigL, sigR, err := s.selfEnergies(z)
+	if err != nil {
+		return nil, err
+	}
+	return s.solveWithSigma(e, z, sigL, sigR, density)
+}
+
+// selfEnergies routes through the cache when one is attached.
+func (s *Solver) selfEnergies(z complex128) (*linalg.Matrix, *linalg.Matrix, error) {
+	if s.Cache != nil {
+		return s.Cache.SelfEnergies(s.Leads, z)
+	}
+	return s.Leads.SelfEnergies(z)
+}
+
+func (s *Solver) solveWithSigma(e float64, z complex128, sigL, sigR *linalg.Matrix, density bool) (*Result, error) {
+	a := sparse.ShiftedFromHermitian(s.H, z)
+	nl := a.Layers()
+	a.AddToDiagBlock(0, sigL.Scale(-1))
+	a.AddToDiagBlock(nl-1, sigR.Scale(-1))
+	gamL := Broadening(sigL)
+	gamR := Broadening(sigR)
+
+	// Forward (left-connected) pass.
+	gLft := make([]*linalg.Matrix, nl)
+	var err error
+	gLft[0], err = linalg.Inverse(a.Diag[0])
+	if err != nil {
+		return nil, fmt.Errorf("negf: RGF forward block 0: %w", err)
+	}
+	for i := 1; i < nl; i++ {
+		m := a.Diag[i].Sub(linalg.Mul3(a.Lower[i-1], gLft[i-1], a.Upper[i-1]))
+		gLft[i], err = linalg.Inverse(m)
+		if err != nil {
+			return nil, fmt.Errorf("negf: RGF forward block %d: %w", i, err)
+		}
+	}
+
+	// Backward pass for the full diagonal G_ii and the column G_{i,N-1}.
+	gDiag := make([]*linalg.Matrix, nl)
+	gColR := make([]*linalg.Matrix, nl) // G_{i,N-1}
+	gDiag[nl-1] = gLft[nl-1]
+	gColR[nl-1] = gLft[nl-1]
+	for i := nl - 2; i >= 0; i-- {
+		gu := gLft[i].Mul(a.Upper[i])
+		gDiag[i] = gLft[i].Add(linalg.Mul3(gu, gDiag[i+1], a.Lower[i]).Mul(gLft[i]))
+		gColR[i] = gu.Mul(gColR[i+1]).Scale(-1)
+	}
+
+	res := &Result{E: e}
+
+	// Caroli transmission: T = Tr[Γ_L G_{0,N-1} Γ_R G_{0,N-1}†].
+	t := linalg.Mul3(gamL, gColR[0], gamR).Mul(gColR[0].ConjTranspose()).Trace()
+	res.T = real(t)
+
+	// Layer DOS from the retarded diagonal.
+	res.DOS = make([]float64, s.H.N())
+	off := s.H.Offsets()
+	for i := 0; i < nl; i++ {
+		d := gDiag[i].Diag()
+		for k, v := range d {
+			res.DOS[off[i]+k] = -imag(v) / math.Pi
+		}
+	}
+
+	if density {
+		// Right-connected pass for the column G_{i,0}.
+		gRgt := make([]*linalg.Matrix, nl)
+		gRgt[nl-1], err = linalg.Inverse(a.Diag[nl-1])
+		if err != nil {
+			return nil, fmt.Errorf("negf: RGF backward block %d: %w", nl-1, err)
+		}
+		for i := nl - 2; i >= 0; i-- {
+			m := a.Diag[i].Sub(linalg.Mul3(a.Upper[i], gRgt[i+1], a.Lower[i]))
+			gRgt[i], err = linalg.Inverse(m)
+			if err != nil {
+				return nil, fmt.Errorf("negf: RGF backward block %d: %w", i, err)
+			}
+		}
+		gColL := make([]*linalg.Matrix, nl) // G_{i,0}
+		gColL[0] = gDiag[0]
+		for i := 1; i < nl; i++ {
+			gColL[i] = linalg.Mul3(gRgt[i], a.Lower[i-1], gColL[i-1]).Scale(-1)
+		}
+		res.SpectralL = make([]float64, s.H.N())
+		res.SpectralR = make([]float64, s.H.N())
+		for i := 0; i < nl; i++ {
+			aL := linalg.Mul3(gColL[i], gamL, gColL[i].ConjTranspose())
+			aR := linalg.Mul3(gColR[i], gamR, gColR[i].ConjTranspose())
+			for k := 0; k < aL.Rows; k++ {
+				res.SpectralL[off[i]+k] = real(aL.At(k, k))
+				res.SpectralR[off[i]+k] = real(aR.At(k, k))
+			}
+		}
+	}
+	return res, nil
+}
+
+// Transmission is a convenience wrapper returning only T(e).
+func (s *Solver) Transmission(e float64) (float64, error) {
+	r, err := s.Solve(e, false)
+	if err != nil {
+		return 0, err
+	}
+	return r.T, nil
+}
+
+// DenseReference solves the same open system by brute force: it embeds the
+// self-energies in a dense matrix, inverts it, and applies the Caroli
+// formula. It is O(N³) in the total device size and exists to validate the
+// RGF and SplitSolve paths in tests and ablation benchmarks.
+func (s *Solver) DenseReference(e float64) (*Result, error) {
+	z := complex(e, s.Eta)
+	sigL, sigR, err := s.selfEnergies(z)
+	if err != nil {
+		return nil, err
+	}
+	a := sparse.ShiftedFromHermitian(s.H, z)
+	nl := a.Layers()
+	a.AddToDiagBlock(0, sigL.Scale(-1))
+	a.AddToDiagBlock(nl-1, sigR.Scale(-1))
+	g, err := linalg.Inverse(a.Dense())
+	if err != nil {
+		return nil, err
+	}
+	off := s.H.Offsets()
+	n0 := s.H.LayerSize(0)
+	nN := s.H.LayerSize(nl - 1)
+	g0N := g.Submatrix(0, off[nl-1], n0, nN)
+	gamL := Broadening(sigL)
+	gamR := Broadening(sigR)
+	t := linalg.Mul3(gamL, g0N, gamR).Mul(g0N.ConjTranspose()).Trace()
+	res := &Result{E: e, T: real(t), DOS: make([]float64, s.H.N())}
+	for i := 0; i < g.Rows; i++ {
+		res.DOS[i] = -imag(g.At(i, i)) / math.Pi
+	}
+	return res, nil
+}

@@ -1,0 +1,162 @@
+// Package negf implements the non-equilibrium Green's function machinery
+// for ballistic quantum transport through a two-terminal layered device:
+// Sancho-Rubio surface Green's functions of the semi-infinite contacts,
+// contact self-energies and broadening matrices, and the recursive Green's
+// function (RGF) algorithm over the block-tridiagonal device Hamiltonian,
+// yielding transmission (Caroli formula), layer-resolved density of states,
+// and the contact-resolved spectral functions that feed the charge
+// integration.
+package negf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/linalg"
+	"repro/internal/sparse"
+)
+
+// surfaceTol is the convergence threshold on the decimated coupling norm.
+const surfaceTol = 1e-12
+
+// surfaceMaxIter bounds the decimation; each iteration doubles the
+// effectively included lead depth, so 60 iterations cover 2^60 layers.
+const surfaceMaxIter = 60
+
+// ErrNoConvergence is returned when the surface Green's function decimation
+// fails to converge, which happens when the energy lies exactly on a band
+// edge with no imaginary part.
+var ErrNoConvergence = errors.New("negf: surface Green's function did not converge (add imaginary broadening)")
+
+// SurfaceGF computes the retarded surface Green's function of a
+// semi-infinite periodic lead by Sancho-Rubio decimation. h00 is the
+// principal-layer block, hInto the coupling from a lead layer to the next
+// layer deeper into the lead, and z the complex energy (Im z > 0 for the
+// retarded function).
+func SurfaceGF(h00, hInto *linalg.Matrix, z complex128) (*linalg.Matrix, error) {
+	n := h00.Rows
+	if h00.Cols != n || hInto.Rows != n || hInto.Cols != n {
+		return nil, fmt.Errorf("negf: lead blocks must be square and same-sized")
+	}
+	if imag(z) <= 0 {
+		return nil, fmt.Errorf("negf: surface GF needs Im(z) > 0, got %g", imag(z))
+	}
+	epsS := h00.Clone()
+	eps := h00.Clone()
+	alpha := hInto.Clone()
+	beta := hInto.ConjTranspose()
+	zI := linalg.Identity(n).Scale(z)
+
+	for iter := 0; iter < surfaceMaxIter; iter++ {
+		g, err := linalg.Inverse(zI.Sub(eps))
+		if err != nil {
+			return nil, fmt.Errorf("negf: decimation inversion failed: %w", err)
+		}
+		agb := linalg.Mul3(alpha, g, beta)
+		bga := linalg.Mul3(beta, g, alpha)
+		epsS.AddInPlace(agb)
+		eps.AddInPlace(agb)
+		eps.AddInPlace(bga)
+		alpha = linalg.Mul3(alpha, g, alpha)
+		beta = linalg.Mul3(beta, g, beta)
+		if alpha.MaxAbs() < surfaceTol && beta.MaxAbs() < surfaceTol {
+			return linalg.Inverse(zI.Sub(epsS))
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+// Leads bundles the two semi-infinite contacts of a device. L01 and R01
+// are oriented along +x: L01 couples a left-lead layer to the next layer
+// toward the device; R01 couples a right-lead layer to the next layer away
+// from the device.
+type Leads struct {
+	L00, L01 *linalg.Matrix
+	R00, R01 *linalg.Matrix
+}
+
+// LeadsFromDevice derives flat-band contacts from the end layers of a
+// uniform device Hamiltonian: each lead is the semi-infinite continuation
+// of the corresponding end layer.
+func LeadsFromDevice(h *sparse.BlockTridiag) (*Leads, error) {
+	if h.Layers() < 2 {
+		return nil, fmt.Errorf("negf: device needs at least 2 layers to define leads")
+	}
+	nl := h.Layers()
+	return &Leads{
+		L00: h.Diag[0].Clone(),
+		L01: h.Upper[0].Clone(),
+		R00: h.Diag[nl-1].Clone(),
+		R01: h.Upper[nl-2].Clone(),
+	}, nil
+}
+
+// SelfEnergies computes the retarded contact self-energies at complex
+// energy z, projected onto the first and last device layers:
+// Σ_L = L01†·g_L·L01 with g_L the left surface GF, and
+// Σ_R = R01·g_R·R01† with g_R the right surface GF.
+func (l *Leads) SelfEnergies(z complex128) (sigL, sigR *linalg.Matrix, err error) {
+	// Left lead grows toward −x: coupling into the bulk is L01†.
+	gL, err := SurfaceGF(l.L00, l.L01.ConjTranspose(), z)
+	if err != nil {
+		return nil, nil, fmt.Errorf("negf: left lead: %w", err)
+	}
+	// Right lead grows toward +x: coupling into the bulk is R01.
+	gR, err := SurfaceGF(l.R00, l.R01, z)
+	if err != nil {
+		return nil, nil, fmt.Errorf("negf: right lead: %w", err)
+	}
+	sigL = linalg.Mul3(l.L01.ConjTranspose(), gL, l.L01)
+	sigR = linalg.Mul3(l.R01, gR, l.R01.ConjTranspose())
+	return sigL, sigR, nil
+}
+
+// Broadening returns Γ = i(Σ − Σ†), the contact broadening matrix.
+func Broadening(sigma *linalg.Matrix) *linalg.Matrix {
+	g := sigma.Sub(sigma.ConjTranspose())
+	g.ScaleInPlace(complex(0, 1))
+	return g
+}
+
+// SelfEnergyCache memoizes contact self-energies by complex energy. The
+// expensive Sancho-Rubio decimation depends only on the lead blocks, which
+// stay fixed through a self-consistent loop (the contacts are flat-band
+// and pinned), so production drivers share one cache across all
+// iterations of a bias point. Safe for concurrent use.
+type SelfEnergyCache struct {
+	mu sync.Mutex
+	m  map[complex128][2]*linalg.Matrix
+}
+
+// NewSelfEnergyCache returns an empty cache.
+func NewSelfEnergyCache() *SelfEnergyCache {
+	return &SelfEnergyCache{m: make(map[complex128][2]*linalg.Matrix)}
+}
+
+// SelfEnergies returns cached Σ_L, Σ_R for energy z, computing and storing
+// them through leads on a miss. The returned matrices are shared — callers
+// must not modify them.
+func (c *SelfEnergyCache) SelfEnergies(leads *Leads, z complex128) (sigL, sigR *linalg.Matrix, err error) {
+	c.mu.Lock()
+	if pair, ok := c.m[z]; ok {
+		c.mu.Unlock()
+		return pair[0], pair[1], nil
+	}
+	c.mu.Unlock()
+	sigL, sigR, err = leads.SelfEnergies(z)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	c.m[z] = [2]*linalg.Matrix{sigL, sigR}
+	c.mu.Unlock()
+	return sigL, sigR, nil
+}
+
+// Len reports the number of cached energies.
+func (c *SelfEnergyCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

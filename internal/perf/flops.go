@@ -1,0 +1,59 @@
+// Package perf provides performance accounting shared by the numerical
+// kernels: a global floating-point operation counter, phase timers, and
+// formatting helpers used by the benchmark harness.
+//
+// The flop counter is the foundation of the repository's performance model:
+// every dense/sparse kernel in internal/linalg and internal/sparse reports
+// the exact number of real floating-point operations it executed. The
+// simulated cluster (internal/cluster) maps these counts onto a machine
+// model to reproduce the paper's sustained-Flop/s figures.
+package perf
+
+import "sync/atomic"
+
+// flopCount is the global operation counter. It is updated atomically so
+// that concurrent kernels (worker pools in the transport integrators) can
+// report without synchronization bugs.
+var flopCount atomic.Int64
+
+// AddFlops adds n real floating-point operations to the global counter.
+// Kernels count a complex multiply-add as 8 real flops (4 mul + 4 add),
+// a complex add as 2, a complex multiply as 6, and a complex divide as 11
+// (following the LINPACK/LAPACK convention).
+func AddFlops(n int64) { flopCount.Add(n) }
+
+// Flops returns the current value of the global flop counter.
+func Flops() int64 { return flopCount.Load() }
+
+// ResetFlops zeroes the global flop counter and returns the previous value.
+func ResetFlops() int64 { return flopCount.Swap(0) }
+
+// Complex-arithmetic flop-cost constants used by the kernels.
+const (
+	// FlopsCMulAdd is the cost of one fused complex multiply-accumulate.
+	FlopsCMulAdd = 8
+	// FlopsCMul is the cost of one complex multiplication.
+	FlopsCMul = 6
+	// FlopsCAdd is the cost of one complex addition or subtraction.
+	FlopsCAdd = 2
+	// FlopsCDiv is the cost of one complex division (Smith's algorithm).
+	FlopsCDiv = 11
+)
+
+// LUFlops returns the flop count of an n×n complex LU factorization,
+// (8/3)n³ to leading order.
+func LUFlops(n int) int64 {
+	nn := int64(n)
+	return 8 * nn * nn * nn / 3
+}
+
+// GemmFlops returns the flop count of an (m×k)·(k×n) complex matrix product.
+func GemmFlops(m, k, n int) int64 {
+	return int64(FlopsCMulAdd) * int64(m) * int64(k) * int64(n)
+}
+
+// SolveFlops returns the flop count of triangular solves with an already
+// factorized n×n system and nrhs right-hand sides: 8n²·nrhs.
+func SolveFlops(n, nrhs int) int64 {
+	return 8 * int64(n) * int64(n) * int64(nrhs)
+}

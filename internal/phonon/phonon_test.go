@@ -1,0 +1,198 @@
+package phonon
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/sparse"
+)
+
+func chainMatrix(t *testing.T, n int, alpha, beta, mass float64) (*sparse.BlockTridiag, float64) {
+	t.Helper()
+	s, err := lattice.NewLinearChain(0.25, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Model{Alpha: alpha, Beta: beta, Mass: []float64{mass}}
+	d, err := DynamicalMatrix(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, s.LayerPeriod
+}
+
+func TestModelValidation(t *testing.T) {
+	s, _ := lattice.NewLinearChain(0.25, 4)
+	if _, err := DynamicalMatrix(s, Model{Alpha: -1, Beta: 1, Mass: []float64{1}}); err == nil {
+		t.Fatal("accepted negative alpha")
+	}
+	if _, err := DynamicalMatrix(s, Model{Alpha: 1, Beta: 0, Mass: nil}); err == nil {
+		t.Fatal("accepted missing masses")
+	}
+	if _, err := DynamicalMatrix(s, Model{Alpha: 1, Beta: 0, Mass: []float64{0}}); err == nil {
+		t.Fatal("accepted zero mass")
+	}
+}
+
+// TestChainDispersionAnalytic: the monoatomic chain's longitudinal branch
+// is ω(q) = 2·√(α/m)·|sin(qa/2)| and the transverse pair replaces α by β.
+func TestChainDispersionAnalytic(t *testing.T) {
+	const alpha, beta, mass = 40.0, 10.0, 28.0
+	d, period := chainMatrix(t, 6, alpha, beta, mass)
+	disp, err := Bands(d, period, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iq, q := range disp.Q {
+		s := math.Abs(math.Sin(q * period / 2))
+		wantT := 2 * math.Sqrt(beta/mass) * s
+		wantL := 2 * math.Sqrt(alpha/mass) * s
+		got := disp.Omega[iq]
+		// Branches ascend: two degenerate transverse, then longitudinal.
+		// ω = √(ω²) amplifies eigenvalue roundoff near Γ, hence 1e-7.
+		if math.Abs(got[0]-wantT) > 1e-7 || math.Abs(got[1]-wantT) > 1e-7 {
+			t.Fatalf("q=%g: transverse ω = %v, want %g", q, got[:2], wantT)
+		}
+		if math.Abs(got[2]-wantL) > 1e-7 {
+			t.Fatalf("q=%g: longitudinal ω = %g, want %g", q, got[2], wantL)
+		}
+	}
+}
+
+// TestAcousticSumRule: at q = 0 all branches must be gapless — rigid
+// translations cost no energy.
+func TestAcousticSumRule(t *testing.T) {
+	d, period := chainMatrix(t, 5, 40, 10, 28)
+	// An even grid starting at −π/a contains q = 0: with nq = 2 the grid
+	// is exactly {−π/a, 0}.
+	disp, err := Bands(d, period, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := disp.Omega[1]
+	for b, w := range g {
+		if w > 1e-7 {
+			t.Fatalf("acoustic branch %d has ω(0) = %g, want 0", b, w)
+		}
+	}
+}
+
+// TestChainTransmissionSteps: a clean chain transmits all three acoustic
+// branches — T = 3 below the transverse band top, T = 1 between the
+// transverse and longitudinal tops, T = 0 above.
+func TestChainTransmissionSteps(t *testing.T) {
+	const alpha, beta, mass = 40.0, 10.0, 28.0
+	d, _ := chainMatrix(t, 8, alpha, beta, mass)
+	wT := 2 * math.Sqrt(beta/mass)
+	wL := 2 * math.Sqrt(alpha/mass)
+	cases := []struct {
+		omega float64
+		want  float64
+	}{
+		{0.5 * wT, 3},
+		{0.9 * wT, 3},
+		{0.5 * (wT + wL), 1},
+		{0.95 * wL, 1},
+		{1.1 * wL, 0},
+	}
+	for _, tc := range cases {
+		got, err := Transmission(d, tc.omega)
+		if err != nil {
+			t.Fatalf("ω=%g: %v", tc.omega, err)
+		}
+		if math.Abs(got-tc.want) > 1e-3 {
+			t.Fatalf("ω=%g: T=%g, want %g", tc.omega, got, tc.want)
+		}
+	}
+}
+
+// TestThermalConductanceQuantum: at low temperature every acoustic branch
+// contributes exactly one universal quantum κ₀ = π²k_B²T/3h — the
+// canonical validation of ballistic phonon transport.
+func TestThermalConductanceQuantum(t *testing.T) {
+	d, _ := chainMatrix(t, 6, 40, 10, 28)
+	const temp = 2.0 // K: kT ≪ all band widths
+	// Frequency grid covering the thermally active window generously.
+	omegas := make([]float64, 600)
+	for i := range omegas {
+		omegas[i] = 0.25 * float64(i) / float64(len(omegas)-1)
+	}
+	kappa, err := ThermalConductance(d, omegas, temp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * ConductanceQuantumThermal(temp)
+	if math.Abs(kappa-want)/want > 0.02 {
+		t.Fatalf("κ(2K) = %g W/K, want 3·κ₀ = %g W/K", kappa, want)
+	}
+}
+
+func TestThermalConductanceMonotoneInT(t *testing.T) {
+	d, _ := chainMatrix(t, 6, 40, 10, 28)
+	omegas := make([]float64, 400)
+	for i := range omegas {
+		omegas[i] = 3.0 * float64(i) / float64(len(omegas)-1)
+	}
+	prev := 0.0
+	for _, temp := range []float64{2, 10, 50, 150, 300} {
+		k, err := ThermalConductance(d, omegas, temp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k <= prev {
+			t.Fatalf("κ(%gK) = %g not increasing", temp, k)
+		}
+		prev = k
+	}
+}
+
+// TestSiWirePhonons: the 3-D silicon nanowire dynamical matrix is stable
+// (no imaginary frequencies), gapless at Γ, and transmits at least the
+// four acoustic branches at low frequency.
+func TestSiWirePhonons(t *testing.T) {
+	s, err := lattice.NewZincblendeNanowire(0.5431, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := SiliconVFF()
+	d, err := DynamicalMatrix(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp, err := Bands(d, s.LayerPeriod, 8)
+	if err != nil {
+		t.Fatal(err) // Bands errors on unstable modes
+	}
+	if mx := disp.MaxFrequency(); mx < 1 || mx > 8 {
+		t.Fatalf("Si wire top phonon frequency %g natural units implausible", mx)
+	}
+	// Γ point (grid index 4 of 8 starting at −π/a): three rigid
+	// translations are exactly gapless.
+	gamma := disp.Omega[4]
+	for b := 0; b < 3; b++ {
+		if gamma[b] > 1e-6 {
+			t.Fatalf("Γ acoustic branch %d has ω = %g", b, gamma[b])
+		}
+	}
+	tLow, err := Transmission(d, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tLow < 1 {
+		t.Fatalf("low-frequency phonon transmission %g < 1", tLow)
+	}
+}
+
+func TestThermalConductanceValidation(t *testing.T) {
+	d, _ := chainMatrix(t, 4, 40, 10, 28)
+	if _, err := ThermalConductance(d, []float64{0.1}, 300); err == nil {
+		t.Fatal("accepted single-point grid")
+	}
+	if _, err := ThermalConductance(d, []float64{0, 0.1}, -5); err == nil {
+		t.Fatal("accepted negative temperature")
+	}
+	if _, err := Transmission(d, -1); err == nil {
+		t.Fatal("accepted negative frequency")
+	}
+}

@@ -1,0 +1,240 @@
+// Package poisson implements the electrostatic substrate of the simulator:
+// a finite-difference Poisson solver on 1-D/2-D/3-D tensor grids with
+// Dirichlet (gate/contact) and natural Neumann boundaries, solved by
+// preconditioned conjugate gradients; a non-linear Newton solver with
+// semiclassical carrier statistics for equilibrium initial guesses and
+// pn-junction physics; and a gate-all-around 1-D device model used by the
+// self-consistent transport loop.
+package poisson
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/perf"
+	"repro/internal/units"
+)
+
+// Grid is a tensor-product finite-difference grid. Nz = 1 collapses to a
+// 2-D problem, Ny = Nz = 1 to a 1-D problem. Potentials are in volts,
+// lengths in nm, and charge densities in elementary charges per nm³.
+type Grid struct {
+	Nx, Ny, Nz int
+	Dx, Dy, Dz float64
+	// EpsR is the relative permittivity per node.
+	EpsR []float64
+	// Dirichlet marks nodes with fixed potential (gates, ohmic contacts).
+	Dirichlet []bool
+	// VFixed holds the fixed potential at Dirichlet nodes (V).
+	VFixed []float64
+}
+
+// NewGrid allocates a uniform grid with unit relative permittivity and no
+// Dirichlet nodes.
+func NewGrid(nx, ny, nz int, dx, dy, dz float64) (*Grid, error) {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("poisson: grid dimensions must be positive, got %d×%d×%d", nx, ny, nz)
+	}
+	if dx <= 0 || dy <= 0 || dz <= 0 {
+		return nil, fmt.Errorf("poisson: grid spacings must be positive")
+	}
+	n := nx * ny * nz
+	g := &Grid{
+		Nx: nx, Ny: ny, Nz: nz,
+		Dx: dx, Dy: dy, Dz: dz,
+		EpsR:      make([]float64, n),
+		Dirichlet: make([]bool, n),
+		VFixed:    make([]float64, n),
+	}
+	for i := range g.EpsR {
+		g.EpsR[i] = 1
+	}
+	return g, nil
+}
+
+// N returns the total node count.
+func (g *Grid) N() int { return g.Nx * g.Ny * g.Nz }
+
+// Index maps (ix, iy, iz) to the flat node index.
+func (g *Grid) Index(ix, iy, iz int) int { return (iz*g.Ny+iy)*g.Nx + ix }
+
+// SetDirichlet fixes the potential of node (ix, iy, iz).
+func (g *Grid) SetDirichlet(ix, iy, iz int, v float64) {
+	i := g.Index(ix, iy, iz)
+	g.Dirichlet[i] = true
+	g.VFixed[i] = v
+}
+
+// applyOperator computes y = A·v where A is the negative divergence of
+// ε∇ (SPD on the free nodes), with Dirichlet rows pinned to the identity.
+// Face permittivities are harmonic means of the adjacent nodes.
+func (g *Grid) applyOperator(v, y []float64) {
+	hx2 := 1 / (g.Dx * g.Dx)
+	hy2 := 1 / (g.Dy * g.Dy)
+	hz2 := 1 / (g.Dz * g.Dz)
+	harm := func(a, b float64) float64 { return 2 * a * b / (a + b) }
+	for iz := 0; iz < g.Nz; iz++ {
+		for iy := 0; iy < g.Ny; iy++ {
+			for ix := 0; ix < g.Nx; ix++ {
+				i := g.Index(ix, iy, iz)
+				if g.Dirichlet[i] {
+					y[i] = v[i]
+					continue
+				}
+				var diag, off float64
+				couple := func(j int, w float64) {
+					e := harm(g.EpsR[i], g.EpsR[j]) * w
+					diag += e
+					off += e * v[j]
+				}
+				if ix > 0 {
+					couple(g.Index(ix-1, iy, iz), hx2)
+				}
+				if ix < g.Nx-1 {
+					couple(g.Index(ix+1, iy, iz), hx2)
+				}
+				if iy > 0 {
+					couple(g.Index(ix, iy-1, iz), hy2)
+				}
+				if iy < g.Ny-1 {
+					couple(g.Index(ix, iy+1, iz), hy2)
+				}
+				if iz > 0 {
+					couple(g.Index(ix, iy, iz-1), hz2)
+				}
+				if iz < g.Nz-1 {
+					couple(g.Index(ix, iy, iz+1), hz2)
+				}
+				y[i] = diag*v[i] - off
+			}
+		}
+	}
+	perf.AddFlops(int64(g.N()) * 14)
+}
+
+// Solve computes the potential V (volts) satisfying
+// −∇·(ε_r ∇V) = ρ/ε₀ on free nodes with the grid's boundary conditions,
+// where rho is in e/nm³. It uses Jacobi-preconditioned conjugate
+// gradients; tol is the relative residual target (e.g. 1e-10) and maxIter
+// bounds the iterations (0 means 10·N).
+func (g *Grid) Solve(rho []float64, tol float64, maxIter int) ([]float64, error) {
+	n := g.N()
+	if len(rho) != n {
+		return nil, fmt.Errorf("poisson: charge density has %d entries for %d nodes", len(rho), n)
+	}
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	// Right-hand side: ρ/ε₀ on free nodes, pinned values on Dirichlet
+	// nodes. Dirichlet coupling contributions are folded into b by
+	// evaluating A on the pinned field.
+	b := make([]float64, n)
+	for i := range b {
+		if g.Dirichlet[i] {
+			b[i] = g.VFixed[i]
+		} else {
+			b[i] = rho[i] / units.Eps0
+		}
+	}
+	x := make([]float64, n)
+	copy(x, g.VFixed) // start from the pinned field; free nodes at 0
+	r := make([]float64, n)
+	g.applyOperator(x, r)
+	var bnorm float64
+	for i := range r {
+		r[i] = b[i] - r[i]
+		bnorm += b[i] * b[i]
+	}
+	bnorm = math.Sqrt(bnorm)
+	if bnorm == 0 {
+		return x, nil
+	}
+	// Jacobi preconditioner: diagonal of A.
+	diag := g.operatorDiagonal()
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	var rz float64
+	for i := range z {
+		z[i] = r[i] / diag[i]
+		p[i] = z[i]
+		rz += r[i] * z[i]
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		g.applyOperator(p, ap)
+		var pap float64
+		for i := range p {
+			pap += p[i] * ap[i]
+		}
+		if pap == 0 {
+			break
+		}
+		alpha := rz / pap
+		var rnorm float64
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+			rnorm += r[i] * r[i]
+		}
+		perf.AddFlops(int64(n) * 6)
+		if math.Sqrt(rnorm) <= tol*bnorm {
+			return x, nil
+		}
+		var rzNew float64
+		for i := range z {
+			z[i] = r[i] / diag[i]
+			rzNew += r[i] * z[i]
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return nil, fmt.Errorf("poisson: CG did not reach tol %g in %d iterations", tol, maxIter)
+}
+
+// operatorDiagonal returns diag(A) for the Jacobi preconditioner.
+func (g *Grid) operatorDiagonal() []float64 {
+	n := g.N()
+	d := make([]float64, n)
+	hx2 := 1 / (g.Dx * g.Dx)
+	hy2 := 1 / (g.Dy * g.Dy)
+	hz2 := 1 / (g.Dz * g.Dz)
+	harm := func(a, b float64) float64 { return 2 * a * b / (a + b) }
+	for iz := 0; iz < g.Nz; iz++ {
+		for iy := 0; iy < g.Ny; iy++ {
+			for ix := 0; ix < g.Nx; ix++ {
+				i := g.Index(ix, iy, iz)
+				if g.Dirichlet[i] {
+					d[i] = 1
+					continue
+				}
+				var diag float64
+				if ix > 0 {
+					diag += harm(g.EpsR[i], g.EpsR[g.Index(ix-1, iy, iz)]) * hx2
+				}
+				if ix < g.Nx-1 {
+					diag += harm(g.EpsR[i], g.EpsR[g.Index(ix+1, iy, iz)]) * hx2
+				}
+				if iy > 0 {
+					diag += harm(g.EpsR[i], g.EpsR[g.Index(ix, iy-1, iz)]) * hy2
+				}
+				if iy < g.Ny-1 {
+					diag += harm(g.EpsR[i], g.EpsR[g.Index(ix, iy+1, iz)]) * hy2
+				}
+				if iz > 0 {
+					diag += harm(g.EpsR[i], g.EpsR[g.Index(ix, iy, iz-1)]) * hz2
+				}
+				if iz < g.Nz-1 {
+					diag += harm(g.EpsR[i], g.EpsR[g.Index(ix, iy, iz+1)]) * hz2
+				}
+				if diag == 0 {
+					diag = 1 // isolated node (1×1×1 grid): pin to identity
+				}
+				d[i] = diag
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,207 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// BlockTridiag is a complex block-tridiagonal matrix: the matrix of a
+// device partitioned into principal layers 0..L-1 where layer i couples
+// only to layers i−1 and i+1. Blocks may be rectangular when layer sizes
+// differ.
+//
+//	⎡ D0  U0           ⎤
+//	⎢ L0  D1  U1       ⎥
+//	⎢     L1  D2  U2   ⎥
+//	⎣         L2  D3   ⎦
+//
+// Diag[i] is n_i×n_i, Upper[i] is n_i×n_{i+1}, Lower[i] is n_{i+1}×n_i.
+type BlockTridiag struct {
+	Diag  []*linalg.Matrix
+	Upper []*linalg.Matrix
+	Lower []*linalg.Matrix
+}
+
+// NewBlockTridiag validates the block shapes and wraps them. Upper and
+// Lower must have exactly one fewer block than Diag.
+func NewBlockTridiag(diag, upper, lower []*linalg.Matrix) (*BlockTridiag, error) {
+	l := len(diag)
+	if l == 0 {
+		return nil, fmt.Errorf("sparse: block-tridiagonal matrix needs at least one layer")
+	}
+	if len(upper) != l-1 || len(lower) != l-1 {
+		return nil, fmt.Errorf("sparse: got %d diagonal, %d upper, %d lower blocks; want L, L-1, L-1",
+			l, len(upper), len(lower))
+	}
+	for i, d := range diag {
+		if d.Rows != d.Cols {
+			return nil, fmt.Errorf("sparse: diagonal block %d is %dx%d, not square", i, d.Rows, d.Cols)
+		}
+	}
+	for i := 0; i < l-1; i++ {
+		ni, nj := diag[i].Rows, diag[i+1].Rows
+		if upper[i].Rows != ni || upper[i].Cols != nj {
+			return nil, fmt.Errorf("sparse: upper block %d is %dx%d, want %dx%d",
+				i, upper[i].Rows, upper[i].Cols, ni, nj)
+		}
+		if lower[i].Rows != nj || lower[i].Cols != ni {
+			return nil, fmt.Errorf("sparse: lower block %d is %dx%d, want %dx%d",
+				i, lower[i].Rows, lower[i].Cols, nj, ni)
+		}
+	}
+	return &BlockTridiag{Diag: diag, Upper: upper, Lower: lower}, nil
+}
+
+// Layers returns the number of principal layers.
+func (m *BlockTridiag) Layers() int { return len(m.Diag) }
+
+// LayerSize returns the orbital count of layer i.
+func (m *BlockTridiag) LayerSize(i int) int { return m.Diag[i].Rows }
+
+// N returns the total matrix order (sum of layer sizes).
+func (m *BlockTridiag) N() int {
+	n := 0
+	for _, d := range m.Diag {
+		n += d.Rows
+	}
+	return n
+}
+
+// Offsets returns the starting global row index of each layer plus a final
+// sentinel equal to N().
+func (m *BlockTridiag) Offsets() []int {
+	off := make([]int, m.Layers()+1)
+	for i, d := range m.Diag {
+		off[i+1] = off[i] + d.Rows
+	}
+	return off
+}
+
+// Clone returns a deep copy of m.
+func (m *BlockTridiag) Clone() *BlockTridiag {
+	c := &BlockTridiag{
+		Diag:  make([]*linalg.Matrix, len(m.Diag)),
+		Upper: make([]*linalg.Matrix, len(m.Upper)),
+		Lower: make([]*linalg.Matrix, len(m.Lower)),
+	}
+	for i, d := range m.Diag {
+		c.Diag[i] = d.Clone()
+	}
+	for i := range m.Upper {
+		c.Upper[i] = m.Upper[i].Clone()
+		c.Lower[i] = m.Lower[i].Clone()
+	}
+	return c
+}
+
+// Dense expands m into a dense matrix (for tests and small systems).
+func (m *BlockTridiag) Dense() *linalg.Matrix {
+	off := m.Offsets()
+	d := linalg.New(m.N(), m.N())
+	for i, blk := range m.Diag {
+		d.SetSubmatrix(off[i], off[i], blk)
+	}
+	for i := range m.Upper {
+		d.SetSubmatrix(off[i], off[i+1], m.Upper[i])
+		d.SetSubmatrix(off[i+1], off[i], m.Lower[i])
+	}
+	return d
+}
+
+// MulVec returns m·x for a global vector x.
+func (m *BlockTridiag) MulVec(x []complex128) []complex128 {
+	off := m.Offsets()
+	if len(x) != off[len(off)-1] {
+		panic("sparse: dimension mismatch in BlockTridiag.MulVec")
+	}
+	y := make([]complex128, len(x))
+	l := m.Layers()
+	for i := 0; i < l; i++ {
+		xi := x[off[i]:off[i+1]]
+		yi := m.Diag[i].MulVec(xi)
+		copy(y[off[i]:off[i+1]], yi)
+	}
+	for i := 0; i < l-1; i++ {
+		// Upper: layer i gains coupling to layer i+1.
+		u := m.Upper[i].MulVec(x[off[i+1]:off[i+2]])
+		for k, v := range u {
+			y[off[i]+k] += v
+		}
+		// Lower: layer i+1 gains coupling to layer i.
+		lo := m.Lower[i].MulVec(x[off[i]:off[i+1]])
+		for k, v := range lo {
+			y[off[i+1]+k] += v
+		}
+	}
+	return y
+}
+
+// IsHermitian reports whether every diagonal block is Hermitian and every
+// lower block is the adjoint of its upper partner, to within tol.
+func (m *BlockTridiag) IsHermitian(tol float64) bool {
+	for _, d := range m.Diag {
+		if !d.IsHermitian(tol) {
+			return false
+		}
+	}
+	for i := range m.Upper {
+		if !m.Lower[i].Equal(m.Upper[i].ConjTranspose(), tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// ShiftedFromHermitian builds A = z·I − H for a Hermitian block-tridiagonal
+// H, the open-boundary system matrix before self-energies are subtracted.
+func ShiftedFromHermitian(h *BlockTridiag, z complex128) *BlockTridiag {
+	a := &BlockTridiag{
+		Diag:  make([]*linalg.Matrix, len(h.Diag)),
+		Upper: make([]*linalg.Matrix, len(h.Upper)),
+		Lower: make([]*linalg.Matrix, len(h.Lower)),
+	}
+	for i, d := range h.Diag {
+		blk := d.Scale(-1)
+		for k := 0; k < blk.Rows; k++ {
+			blk.Set(k, k, blk.At(k, k)+z)
+		}
+		a.Diag[i] = blk
+	}
+	for i := range h.Upper {
+		a.Upper[i] = h.Upper[i].Scale(-1)
+		a.Lower[i] = h.Lower[i].Scale(-1)
+	}
+	return a
+}
+
+// AddToDiagBlock accumulates s into diagonal block i (used to subtract
+// contact self-energies in place).
+func (m *BlockTridiag) AddToDiagBlock(i int, s *linalg.Matrix) {
+	m.Diag[i].AddInPlace(s)
+}
+
+// CSR flattens the block-tridiagonal matrix into CSR form.
+func (m *BlockTridiag) CSR() *CSR {
+	off := m.Offsets()
+	n := m.N()
+	b := NewBuilder(n, n)
+	for i, blk := range m.Diag {
+		addDenseBlock(b, off[i], off[i], blk)
+	}
+	for i := range m.Upper {
+		addDenseBlock(b, off[i], off[i+1], m.Upper[i])
+		addDenseBlock(b, off[i+1], off[i], m.Lower[i])
+	}
+	return b.Build()
+}
+
+func addDenseBlock(b *Builder, r0, c0 int, blk *linalg.Matrix) {
+	for i := 0; i < blk.Rows; i++ {
+		for j := 0; j < blk.Cols; j++ {
+			if v := blk.At(i, j); v != 0 {
+				b.Add(r0+i, c0+j, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func randDense(rng *rand.Rand, r, c int) *linalg.Matrix {
+	m := linalg.New(r, c)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return m
+}
+
+func TestBuilderBuildAndAt(t *testing.T) {
+	b := NewBuilder(3, 3)
+	b.Add(0, 0, 1)
+	b.Add(2, 1, 2i)
+	b.Add(2, 1, 3) // duplicate accumulates
+	b.Add(1, 2, -1)
+	m := b.Build()
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", m.NNZ())
+	}
+	if m.At(0, 0) != 1 || m.At(2, 1) != 3+2i || m.At(1, 2) != -1 {
+		t.Fatal("CSR content mismatch")
+	}
+	if m.At(0, 1) != 0 {
+		t.Fatal("missing entry should read as zero")
+	}
+}
+
+func TestBuilderDropsCancelledEntries(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Add(0, 1, 5)
+	b.Add(0, 1, -5)
+	b.Add(1, 0, 0)
+	m := b.Build()
+	if m.NNZ() != 0 {
+		t.Fatalf("cancelled entries still stored: NNZ = %d", m.NNZ())
+	}
+}
+
+func TestBuilderOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Add did not panic")
+		}
+	}()
+	NewBuilder(2, 2).Add(2, 0, 1)
+}
+
+func TestCSRMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	b := NewBuilder(8, 6)
+	for k := 0; k < 20; k++ {
+		b.Add(rng.Intn(8), rng.Intn(6), complex(rng.Float64(), rng.Float64()))
+	}
+	m := b.Build()
+	d := m.Dense()
+	x := make([]complex128, 6)
+	for i := range x {
+		x[i] = complex(rng.Float64(), rng.Float64())
+	}
+	ys := m.MulVec(x)
+	yd := d.MulVec(x)
+	for i := range ys {
+		if abs2(ys[i]-yd[i]) > 1e-24 {
+			t.Fatalf("SpMV component %d: %v vs %v", i, ys[i], yd[i])
+		}
+	}
+}
+
+func TestCSRIsHermitian(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Add(0, 0, 1)
+	b.Add(0, 1, 2+1i)
+	b.Add(1, 0, 2-1i)
+	b.Add(1, 1, 3)
+	if !b.Build().IsHermitian(1e-14) {
+		t.Fatal("Hermitian CSR not detected")
+	}
+	b2 := NewBuilder(2, 2)
+	b2.Add(0, 1, 1i)
+	b2.Add(1, 0, 1i)
+	if b2.Build().IsHermitian(1e-14) {
+		t.Fatal("non-Hermitian CSR reported Hermitian")
+	}
+}
+
+// buildRandomBTD assembles a random Hermitian block-tridiagonal matrix with
+// the given layer sizes.
+func buildRandomBTD(rng *rand.Rand, sizes []int) *BlockTridiag {
+	l := len(sizes)
+	diag := make([]*linalg.Matrix, l)
+	upper := make([]*linalg.Matrix, l-1)
+	lower := make([]*linalg.Matrix, l-1)
+	for i, n := range sizes {
+		a := randDense(rng, n, n)
+		diag[i] = a.Add(a.ConjTranspose()).Scale(0.5)
+	}
+	for i := 0; i < l-1; i++ {
+		upper[i] = randDense(rng, sizes[i], sizes[i+1])
+		lower[i] = upper[i].ConjTranspose()
+	}
+	m, err := NewBlockTridiag(diag, upper, lower)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestBlockTridiagShapesValidated(t *testing.T) {
+	d := []*linalg.Matrix{linalg.New(2, 2), linalg.New(3, 3)}
+	good := []*linalg.Matrix{linalg.New(2, 3)}
+	bad := []*linalg.Matrix{linalg.New(3, 3)}
+	if _, err := NewBlockTridiag(d, good, []*linalg.Matrix{linalg.New(3, 2)}); err != nil {
+		t.Fatalf("valid shapes rejected: %v", err)
+	}
+	if _, err := NewBlockTridiag(d, bad, []*linalg.Matrix{linalg.New(3, 2)}); err == nil {
+		t.Fatal("invalid upper block accepted")
+	}
+	if _, err := NewBlockTridiag(d, good, good); err == nil {
+		t.Fatal("invalid lower block accepted")
+	}
+	if _, err := NewBlockTridiag(nil, nil, nil); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func TestBlockTridiagDenseAndMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m := buildRandomBTD(rng, []int{2, 3, 2, 4})
+	if m.N() != 11 || m.Layers() != 4 {
+		t.Fatalf("N=%d layers=%d", m.N(), m.Layers())
+	}
+	d := m.Dense()
+	x := make([]complex128, m.N())
+	for i := range x {
+		x[i] = complex(rng.Float64(), rng.Float64())
+	}
+	yb := m.MulVec(x)
+	yd := d.MulVec(x)
+	for i := range yb {
+		if abs2(yb[i]-yd[i]) > 1e-22 {
+			t.Fatalf("BTD MulVec component %d mismatch", i)
+		}
+	}
+}
+
+func TestBlockTridiagHermitian(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	m := buildRandomBTD(rng, []int{3, 3, 3})
+	if !m.IsHermitian(1e-13) {
+		t.Fatal("Hermitian BTD not detected")
+	}
+	m.Upper[0].Set(0, 0, m.Upper[0].At(0, 0)+1)
+	if m.IsHermitian(1e-6) {
+		t.Fatal("perturbed BTD still Hermitian")
+	}
+}
+
+func TestShiftedFromHermitian(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	h := buildRandomBTD(rng, []int{2, 2})
+	z := complex(0.7, 1e-3)
+	a := ShiftedFromHermitian(h, z)
+	want := linalg.Identity(h.N()).Scale(z).Sub(h.Dense())
+	if !a.Dense().Equal(want, 1e-13) {
+		t.Fatal("ShiftedFromHermitian != zI − H")
+	}
+}
+
+func TestBlockTridiagCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	m := buildRandomBTD(rng, []int{2, 4, 3})
+	if !m.CSR().Dense().Equal(m.Dense(), 1e-14) {
+		t.Fatal("CSR flattening disagrees with dense expansion")
+	}
+}
+
+func TestBlockTridiagCloneIsDeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	m := buildRandomBTD(rng, []int{2, 2})
+	c := m.Clone()
+	m.Diag[0].Set(0, 0, 999)
+	if c.Diag[0].At(0, 0) == 999 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestBlockTridiagOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	m := buildRandomBTD(rng, []int{1, 5, 2})
+	off := m.Offsets()
+	want := []int{0, 1, 6, 8}
+	for i := range want {
+		if off[i] != want[i] {
+			t.Fatalf("Offsets = %v, want %v", off, want)
+		}
+	}
+}
+
+func TestQuickCSRDenseEquivalence(t *testing.T) {
+	f := func(seed int64, rRaw, cRaw uint8) bool {
+		r := int(rRaw%6) + 1
+		c := int(cRaw%6) + 1
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder(r, c)
+		n := rng.Intn(3 * r * c)
+		for k := 0; k < n; k++ {
+			b.Add(rng.Intn(r), rng.Intn(c), complex(rng.NormFloat64(), rng.NormFloat64()))
+		}
+		m := b.Build()
+		d := m.Dense()
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				if abs2(m.At(i, j)-d.At(i, j)) > 1e-24 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBTDHermitianPreservedByShift(t *testing.T) {
+	// zI − H with real z must remain Hermitian; with complex z the
+	// anti-Hermitian part is exactly Im(z)·I.
+	f := func(seed int64, layersRaw uint8) bool {
+		l := int(layersRaw%4) + 2
+		rng := rand.New(rand.NewSource(seed))
+		sizes := make([]int, l)
+		for i := range sizes {
+			sizes[i] = rng.Intn(3) + 1
+		}
+		h := buildRandomBTD(rng, sizes)
+		a := ShiftedFromHermitian(h, complex(rng.NormFloat64(), 0))
+		return a.IsHermitian(1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

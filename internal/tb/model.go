@@ -1,0 +1,118 @@
+// Package tb implements the empirical nearest-neighbor tight-binding model
+// at the heart of the simulator: orbital bases from single-band s through
+// the 10-orbital sp3d5s* set (optionally spin-doubled with intra-atomic
+// spin-orbit coupling), Slater-Koster two-center matrix elements, embedded
+// material parameter tables, and the assembly of device Hamiltonians into
+// the block-tridiagonal layer form consumed by the transport solvers.
+package tb
+
+import "fmt"
+
+// Model selects the orbital basis per atom.
+type Model int
+
+const (
+	// ModelS is a single s-like orbital per atom (effective-mass chains,
+	// graphene pz).
+	ModelS Model = iota
+	// ModelSP3 is the four-orbital s,px,py,pz basis.
+	ModelSP3
+	// ModelSP3S is the five-orbital sp3s* basis (Vogl).
+	ModelSP3S
+	// ModelSP3D5S is the ten-orbital sp3d5s* basis (Boykin/Klimeck), the
+	// production model of the paper.
+	ModelSP3D5S
+)
+
+// Orbital indices within a model's basis. The d orbitals follow the
+// conventional ordering dxy, dyz, dzx, dx²−y², dz².
+const (
+	orbS   = 0
+	orbPx  = 1
+	orbPy  = 2
+	orbPz  = 3
+	orbDxy = 4
+	orbDyz = 5
+	orbDzx = 6
+	orbDx2 = 7
+	orbDz2 = 8
+	// orbSstar position depends on the model; see sstarIndex.
+)
+
+// NumOrbitals returns the per-atom basis size without spin.
+func (m Model) NumOrbitals() int {
+	switch m {
+	case ModelS:
+		return 1
+	case ModelSP3:
+		return 4
+	case ModelSP3S:
+		return 5
+	case ModelSP3D5S:
+		return 10
+	default:
+		panic(fmt.Sprintf("tb: unknown model %d", m))
+	}
+}
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case ModelS:
+		return "s"
+	case ModelSP3:
+		return "sp3"
+	case ModelSP3S:
+		return "sp3s*"
+	case ModelSP3D5S:
+		return "sp3d5s*"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// sstarIndex returns the basis index of the excited s* orbital, or -1 if
+// the model has none.
+func (m Model) sstarIndex() int {
+	switch m {
+	case ModelSP3S:
+		return 4
+	case ModelSP3D5S:
+		return 9
+	default:
+		return -1
+	}
+}
+
+// hasP reports whether the model carries p orbitals.
+func (m Model) hasP() bool { return m != ModelS }
+
+// hasD reports whether the model carries d orbitals.
+func (m Model) hasD() bool { return m == ModelSP3D5S }
+
+// orbitalClass classifies a basis index into angular-momentum channels.
+type orbitalClass int
+
+const (
+	classS orbitalClass = iota
+	classP
+	classD
+	classSstar
+)
+
+// classOf returns the angular class of basis index i under model m.
+func (m Model) classOf(i int) orbitalClass {
+	if i == 0 {
+		return classS
+	}
+	if i == m.sstarIndex() {
+		return classSstar
+	}
+	if i >= orbPx && i <= orbPz && m.hasP() {
+		return classP
+	}
+	if i >= orbDxy && i <= orbDz2 && m.hasD() {
+		return classD
+	}
+	panic(fmt.Sprintf("tb: orbital %d out of range for model %s", i, m))
+}

@@ -1,0 +1,190 @@
+package tb
+
+import "math"
+
+// BondParams holds the Slater-Koster two-center integrals (in eV) for a
+// *directed* bond: the "first" orbital sits on the source atom, the
+// "second" on the target. For heteropolar materials the anion→cation and
+// cation→anion tables differ (e.g. SpSigma = V(s_source p_target σ) versus
+// PsSigma = V(p_source s_target σ)); Reverse derives one from the other.
+type BondParams struct {
+	SsSigma float64 // s–s σ
+
+	SpSigma float64 // s(source)–p(target) σ
+	PsSigma float64 // p(source)–s(target) σ
+
+	PpSigma float64 // p–p σ
+	PpPi    float64 // p–p π
+
+	SstarSstarSigma float64 // s*–s* σ
+	SSstarSigma     float64 // s(source)–s*(target) σ
+	SstarSSigma     float64 // s*(source)–s(target) σ
+	SstarPSigma     float64 // s*(source)–p(target) σ
+	PSstarSigma     float64 // p(source)–s*(target) σ
+
+	SdSigma     float64 // s(source)–d(target) σ
+	DsSigma     float64 // d(source)–s(target) σ
+	SstarDSigma float64 // s*(source)–d(target) σ
+	DSstarSigma float64 // d(source)–s*(target) σ
+
+	PdSigma float64 // p(source)–d(target) σ
+	DpSigma float64 // d(source)–p(target) σ
+	PdPi    float64 // p(source)–d(target) π
+	DpPi    float64 // d(source)–p(target) π
+
+	DdSigma float64 // d–d σ
+	DdPi    float64 // d–d π
+	DdDelta float64 // d–d δ
+}
+
+// Reverse returns the parameters for the opposite bond direction.
+func (b BondParams) Reverse() BondParams {
+	r := b
+	r.SpSigma, r.PsSigma = b.PsSigma, b.SpSigma
+	r.SSstarSigma, r.SstarSSigma = b.SstarSSigma, b.SSstarSigma
+	r.SstarPSigma, r.PSstarSigma = b.PSstarSigma, b.SstarPSigma
+	r.SdSigma, r.DsSigma = b.DsSigma, b.SdSigma
+	r.SstarDSigma, r.DSstarSigma = b.DSstarSigma, b.SstarDSigma
+	r.PdSigma, r.DpSigma = b.DpSigma, b.PdSigma
+	r.PdPi, r.DpPi = b.DpPi, b.PdPi
+	return r
+}
+
+// skBlock fills hop, a norb×norb slice-of-rows, with the Slater-Koster
+// hopping matrix ⟨α, source | H | β, target⟩ for a bond whose unit
+// direction cosines from source to target are (l, m, n).
+//
+// The table follows Slater & Koster (1954); elements where the source
+// orbital has higher angular momentum than the target are obtained from
+// the transposed formula with the parity factor (−1)^(l_α+l_β) and the
+// direction-appropriate two-center integral.
+func skBlock(model Model, bp BondParams, l, m, n float64, hop [][]float64) {
+	norb := model.NumOrbitals()
+	for i := 0; i < norb; i++ {
+		for j := 0; j < norb; j++ {
+			hop[i][j] = 0
+		}
+	}
+	sstar := model.sstarIndex()
+
+	// s–s family.
+	hop[orbS][orbS] = bp.SsSigma
+	if sstar >= 0 {
+		hop[sstar][sstar] = bp.SstarSstarSigma
+		hop[orbS][sstar] = bp.SSstarSigma
+		hop[sstar][orbS] = bp.SstarSSigma
+	}
+
+	if !model.hasP() {
+		return
+	}
+	cos := [3]float64{l, m, n}
+
+	// s–p and p–s (odd parity).
+	for c := 0; c < 3; c++ {
+		hop[orbS][orbPx+c] = cos[c] * bp.SpSigma
+		hop[orbPx+c][orbS] = -cos[c] * bp.PsSigma
+		if sstar >= 0 {
+			hop[sstar][orbPx+c] = cos[c] * bp.SstarPSigma
+			hop[orbPx+c][sstar] = -cos[c] * bp.PSstarSigma
+		}
+	}
+
+	// p–p (even parity, symmetric form).
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			if a == b {
+				hop[orbPx+a][orbPx+a] = cos[a]*cos[a]*bp.PpSigma + (1-cos[a]*cos[a])*bp.PpPi
+			} else {
+				hop[orbPx+a][orbPx+b] = cos[a] * cos[b] * (bp.PpSigma - bp.PpPi)
+			}
+		}
+	}
+
+	if !model.hasD() {
+		return
+	}
+	sq3 := math.Sqrt(3)
+	ll, mm, nn := l*l, m*m, n*n
+
+	// s–d and s*–d (even parity: same formula both directions, but with
+	// the direction-specific integral).
+	sd := [5]float64{
+		sq3 * l * m,
+		sq3 * m * n,
+		sq3 * n * l,
+		sq3 / 2 * (ll - mm),
+		nn - (ll+mm)/2,
+	}
+	for dOrb := 0; dOrb < 5; dOrb++ {
+		hop[orbS][orbDxy+dOrb] = sd[dOrb] * bp.SdSigma
+		hop[orbDxy+dOrb][orbS] = sd[dOrb] * bp.DsSigma
+		hop[sstar][orbDxy+dOrb] = sd[dOrb] * bp.SstarDSigma
+		hop[orbDxy+dOrb][sstar] = sd[dOrb] * bp.DSstarSigma
+	}
+
+	// p–d (odd parity). pd[p][d] gives the σ and π angular factors for
+	// ⟨p_source|H|d_target⟩.
+	pdS := [3][5]float64{}
+	pdP := [3][5]float64{}
+	// p = x.
+	pdS[0][0], pdP[0][0] = sq3*ll*m, m*(1-2*ll) // dxy
+	pdS[0][1], pdP[0][1] = sq3*l*m*n, -2*l*m*n  // dyz
+	pdS[0][2], pdP[0][2] = sq3*ll*n, n*(1-2*ll) // dzx
+	pdS[0][3], pdP[0][3] = sq3/2*l*(ll-mm), l*(1-ll+mm)
+	pdS[0][4], pdP[0][4] = l*(nn-(ll+mm)/2), -sq3*l*nn
+	// p = y.
+	pdS[1][0], pdP[1][0] = sq3*mm*l, l*(1-2*mm) // dxy
+	pdS[1][1], pdP[1][1] = sq3*mm*n, n*(1-2*mm) // dyz
+	pdS[1][2], pdP[1][2] = sq3*l*m*n, -2*l*m*n  // dzx
+	pdS[1][3], pdP[1][3] = sq3/2*m*(ll-mm), -m*(1+ll-mm)
+	pdS[1][4], pdP[1][4] = m*(nn-(ll+mm)/2), -sq3*m*nn
+	// p = z.
+	pdS[2][0], pdP[2][0] = sq3*l*m*n, -2*l*m*n  // dxy
+	pdS[2][1], pdP[2][1] = sq3*nn*m, m*(1-2*nn) // dyz
+	pdS[2][2], pdP[2][2] = sq3*nn*l, l*(1-2*nn) // dzx
+	pdS[2][3], pdP[2][3] = sq3/2*n*(ll-mm), -n*(ll-mm)
+	pdS[2][4], pdP[2][4] = n*(nn-(ll+mm)/2), sq3*n*(ll+mm)
+	for p := 0; p < 3; p++ {
+		for dOrb := 0; dOrb < 5; dOrb++ {
+			hop[orbPx+p][orbDxy+dOrb] = pdS[p][dOrb]*bp.PdSigma + pdP[p][dOrb]*bp.PdPi
+			hop[orbDxy+dOrb][orbPx+p] = -(pdS[p][dOrb]*bp.DpSigma + pdP[p][dOrb]*bp.DpPi)
+		}
+	}
+
+	// d–d (even parity, symmetric form). dd[a][b] with a ≤ b suffices.
+	var ddS, ddP, ddD [5][5]float64
+	// dxy–dxy and permutations.
+	ddS[0][0], ddP[0][0], ddD[0][0] = 3*ll*mm, ll+mm-4*ll*mm, nn+ll*mm
+	ddS[1][1], ddP[1][1], ddD[1][1] = 3*mm*nn, mm+nn-4*mm*nn, ll+mm*nn
+	ddS[2][2], ddP[2][2], ddD[2][2] = 3*nn*ll, nn+ll-4*nn*ll, mm+nn*ll
+	// dxy–dyz etc.
+	ddS[0][1], ddP[0][1], ddD[0][1] = 3*l*mm*n, l*n*(1-4*mm), l*n*(mm-1)
+	ddS[0][2], ddP[0][2], ddD[0][2] = 3*ll*m*n, m*n*(1-4*ll), m*n*(ll-1)
+	ddS[1][2], ddP[1][2], ddD[1][2] = 3*l*m*nn, l*m*(1-4*nn), l*m*(nn-1)
+	// dxy–dx²−y² family.
+	ddS[0][3], ddP[0][3], ddD[0][3] = 1.5*l*m*(ll-mm), 2*l*m*(mm-ll), 0.5*l*m*(ll-mm)
+	ddS[1][3], ddP[1][3], ddD[1][3] = 1.5*m*n*(ll-mm), -m*n*(1+2*(ll-mm)), m*n*(1+(ll-mm)/2)
+	ddS[2][3], ddP[2][3], ddD[2][3] = 1.5*n*l*(ll-mm), n*l*(1-2*(ll-mm)), -n*l*(1-(ll-mm)/2)
+	// dxy–dz² family.
+	ddS[0][4], ddP[0][4], ddD[0][4] = sq3*l*m*(nn-(ll+mm)/2), -2*sq3*l*m*nn, sq3/2*l*m*(1+nn)
+	ddS[1][4], ddP[1][4], ddD[1][4] = sq3*m*n*(nn-(ll+mm)/2), sq3*m*n*(ll+mm-nn), -sq3/2*m*n*(ll+mm)
+	ddS[2][4], ddP[2][4], ddD[2][4] = sq3*l*n*(nn-(ll+mm)/2), sq3*l*n*(ll+mm-nn), -sq3/2*l*n*(ll+mm)
+	// dx²−y²–dx²−y², dx²−y²–dz², dz²–dz².
+	ddS[3][3] = 0.75 * (ll - mm) * (ll - mm)
+	ddP[3][3] = ll + mm - (ll-mm)*(ll-mm)
+	ddD[3][3] = nn + (ll-mm)*(ll-mm)/4
+	ddS[3][4] = sq3 / 2 * (ll - mm) * (nn - (ll+mm)/2)
+	ddP[3][4] = sq3 * nn * (mm - ll)
+	ddD[3][4] = sq3 / 4 * (1 + nn) * (ll - mm)
+	ddS[4][4] = (nn - (ll+mm)/2) * (nn - (ll+mm)/2)
+	ddP[4][4] = 3 * nn * (ll + mm)
+	ddD[4][4] = 0.75 * (ll + mm) * (ll + mm)
+	for a := 0; a < 5; a++ {
+		for b := a; b < 5; b++ {
+			v := ddS[a][b]*bp.DdSigma + ddP[a][b]*bp.DdPi + ddD[a][b]*bp.DdDelta
+			hop[orbDxy+a][orbDxy+b] = v
+			hop[orbDxy+b][orbDxy+a] = v
+		}
+	}
+}

@@ -1,0 +1,538 @@
+package tb
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/linalg"
+)
+
+func TestModelOrbitalCounts(t *testing.T) {
+	cases := map[Model]int{ModelS: 1, ModelSP3: 4, ModelSP3S: 5, ModelSP3D5S: 10}
+	for m, want := range cases {
+		if got := m.NumOrbitals(); got != want {
+			t.Fatalf("%s: NumOrbitals = %d, want %d", m, got, want)
+		}
+	}
+}
+
+// TestSlaterKosterReversal checks the fundamental two-center consistency
+// E_{αβ}(d) = E_{βα}(−d) with the direction-reversed parameter table —
+// the property that makes assembled Hamiltonians Hermitian.
+func TestSlaterKosterReversal(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	bp := BondParams{
+		SsSigma: rng.NormFloat64(), SpSigma: rng.NormFloat64(), PsSigma: rng.NormFloat64(),
+		PpSigma: rng.NormFloat64(), PpPi: rng.NormFloat64(),
+		SstarSstarSigma: rng.NormFloat64(), SSstarSigma: rng.NormFloat64(), SstarSSigma: rng.NormFloat64(),
+		SstarPSigma: rng.NormFloat64(), PSstarSigma: rng.NormFloat64(),
+		SdSigma: rng.NormFloat64(), DsSigma: rng.NormFloat64(),
+		SstarDSigma: rng.NormFloat64(), DSstarSigma: rng.NormFloat64(),
+		PdSigma: rng.NormFloat64(), DpSigma: rng.NormFloat64(),
+		PdPi: rng.NormFloat64(), DpPi: rng.NormFloat64(),
+		DdSigma: rng.NormFloat64(), DdPi: rng.NormFloat64(), DdDelta: rng.NormFloat64(),
+	}
+	for _, model := range []Model{ModelS, ModelSP3, ModelSP3S, ModelSP3D5S} {
+		norb := model.NumOrbitals()
+		fwd := make([][]float64, norb)
+		rev := make([][]float64, norb)
+		for i := range fwd {
+			fwd[i] = make([]float64, norb)
+			rev[i] = make([]float64, norb)
+		}
+		for trial := 0; trial < 10; trial++ {
+			v := [3]float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+			r := math.Sqrt(v[0]*v[0] + v[1]*v[1] + v[2]*v[2])
+			l, m, n := v[0]/r, v[1]/r, v[2]/r
+			skBlock(model, bp, l, m, n, fwd)
+			skBlock(model, bp.Reverse(), -l, -m, -n, rev)
+			for i := 0; i < norb; i++ {
+				for j := 0; j < norb; j++ {
+					if math.Abs(fwd[i][j]-rev[j][i]) > 1e-12 {
+						t.Fatalf("%s: SK reversal broken at (%d,%d): %g vs %g",
+							model, i, j, fwd[i][j], rev[j][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSingleAtomOnsiteSpectrum(t *testing.T) {
+	s, err := lattice.NewLinearChain(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := Silicon()
+	h, err := Assemble(s, mat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := linalg.EigHValues(h.Diag[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := mat.Species[0]
+	want := []float64{sp.Es, sp.Ep, sp.Ep, sp.Ep, sp.Ed, sp.Ed, sp.Ed, sp.Ed, sp.Ed, sp.Es2}
+	sort.Float64s(want)
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Fatalf("onsite eigenvalue %d = %v, want %v", i, vals[i], want[i])
+		}
+	}
+}
+
+// TestSpinOrbitSplitting validates the atomic limit of the spin-orbit
+// model: the six p⊗spin states split into a j=3/2 quadruplet at Ep+λ and
+// a j=1/2 doublet at Ep−2λ, i.e. a splitting of Δ_so = 3λ.
+func TestSpinOrbitSplitting(t *testing.T) {
+	s, err := lattice.NewLinearChain(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := Silicon()
+	lambda := mat.Species[0].SOLambda
+	h, err := Assemble(s, mat, Options{Spin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Diag[0].IsHermitian(1e-14) {
+		t.Fatal("spin-orbit on-site block not Hermitian")
+	}
+	vals, err := linalg.EigHValues(h.Diag[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := mat.Species[0].Ep
+	nHigh, nLow := 0, 0
+	for _, v := range vals {
+		switch {
+		case math.Abs(v-(ep+lambda)) < 1e-10:
+			nHigh++
+		case math.Abs(v-(ep-2*lambda)) < 1e-10:
+			nLow++
+		}
+	}
+	if nHigh != 4 || nLow != 2 {
+		t.Fatalf("spin-orbit split: %d states at Ep+λ (want 4), %d at Ep−2λ (want 2); spectrum %v",
+			nHigh, nLow, vals)
+	}
+}
+
+func TestChainBandAnalytic(t *testing.T) {
+	const eps0, hop, a = 0.3, -1.1, 0.5
+	s, err := lattice.NewLinearChain(a, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := SingleBandChain(eps0, hop)
+	h, err := Assemble(s, mat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h00, h01 := LeadBlocks(h, false)
+	bands, err := LeadBands(h00, h01, a, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ik, k := range bands.K {
+		want := eps0 + 2*hop*math.Cos(k*a)
+		if math.Abs(bands.Energies[ik][0]-want) > 1e-12 {
+			t.Fatalf("chain band at k=%g: %v, want %v", k, bands.Energies[ik][0], want)
+		}
+	}
+}
+
+func TestAssembleHermitian(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func() (*lattice.Structure, *Material, Options)
+	}{
+		{"Si wire sp3d5s*", func() (*lattice.Structure, *Material, Options) {
+			s, _ := lattice.NewZincblendeNanowire(0.5431, 3, 1, 1)
+			return s, Silicon(), Options{PassivationShift: 10}
+		}},
+		{"Si wire sp3d5s* spin", func() (*lattice.Structure, *Material, Options) {
+			s, _ := lattice.NewZincblendeNanowire(0.5431, 2, 1, 1)
+			return s, Silicon(), Options{Spin: true, PassivationShift: 10}
+		}},
+		{"GaAs wire sp3s*", func() (*lattice.Structure, *Material, Options) {
+			s, _ := lattice.NewZincblendeNanowire(0.56533, 3, 1, 1)
+			return s, GaAs(), Options{PassivationShift: 10}
+		}},
+		{"armchair GNR", func() (*lattice.Structure, *Material, Options) {
+			s, _ := lattice.NewArmchairGNR(5, 4)
+			return s, Graphene(), Options{}
+		}},
+		{"UTB at ky=0.7/nm", func() (*lattice.Structure, *Material, Options) {
+			s, _ := lattice.NewZincblendeUTB(0.5431, 2, 1, 1)
+			return s, Silicon(), Options{Ky: 0.7, PassivationShift: 10}
+		}},
+	}
+	for _, tc := range cases {
+		s, mat, opt := tc.gen()
+		h, err := Assemble(s, mat, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !h.IsHermitian(1e-11) {
+			t.Fatalf("%s: assembled Hamiltonian not Hermitian", tc.name)
+		}
+	}
+}
+
+func TestPotentialShiftsSpectrum(t *testing.T) {
+	s, err := lattice.NewZincblendeNanowire(0.5431, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := Silicon()
+	const v0 = 0.37
+	pot := make([]float64, s.NAtoms())
+	for i := range pot {
+		pot[i] = v0
+	}
+	h0, err := Assemble(s, mat, Options{PassivationShift: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv, err := Assemble(s, mat, Options{PassivationShift: 10, Potential: pot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0, err := linalg.EigHValues(h0.Diag[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := linalg.EigHValues(hv.Diag[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range e0 {
+		if math.Abs(ev[i]-e0[i]-v0) > 1e-10 {
+			t.Fatalf("constant potential did not rigidly shift eigenvalue %d", i)
+		}
+	}
+}
+
+func TestAssembleValidation(t *testing.T) {
+	s, _ := lattice.NewLinearChain(0.5, 3)
+	mat := SingleBandChain(0, -1)
+	if _, err := Assemble(s, mat, Options{Potential: []float64{1}}); err == nil {
+		t.Fatal("accepted wrong-length potential")
+	}
+	if _, err := Assemble(s, mat, Options{Ky: 1}); err == nil {
+		t.Fatal("accepted transverse momentum on non-periodic structure")
+	}
+	sGaAs, _ := lattice.NewZincblendeNanowire(0.56533, 2, 1, 1)
+	if _, err := Assemble(sGaAs, Graphene(), Options{}); err == nil {
+		t.Fatal("accepted two-species structure with single-species material")
+	}
+}
+
+func TestGNRParticleHoleSymmetry(t *testing.T) {
+	// The pz honeycomb model on a bipartite lattice has a spectrum
+	// symmetric about the on-site energy.
+	s, err := lattice.NewArmchairGNR(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Assemble(s, Graphene(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h00, h01 := LeadBlocks(h, false)
+	bands, err := LeadBands(h00, h01, s.LayerPeriod, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ik := range bands.K {
+		e := bands.Energies[ik]
+		nb := len(e)
+		for n := 0; n < nb; n++ {
+			if math.Abs(e[n]+e[nb-1-n]) > 1e-9 {
+				t.Fatalf("AGNR spectrum not particle-hole symmetric at k-index %d", ik)
+			}
+		}
+	}
+}
+
+func TestAGNRGapFamilies(t *testing.T) {
+	// In the nearest-neighbor pz model, N-AGNRs with N = 3p+2 are
+	// (nearly) metallic while other widths open a clear gap.
+	gap := func(nRows int) float64 {
+		s, err := lattice.NewArmchairGNR(nRows, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := Assemble(s, Graphene(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h00, h01 := LeadBlocks(h, false)
+		bands, err := LeadBands(h00, h01, s.LayerPeriod, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi, ok := bands.GapAround(-1, 1)
+		if !ok {
+			return 0
+		}
+		return hi - lo
+	}
+	g5, g7 := gap(5), gap(7)
+	if g5 > 0.2 {
+		t.Fatalf("5-AGNR should be (nearly) metallic, gap = %g eV", g5)
+	}
+	if g7 < 0.5 {
+		t.Fatalf("7-AGNR should be semiconducting, gap = %g eV", g7)
+	}
+}
+
+func TestSiNanowireGap(t *testing.T) {
+	// A 1×1-cell [100] Si wire in sp3d5s* with surface passivation must be
+	// semiconducting with a confinement-widened gap: larger than bulk
+	// (1.1 eV) but physically bounded.
+	gap := func(cellsY, cellsZ int) float64 {
+		s, err := lattice.NewZincblendeNanowire(0.5431, 3, cellsY, cellsZ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := Assemble(s, Silicon(), Options{PassivationShift: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h00, h01 := LeadBlocks(h, false)
+		bands, err := LeadBands(h00, h01, s.LayerPeriod, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi, ok := bands.GapAround(-2, 6)
+		if !ok {
+			t.Fatalf("no gap found in passivated %dx%d Si nanowire spectrum", cellsY, cellsZ)
+		}
+		return hi - lo
+	}
+	g11 := gap(1, 1)
+	if g11 < 1.0 || g11 > 8.0 {
+		t.Fatalf("Si nanowire gap %g eV outside the physically plausible window", g11)
+	}
+	// Quantum confinement: widening the wire must narrow the gap.
+	if g21 := gap(2, 1); g21 >= g11 {
+		t.Fatalf("gap did not shrink with cross-section: 1x1 %g eV vs 2x1 %g eV", g11, g21)
+	}
+}
+
+func TestUTBKyDependence(t *testing.T) {
+	s, err := lattice.NewZincblendeUTB(0.5431, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := Silicon()
+	h0, err := Assemble(s, mat, Options{PassivationShift: 10, Ky: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kyBZ := math.Pi / s.PeriodY
+	h1, err := Assemble(s, mat, Options{PassivationShift: 10, Ky: 0.5 * kyBZ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0.Diag[0].Equal(h1.Diag[0], 1e-9) {
+		t.Fatal("transverse momentum has no effect on the UTB Hamiltonian")
+	}
+	if !h1.IsHermitian(1e-11) {
+		t.Fatal("H(ky) not Hermitian")
+	}
+	// Spectra at ±ky must coincide (time-reversal without spin).
+	hm, err := Assemble(s, mat, Options{PassivationShift: 10, Ky: -0.5 * kyBZ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := linalg.EigHValues(h1.Diag[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := linalg.EigHValues(hm.Diag[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range e1 {
+		if math.Abs(e1[i]-em[i]) > 1e-10 {
+			t.Fatal("spectrum not symmetric under ky → −ky")
+		}
+	}
+}
+
+func TestLeadBlocksUniform(t *testing.T) {
+	// Left and right lead blocks of a uniform wire must be identical.
+	s, err := lattice.NewZincblendeNanowire(0.5431, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Assemble(s, Silicon(), Options{PassivationShift: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l00, l01 := LeadBlocks(h, false)
+	r00, r01 := LeadBlocks(h, true)
+	// End layers feel missing neighbors only through dangling-bond
+	// passivation, which exists on transverse surfaces uniformly; the
+	// *interior* blocks must match exactly.
+	if !h.Diag[1].Equal(h.Diag[2], 1e-12) {
+		t.Fatal("interior layer blocks differ in a uniform wire")
+	}
+	if !l01.Equal(h.Upper[1], 1e-12) || !r01.Equal(h.Upper[1], 1e-12) {
+		t.Fatal("lead coupling blocks differ from interior coupling")
+	}
+	_ = l00
+	_ = r00
+}
+
+func TestGermaniumAndInAsHermitian(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a    float64
+		mat  *Material
+	}{
+		{"Ge", 0.5658, Germanium()},
+		{"InAs", 0.60583, InAs()},
+	} {
+		s, err := lattice.NewZincblendeNanowire(tc.a, 3, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := Assemble(s, tc.mat, Options{Spin: true, PassivationShift: 10})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !h.IsHermitian(1e-11) {
+			t.Fatalf("%s Hamiltonian not Hermitian", tc.name)
+		}
+	}
+}
+
+func TestGermaniumAndSiliconGaps(t *testing.T) {
+	gap := func(mat *Material, a float64) float64 {
+		s, err := lattice.NewZincblendeNanowire(a, 3, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := Assemble(s, mat, Options{PassivationShift: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h00, h01 := LeadBlocks(h, false)
+		bands, err := LeadBands(h00, h01, s.LayerPeriod, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi, ok := bands.GapAround(-2, 6)
+		if !ok {
+			t.Fatal("no gap found")
+		}
+		return hi - lo
+	}
+	// At this extreme confinement (0.55 nm wires) quantum confinement
+	// dominates the bulk-gap ordering, so assert only that both materials
+	// are semiconducting with distinct, physically bounded gaps.
+	gSi := gap(Silicon(), 0.5431)
+	gGe := gap(Germanium(), 0.5658)
+	if gSi < 0.5 || gSi > 8 || gGe < 0.5 || gGe > 8 {
+		t.Fatalf("implausible wire gaps: Si %g eV, Ge %g eV", gSi, gGe)
+	}
+	if math.Abs(gSi-gGe) < 1e-6 {
+		t.Fatalf("Si and Ge parameter sets give identical gaps (%g)", gSi)
+	}
+}
+
+func TestApplyStrainGeometry(t *testing.T) {
+	s, err := lattice.NewZincblendeNanowire(0.5431, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period0 := s.LayerPeriod
+	x0 := s.Atoms[10].Pos.X
+	if err := s.ApplyStrain(0.02, -0.01, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.LayerPeriod-1.02*period0) > 1e-12 {
+		t.Fatalf("layer period not scaled: %g", s.LayerPeriod)
+	}
+	if math.Abs(s.Atoms[10].Pos.X-1.02*x0) > 1e-12 {
+		t.Fatal("positions not scaled")
+	}
+	// Bond vectors must match the strained positions for intra-device
+	// bonds (no wrap).
+	for i, nbrs := range s.Neighbors {
+		for _, nb := range nbrs {
+			if nb.WrapY != 0 {
+				continue
+			}
+			d := s.Atoms[nb.Index].Pos.Sub(s.Atoms[i].Pos)
+			if d.Sub(nb.Delta).Norm() > 1e-10 {
+				t.Fatal("bond vector inconsistent with strained positions")
+			}
+		}
+	}
+	if err := s.ApplyStrain(-1.5, 0, 0); err == nil {
+		t.Fatal("accepted crystal-collapsing strain")
+	}
+}
+
+func TestHarrisonScalingStrainResponse(t *testing.T) {
+	build := func(strain float64) float64 {
+		s, err := lattice.NewZincblendeNanowire(0.5431, 3, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strain != 0 {
+			if err := s.ApplyStrain(strain, strain, strain); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h, err := Assemble(s, Silicon(), Options{PassivationShift: 12, HarrisonExponent: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h00, h01 := LeadBlocks(h, false)
+		bands, err := LeadBands(h00, h01, s.LayerPeriod, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi, ok := bands.GapAround(-2, 8)
+		if !ok {
+			t.Fatal("no gap under strain")
+		}
+		return hi - lo
+	}
+	g0 := build(0)
+	gTens := build(0.02)  // hydrostatic tension: weaker bonds
+	gComp := build(-0.02) // compression: stronger bonds
+	if gTens == g0 || gComp == g0 {
+		t.Fatal("Harrison scaling has no effect on strained bands")
+	}
+	// Hydrostatic strain must move the gap monotonically between
+	// compression and tension.
+	if !(gComp > g0 && g0 > gTens) && !(gComp < g0 && g0 < gTens) {
+		t.Fatalf("gap not monotone in strain: comp %g, none %g, tens %g", gComp, g0, gTens)
+	}
+	// Zero strain with scaling enabled must be a strict no-op.
+	s, _ := lattice.NewZincblendeNanowire(0.5431, 3, 1, 1)
+	hOn, err := Assemble(s, Silicon(), Options{PassivationShift: 12, HarrisonExponent: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hOff, err := Assemble(s, Silicon(), Options{PassivationShift: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hOn.Diag {
+		if !hOn.Diag[i].Equal(hOff.Diag[i], 0) {
+			t.Fatal("Harrison scaling altered the unstrained Hamiltonian")
+		}
+	}
+}

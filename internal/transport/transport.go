@@ -1,0 +1,279 @@
+// Package transport turns single-energy quantum solvers into device
+// observables: transmission spectra evaluated in parallel over energy
+// grids (the "energy" level of the paper's four-level parallelism),
+// Landauer currents, and energy-integrated electron densities for the
+// self-consistent Poisson coupling.
+package transport
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/negf"
+	"repro/internal/sparse"
+	"repro/internal/splitsolve"
+	"repro/internal/units"
+	"repro/internal/wavefunction"
+)
+
+// Formalism selects the single-energy solver.
+type Formalism int
+
+const (
+	// WaveFunction is the scattering-state solver (block-Thomas or
+	// SplitSolve) — the production path.
+	WaveFunction Formalism = iota
+	// NEGFRGF is the recursive Green's function solver — the baseline.
+	NEGFRGF
+)
+
+// String implements fmt.Stringer.
+func (f Formalism) String() string {
+	switch f {
+	case WaveFunction:
+		return "WF"
+	case NEGFRGF:
+		return "NEGF-RGF"
+	default:
+		return fmt.Sprintf("Formalism(%d)", int(f))
+	}
+}
+
+// Config selects the solver and its numerical parameters.
+type Config struct {
+	// Formalism picks WF or NEGF.
+	Formalism Formalism
+	// Eta is the energy broadening in eV (default 1e-6).
+	Eta float64
+	// Domains selects SplitSolve spatial decomposition for the WF
+	// formalism (≤ 1 means the serial block-Thomas solve).
+	Domains int
+	// Workers bounds concurrent energy points (0: GOMAXPROCS).
+	Workers int
+	// Cache optionally shares memoized contact self-energies across
+	// engines whose lead blocks are identical (pinned contacts in a
+	// self-consistent loop).
+	Cache *negf.SelfEnergyCache
+}
+
+func (c Config) withDefaults() Config {
+	if c.Eta == 0 {
+		c.Eta = 1e-6
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// pointSolver is the common surface of the two formalisms.
+type pointSolver interface {
+	Solve(e float64, density bool) (*negf.Result, error)
+}
+
+// Engine evaluates energy-resolved transport quantities for one device
+// Hamiltonian (one bias/momentum point).
+type Engine struct {
+	cfg    Config
+	solver pointSolver
+}
+
+// NewEngine builds an engine for the given device Hamiltonian.
+func NewEngine(h *sparse.BlockTridiag, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	var solver pointSolver
+	switch cfg.Formalism {
+	case WaveFunction:
+		wf, err := wavefunction.NewSolver(h, cfg.Eta)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Domains > 1 {
+			wf.SolveStrategy = splitsolve.Strategy(cfg.Domains, cfg.Workers)
+		}
+		wf.Cache = cfg.Cache
+		solver = wf
+	case NEGFRGF:
+		gf, err := negf.NewSolver(h, cfg.Eta)
+		if err != nil {
+			return nil, err
+		}
+		gf.Cache = cfg.Cache
+		solver = gf
+	default:
+		return nil, fmt.Errorf("transport: unknown formalism %d", cfg.Formalism)
+	}
+	return &Engine{cfg: cfg, solver: solver}, nil
+}
+
+// SolveAt exposes the single-energy solve of the configured formalism.
+func (e *Engine) SolveAt(energy float64, density bool) (*negf.Result, error) {
+	return e.solver.Solve(energy, density)
+}
+
+// Spectrum evaluates the solver at every grid energy concurrently and
+// returns the results in grid order (deterministic regardless of
+// scheduling). density controls whether spectral functions are assembled.
+func (e *Engine) Spectrum(energies []float64, density bool) ([]*negf.Result, error) {
+	results := make([]*negf.Result, len(energies))
+	errs := make([]error, len(energies))
+	sem := make(chan struct{}, e.cfg.Workers)
+	var wg sync.WaitGroup
+	for i, en := range energies {
+		wg.Add(1)
+		go func(i int, en float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = e.solver.Solve(en, density)
+		}(i, en)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("transport: E=%g: %w", energies[i], err)
+		}
+	}
+	return results, nil
+}
+
+// Transmissions is a convenience wrapper returning only T(E) over a grid.
+func (e *Engine) Transmissions(energies []float64) ([]float64, error) {
+	res, err := e.Spectrum(energies, false)
+	if err != nil {
+		return nil, err
+	}
+	t := make([]float64, len(res))
+	for i, r := range res {
+		t[i] = r.T
+	}
+	return t, nil
+}
+
+// Bias describes the two contact reservoirs.
+type Bias struct {
+	// MuL and MuR are the contact electrochemical potentials in eV.
+	MuL, MuR float64
+	// Temperature in kelvin.
+	Temperature float64
+}
+
+// KT returns k_B·T in eV.
+func (b Bias) KT() float64 { return units.KT(b.Temperature) }
+
+// Current integrates the Landauer formula over a transmission spectrum
+// given on an energy grid (trapezoidal rule), returning amperes per spin
+// degeneracy factor g (2 for spin-degenerate Hamiltonians, 1 for
+// spin-resolved ones):
+//
+//	I = g·(e/h)·∫ T(E)·[f_L(E) − f_R(E)] dE.
+func Current(energies, transmissions []float64, bias Bias, spinDegeneracy float64) (float64, error) {
+	if len(energies) != len(transmissions) {
+		return 0, fmt.Errorf("transport: %d energies vs %d transmissions", len(energies), len(transmissions))
+	}
+	if len(energies) < 2 {
+		return 0, fmt.Errorf("transport: need at least 2 grid points")
+	}
+	kT := bias.KT()
+	integrand := func(i int) float64 {
+		f := units.Fermi(energies[i], bias.MuL, kT) - units.Fermi(energies[i], bias.MuR, kT)
+		return transmissions[i] * f
+	}
+	var integral float64
+	for i := 0; i+1 < len(energies); i++ {
+		de := energies[i+1] - energies[i]
+		integral += 0.5 * de * (integrand(i) + integrand(i+1))
+	}
+	return spinDegeneracy * units.CurrentQuantum * integral, nil
+}
+
+// ChargeDensity integrates the contact-resolved spectral functions into
+// the orbital-resolved electron density (dimensionless occupation per
+// orbital):
+//
+//	n_i = ∫ dE/(2π) [A_L,ii·f_L + A_R,ii·f_R].
+//
+// The energy grid must span the occupied conduction window of interest.
+func (e *Engine) ChargeDensity(energies []float64, bias Bias) ([]float64, error) {
+	if len(energies) < 2 {
+		return nil, fmt.Errorf("transport: need at least 2 grid points")
+	}
+	res, err := e.Spectrum(energies, true)
+	if err != nil {
+		return nil, err
+	}
+	kT := bias.KT()
+	n := make([]float64, len(res[0].SpectralL))
+	for i := 0; i+1 < len(energies); i++ {
+		de := energies[i+1] - energies[i]
+		fL0 := units.Fermi(energies[i], bias.MuL, kT)
+		fR0 := units.Fermi(energies[i], bias.MuR, kT)
+		fL1 := units.Fermi(energies[i+1], bias.MuL, kT)
+		fR1 := units.Fermi(energies[i+1], bias.MuR, kT)
+		for k := range n {
+			v0 := res[i].SpectralL[k]*fL0 + res[i].SpectralR[k]*fR0
+			v1 := res[i+1].SpectralL[k]*fL1 + res[i+1].SpectralR[k]*fR1
+			n[k] += 0.5 * de * (v0 + v1)
+		}
+	}
+	inv2pi := 1 / (2 * 3.141592653589793)
+	for k := range n {
+		n[k] *= inv2pi
+	}
+	return n, nil
+}
+
+// UniformGrid returns n energies spanning [lo, hi] inclusive.
+func UniformGrid(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	g := make([]float64, n)
+	for i := range g {
+		g[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return g
+}
+
+// AdaptiveGrid refines a transmission grid: starting from a coarse uniform
+// grid, intervals where T changes by more than tol are bisected until the
+// budget of maxPoints is exhausted. It returns the refined energies (the
+// engine is consulted for T at each new point). This mirrors the adaptive
+// energy meshes production quantum-transport codes use near resonances and
+// band edges.
+func (e *Engine) AdaptiveGrid(lo, hi float64, nInit, maxPoints int, tol float64) ([]float64, []float64, error) {
+	if nInit < 2 {
+		nInit = 2
+	}
+	energies := UniformGrid(lo, hi, nInit)
+	ts, err := e.Transmissions(energies)
+	if err != nil {
+		return nil, nil, err
+	}
+	for len(energies) < maxPoints {
+		// Find the interval with the largest |ΔT| above tol.
+		worst, worstIdx := tol, -1
+		for i := 0; i+1 < len(energies); i++ {
+			d := ts[i+1] - ts[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst, worstIdx = d, i
+			}
+		}
+		if worstIdx < 0 {
+			break
+		}
+		mid := 0.5 * (energies[worstIdx] + energies[worstIdx+1])
+		tm, err := e.Transmissions([]float64{mid})
+		if err != nil {
+			return nil, nil, err
+		}
+		energies = append(energies[:worstIdx+1],
+			append([]float64{mid}, energies[worstIdx+1:]...)...)
+		ts = append(ts[:worstIdx+1], append([]float64{tm[0]}, ts[worstIdx+1:]...)...)
+	}
+	return energies, ts, nil
+}

@@ -1,0 +1,140 @@
+// Package unfold implements Brillouin-zone unfolding of supercell band
+// structures onto the primitive-cell zone — the signature method of the
+// paper's co-author line (Boykin & Klimeck) for extracting effective
+// (approximate) bands of random alloys and perturbed superlattices from
+// supercell eigenstates.
+//
+// For a supercell of N primitive cells along the transport axis, every
+// supercell wavevector K hosts the folded images of the primitive
+// wavevectors k_m = K + 2πm/(N·a), m = 0..N−1. Each supercell eigenstate
+// |ψ⟩ distributes spectral weight
+//
+//	W_m(ψ) = Σ_o |(1/√N)·Σ_j e^{−i·k_m·X_j}·ψ_{j,o}|²
+//
+// over those k_m (j runs over the primitive cells at positions X_j = j·a,
+// o over the orbitals within one cell). The weights sum to 1; for a
+// perfect crystal each eigenstate carries weight 1 at exactly one k_m,
+// while disorder spreads the weight — the "effective bandstructure" of
+// alloy nanostructures.
+package unfold
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/linalg"
+)
+
+// State is one unfolded supercell eigenstate: its energy and the spectral
+// weight it carries at each unfolded primitive wavevector.
+type State struct {
+	// Energy in eV.
+	Energy float64
+	// K lists the primitive wavevectors k_m (rad/nm).
+	K []float64
+	// W lists the spectral weights at each k_m (sums to 1).
+	W []float64
+}
+
+// Unfold diagonalizes the supercell Bloch Hamiltonian
+// H(K) = h00 + h01·e^{iKA} + h01†·e^{−iKA} (A = nCells·a the supercell
+// period) and unfolds every eigenstate onto the primitive zone. The
+// supercell orbitals must be ordered cell-major: orbital o of cell j at
+// index j·orbPerCell + o, cells at X_j = j·a.
+func Unfold(h00, h01 *linalg.Matrix, nCells, orbPerCell int, a float64, bigK float64) ([]State, error) {
+	n := h00.Rows
+	if nCells < 1 || orbPerCell < 1 || nCells*orbPerCell != n {
+		return nil, fmt.Errorf("unfold: %d cells × %d orbitals does not tile a %d-orbital supercell",
+			nCells, orbPerCell, n)
+	}
+	if h00.Cols != n || h01.Rows != n || h01.Cols != n {
+		return nil, fmt.Errorf("unfold: lead blocks must be square and same-sized")
+	}
+	bigA := float64(nCells) * a
+	hk := tbBloch(h00, h01, bigK*bigA)
+	eig, err := linalg.EigH(hk)
+	if err != nil {
+		return nil, fmt.Errorf("unfold: supercell diagonalization: %w", err)
+	}
+	// Unfolded wavevectors, reduced into the primitive zone (−π/a, π/a].
+	ks := make([]float64, nCells)
+	for m := 0; m < nCells; m++ {
+		k := bigK + 2*math.Pi*float64(m)/bigA
+		for k > math.Pi/a {
+			k -= 2 * math.Pi / a
+		}
+		for k <= -math.Pi/a {
+			k += 2 * math.Pi / a
+		}
+		ks[m] = k
+	}
+	out := make([]State, n)
+	for band := 0; band < n; band++ {
+		st := State{Energy: eig.Values[band], K: ks, W: make([]float64, nCells)}
+		for m := 0; m < nCells; m++ {
+			km := bigK + 2*math.Pi*float64(m)/bigA
+			var total float64
+			for o := 0; o < orbPerCell; o++ {
+				var amp complex128
+				for j := 0; j < nCells; j++ {
+					phase := cmplx.Exp(complex(0, -km*float64(j)*a))
+					amp += phase * eig.Vectors.At(j*orbPerCell+o, band)
+				}
+				total += real(amp)*real(amp) + imag(amp)*imag(amp)
+			}
+			st.W[m] = total / float64(nCells)
+		}
+		out[band] = st
+	}
+	return out, nil
+}
+
+// tbBloch forms h00 + h01·e^{iφ} + h01†·e^{−iφ}.
+func tbBloch(h00, h01 *linalg.Matrix, phi float64) *linalg.Matrix {
+	hk := h00.Clone()
+	hk.AddInPlace(h01.Scale(cmplx.Exp(complex(0, phi))))
+	hk.AddInPlace(h01.ConjTranspose().Scale(cmplx.Exp(complex(0, -phi))))
+	return hk
+}
+
+// DominantK returns the unfolded wavevector carrying the largest weight of
+// the state along with that weight — the "effective band" assignment.
+func (s State) DominantK() (k float64, w float64) {
+	best := 0
+	for m := range s.W {
+		if s.W[m] > s.W[best] {
+			best = m
+		}
+	}
+	return s.K[best], s.W[best]
+}
+
+// TotalWeight returns Σ_m W_m (1 for a complete unfolding).
+func (s State) TotalWeight() float64 {
+	var t float64
+	for _, w := range s.W {
+		t += w
+	}
+	return t
+}
+
+// SupercellChain builds the lead blocks of a chain supercell of nCells
+// sites with per-site energies eps (length nCells) and uniform hopping t:
+// h00 is the intra-supercell tridiagonal block, h01 the corner hopping
+// into the next supercell. It is the workhorse for alloy unfolding
+// studies and tests.
+func SupercellChain(eps []float64, t float64) (h00, h01 *linalg.Matrix) {
+	n := len(eps)
+	h00 = linalg.New(n, n)
+	h01 = linalg.New(n, n)
+	for i := 0; i < n; i++ {
+		h00.Set(i, i, complex(eps[i], 0))
+		if i+1 < n {
+			h00.Set(i, i+1, complex(t, 0))
+			h00.Set(i+1, i, complex(t, 0))
+		}
+	}
+	h01.Set(n-1, 0, complex(t, 0))
+	return h00, h01
+}

@@ -1,0 +1,164 @@
+package unfold
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnfoldValidation(t *testing.T) {
+	h00, h01 := SupercellChain([]float64{0, 0, 0, 0}, -1)
+	if _, err := Unfold(h00, h01, 3, 1, 0.5, 0); err == nil {
+		t.Fatal("accepted mismatched cell tiling")
+	}
+	if _, err := Unfold(h00, h01, 4, 1, 0.5, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCleanChainUnfoldsExactly: for a perfect crystal the supercell bands
+// are pure refoldings — every eigenstate carries weight 1 at exactly one
+// primitive wavevector, and its energy matches the primitive dispersion
+// there.
+func TestCleanChainUnfoldsExactly(t *testing.T) {
+	const n, a, eps0, hop = 6, 0.5, 0.2, -1.0
+	eps := make([]float64, n)
+	for i := range eps {
+		eps[i] = eps0
+	}
+	h00, h01 := SupercellChain(eps, hop)
+	for _, bigK := range []float64{0, 0.3, -0.9} {
+		states, err := Unfold(h00, h01, n, 1, a, bigK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(states) != n {
+			t.Fatalf("got %d states", len(states))
+		}
+		// Degenerate ±k pairs may mix arbitrarily inside the eigensolver,
+		// so the sharp statements are: (1) every bit of weight a state
+		// carries at k_m sits exactly on the primitive dispersion there;
+		// (2) the spectral weight accumulated at each k_m across all
+		// states is exactly 1.
+		perK := make([]float64, n)
+		for _, st := range states {
+			for m, w := range st.W {
+				if w < 1e-9 {
+					continue
+				}
+				want := eps0 + 2*hop*math.Cos(st.K[m]*a)
+				if math.Abs(st.Energy-want) > 1e-9 {
+					t.Fatalf("state E=%g carries weight %g at k=%g where the band is %g",
+						st.Energy, w, st.K[m], want)
+				}
+				perK[m] += w
+			}
+		}
+		for m, total := range perK {
+			if math.Abs(total-1) > 1e-9 {
+				t.Fatalf("unfolded wavevector %d accumulated weight %g, want 1", m, total)
+			}
+		}
+	}
+}
+
+// TestWeightSumRule: Σ_m W_m = 1 for every eigenstate, disordered or not.
+func TestWeightSumRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	eps := make([]float64, 8)
+	for i := range eps {
+		eps[i] = 0.5 * rng.NormFloat64()
+	}
+	h00, h01 := SupercellChain(eps, -1)
+	states, err := Unfold(h00, h01, 8, 1, 0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range states {
+		if math.Abs(st.TotalWeight()-1) > 1e-9 {
+			t.Fatalf("state at E=%g has total weight %g", st.Energy, st.TotalWeight())
+		}
+	}
+}
+
+// TestDisorderSpreadsWeight: alloy disorder must reduce the dominant
+// weight below 1 for at least some states — the spectral broadening the
+// effective-bandstructure method quantifies.
+func TestDisorderSpreadsWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := 10
+	eps := make([]float64, n)
+	for i := range eps {
+		if rng.Float64() < 0.5 {
+			eps[i] = 0.8
+		}
+	}
+	h00, h01 := SupercellChain(eps, -1)
+	states, err := Unfold(h00, h01, n, 1, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := 0
+	for _, st := range states {
+		if _, w := st.DominantK(); w < 0.95 {
+			spread++
+		}
+	}
+	if spread < n/3 {
+		t.Fatalf("only %d of %d alloy states show weight spreading", spread, n)
+	}
+}
+
+// TestWeakDisorderKeepsEffectiveBands: for weak disorder, the dominant-k
+// assignment must still trace the VCA-shifted primitive band closely.
+func TestWeakDisorderKeepsEffectiveBands(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, a, hop, shift, x = 12, 0.5, -1.0, 0.1, 0.5
+	eps := make([]float64, n)
+	for i := range eps {
+		if rng.Float64() < x {
+			eps[i] = shift
+		}
+	}
+	h00, h01 := SupercellChain(eps, hop)
+	states, err := Unfold(h00, h01, n, 1, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range states {
+		k, w := st.DominantK()
+		if w < 0.6 {
+			continue // strongly mixed state: no band assignment
+		}
+		vca := x*shift + 2*hop*math.Cos(k*a)
+		if math.Abs(st.Energy-vca) > 0.15 {
+			t.Fatalf("effective band at k=%g: E=%g vs VCA %g", k, st.Energy, vca)
+		}
+	}
+}
+
+func TestQuickUnfoldSumRule(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		rng := rand.New(rand.NewSource(seed))
+		eps := make([]float64, n)
+		for i := range eps {
+			eps[i] = rng.NormFloat64()
+		}
+		h00, h01 := SupercellChain(eps, -1)
+		states, err := Unfold(h00, h01, n, 1, 0.5, rng.NormFloat64())
+		if err != nil {
+			return false
+		}
+		for _, st := range states {
+			if math.Abs(st.TotalWeight()-1) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+package wavefunction
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// EvanescentMode is one decaying Bloch solution at a fixed energy: the
+// complex band structure of the contact material. Evanescent modes govern
+// tunneling through gaps and barriers — their decay constants set
+// subthreshold leakage in the FET application.
+type EvanescentMode struct {
+	// Lambda is the Bloch factor, |λ| < 1 (decaying toward +x).
+	Lambda complex128
+	// Kappa is the decay constant −ln|λ|/a in 1/nm.
+	Kappa float64
+}
+
+// ComplexBands solves the lead Bloch problem at energy e and returns the
+// decaying (toward +x) solutions sorted by decay constant, slowest first.
+// The slowest mode dominates tunneling: transmission through a barrier of
+// width W scales as exp(−2·κ_min·W).
+func ComplexBands(h00, h01 *linalg.Matrix, e, a float64) ([]EvanescentMode, error) {
+	lambdas, err := allLambdas(h00, h01, e)
+	if err != nil {
+		return nil, err
+	}
+	var out []EvanescentMode
+	for _, l := range lambdas {
+		al := cmplx.Abs(l)
+		if al < 1-propagatingTol && al > 1e-12 {
+			out = append(out, EvanescentMode{Lambda: l, Kappa: -math.Log(al) / a})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kappa < out[j].Kappa })
+	return out, nil
+}
+
+// MinDecay returns the smallest decay constant at energy e — the branch
+// that controls tunneling; ok is false when no evanescent branch exists.
+func MinDecay(h00, h01 *linalg.Matrix, e, a float64) (kappa float64, ok bool) {
+	modes, err := ComplexBands(h00, h01, e, a)
+	if err != nil || len(modes) == 0 {
+		return 0, false
+	}
+	return modes[0].Kappa, true
+}
