@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build vet test race bench ci clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 0.5s -run '^$$' ./internal/...
+
+ci: vet build race
+
+clean:
+	$(GO) clean ./...

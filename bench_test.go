@@ -11,6 +11,7 @@ package repro
 // where crossovers fall — are the comparison target; see EXPERIMENTS.md.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -138,13 +139,13 @@ func BenchmarkF1_Transmission(b *testing.B) {
 	b.ResetTimer()
 	var tw, tg []float64
 	for i := 0; i < b.N; i++ {
-		tw, err = wf.Transmissions(grid)
+		tw, err = wf.Transmissions(context.Background(), grid)
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.StopTimer()
-	tg, err = gf.Transmissions(grid)
+	tg, err = gf.Transmissions(context.Background(), grid)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func BenchmarkF2_IdVg(b *testing.B) {
 	b.ResetTimer()
 	var points []core.IVPoint
 	for i := 0; i < b.N; i++ {
-		points, err = fet.GateSweep(vgs, 0.2)
+		points, err = fet.GateSweep(context.Background(), vgs, 0.2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -231,7 +232,7 @@ func BenchmarkF3_SplitSolve(b *testing.B) {
 		b.Run(fmt.Sprintf("domains=%d", p), func(b *testing.B) {
 			perf.ResetFlops()
 			for i := 0; i < b.N; i++ {
-				if _, err := splitsolve.Solve(a, rhs, splitsolve.Options{Domains: p}); err != nil {
+				if _, err := splitsolve.Solve(context.Background(), a, rhs, splitsolve.Options{Domains: p}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -463,7 +464,7 @@ func BenchmarkX1_AlloyDisorder(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		ts, err := eng.Transmissions([]float64{-0.3})
+		ts, err := eng.Transmissions(context.Background(), []float64{-0.3})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -635,7 +636,7 @@ func BenchmarkA2_SelfEnergyCache(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					if _, err := eng.Transmissions(grid); err != nil {
+					if _, err := eng.Transmissions(context.Background(), grid); err != nil {
 						b.Fatal(err)
 					}
 				}

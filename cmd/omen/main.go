@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -49,8 +51,13 @@ func main() {
 		vgMax     = flag.Float64("vgmax", 0.6, "gate sweep end (V)")
 		nvg       = flag.Int("nvg", 6, "gate sweep points")
 		cellsX    = flag.Int("cellsx", 0, "override transport cells")
+		workers   = flag.Int("workers", 0, "total worker budget across all parallel levels (0: GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	// Interrupts cancel the in-flight solves cooperatively through ctx.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	desc, ok := knownDevices()[*devName]
 	if !ok {
@@ -60,7 +67,7 @@ func main() {
 	if *cellsX > 0 {
 		desc.CellsX = *cellsX
 	}
-	cfg := transport.Config{Domains: *domains}
+	cfg := transport.Config{Domains: *domains, Workers: *workers}
 	switch *formalism {
 	case "wf":
 		cfg.Formalism = transport.WaveFunction
@@ -85,7 +92,7 @@ func main() {
 			st.MatrixOrder, st.BlockSize, st.TransportLen)
 	case "transmission":
 		grid := transport.UniformGrid(*emin, *emax, *ne)
-		ts, err := sim.Transmission(grid, nil)
+		ts, err := sim.Transmission(ctx, grid, nil)
 		if err != nil {
 			fatal(err)
 		}
@@ -103,7 +110,7 @@ func main() {
 		fet.SourceDoping = 0.1
 		fet.GateStart, fet.GateEnd = 0.3, 0.7
 		vgs := transport.UniformGrid(*vgMin, *vgMax, *nvg)
-		points, err := fet.GateSweep(vgs, *vd)
+		points, err := fet.GateSweep(ctx, vgs, *vd)
 		if err != nil {
 			fatal(err)
 		}

@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/cluster"
 )
@@ -39,6 +41,11 @@ func main() {
 	)
 	flag.Parse()
 	m := cluster.Jaguar()
+
+	// An interrupt stops the sweep at the next study step; model
+	// evaluations themselves are fast enough not to need finer checks.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	switch *study {
 	case "strong":
@@ -84,6 +91,9 @@ func main() {
 			{221400, 480, 140},
 		}
 		for _, s := range steps {
+			if err := ctx.Err(); err != nil {
+				fatal(err)
+			}
 			w := cluster.Workload{
 				NBias: 16, NK: 21, NE: 1024,
 				NLayers: s.layers, BlockSize: s.block, RHSWidth: s.block,
@@ -123,6 +133,9 @@ func main() {
 			}, w.NLayers},
 		}
 		for _, l := range levels {
+			if err := ctx.Err(); err != nil {
+				fatal(err)
+			}
 			for _, n := range []int{2, 4, 8, 16, 32, 64, 128} {
 				if n > l.max {
 					break
@@ -139,6 +152,9 @@ func main() {
 		fmt.Printf("# phase breakdown on %s\n", m.Name)
 		fmt.Println("# cores\tselfE(s)\tsolve(s)\treduced(s)\tcomm(s)\timbalance(s)\ttotal(s)")
 		for _, c := range []int{5376, 43008, 221400} {
+			if err := ctx.Err(); err != nil {
+				fatal(err)
+			}
 			r, err := m.PredictAuto(w, c)
 			if err != nil {
 				fatal(err)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -29,7 +30,7 @@ func transmission(s *lattice.Structure, pot []float64, e float64) (float64, erro
 	if err != nil {
 		return 0, err
 	}
-	ts, err := eng.Transmissions([]float64{e})
+	ts, err := eng.Transmissions(context.Background(), []float64{e})
 	if err != nil {
 		return 0, err
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,7 +52,7 @@ func main() {
 	}
 	fmt.Printf("\n7-AGNR conduction steps (Ec = %.3f eV):\n  E-Ec(eV)  T(E)\n", ec)
 	grid := transport.UniformGrid(ec-0.05, ec+2.0, 12)
-	ts, err := sim.Transmission(grid, nil)
+	ts, err := sim.Transmission(context.Background(), grid, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func main() {
 	fet.NE = 120
 	fmt.Println("\ngated 7-AGNR at Vd = 0.2 V:")
 	fmt.Println("  Vg(V)    Id(A)")
-	points, err := fet.GateSweep([]float64{-0.4, -0.1, 0.2, 0.5}, 0.2)
+	points, err := fet.GateSweep(context.Background(), []float64{-0.4, -0.1, 0.2, 0.5}, 0.2)
 	if err != nil {
 		log.Fatal(err)
 	}

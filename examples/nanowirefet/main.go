@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -50,7 +51,7 @@ func main() {
 	fmt.Printf("gate sweep at Vd = %.2f V:\n", vd)
 	fmt.Println("  Vg(V)    Id(A)         iterations  converged")
 	start := time.Now()
-	points, err := fet.GateSweep(vgs, vd)
+	points, err := fet.GateSweep(context.Background(), vgs, vd)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -37,7 +38,7 @@ func main() {
 	}
 	start := time.Now()
 	measured, err := cluster.CalibrateBlockSolve(func() error {
-		_, err := sim.Transmission([]float64{ec + 0.3}, nil)
+		_, err := sim.Transmission(context.Background(), []float64{ec + 0.3}, nil)
 		return err
 	})
 	if err != nil {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func main() {
 	// 3. Ballistic transmission through the clean wire: integer plateaus
 	//    equal to the number of propagating lead modes.
 	energies := transport.UniformGrid(ec-0.08, ec+0.32, 11)
-	ts, err := sim.Transmission(energies, nil)
+	ts, err := sim.Transmission(context.Background(), energies, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,11 +56,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tsRef, err := simNEGF.Transmission([]float64{ec + 0.2}, nil)
+	tsRef, err := simNEGF.Transmission(context.Background(), []float64{ec + 0.2}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tsWF, err := sim.Transmission([]float64{ec + 0.2}, nil)
+	tsWF, err := sim.Transmission(context.Background(), []float64{ec + 0.2}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

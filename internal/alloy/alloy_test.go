@@ -1,6 +1,7 @@
 package alloy
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -119,7 +120,7 @@ func transmissionAt(t *testing.T, s *lattice.Structure, pot []float64, e float64
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts, err := eng.Transmissions([]float64{e})
+	ts, err := eng.Transmissions(context.Background(), []float64{e})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"context"
 	"math"
+	"repro/internal/sched"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -231,7 +233,7 @@ func TestRunTasksCoversAllAndIsOrdered(t *testing.T) {
 	const nb, nk, ne = 2, 3, 5
 	var count atomic.Int64
 	seen := make([]atomic.Bool, nb*nk*ne)
-	err := RunTasks(nb, nk, ne, 4, func(task Task) error {
+	err := RunTasks(context.Background(), nb, nk, ne, sched.New(4), func(_ context.Context, task Task) error {
 		idx := (task.Bias*nk+task.K)*ne + task.E
 		if seen[idx].Swap(true) {
 			t.Errorf("task %v executed twice", task)
@@ -253,7 +255,7 @@ func TestRunTasksCoversAllAndIsOrdered(t *testing.T) {
 }
 
 func TestRunTasksPropagatesError(t *testing.T) {
-	err := RunTasks(1, 1, 4, 2, func(task Task) error {
+	err := RunTasks(context.Background(), 1, 1, 4, sched.New(2), func(_ context.Context, task Task) error {
 		if task.E == 2 {
 			return errTest
 		}

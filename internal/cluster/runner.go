@@ -1,9 +1,10 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
+
+	"repro/internal/sched"
 )
 
 // Task identifies one independent work item of the multi-level sweep.
@@ -13,43 +14,32 @@ type Task struct {
 	Bias, K, E int
 }
 
-// RunTasks executes fn for every (bias, k, E) task on a bounded worker
+// RunTasks executes fn for every (bias, k, E) task on the given worker
 // pool — the real (shared-memory) counterpart of the distributed
 // decomposition modeled by Predict. Each task must write only to its own
-// output slot; the runner guarantees all tasks complete before returning
-// and surfaces the first error encountered (by task order, so failures
-// are deterministic too).
-func RunTasks(nBias, nK, nE, workers int, fn func(Task) error) error {
+// output slot. A nil pool runs on a private GOMAXPROCS-sized one. The
+// first error (by task order, so failures are deterministic) cancels the
+// in-flight siblings through ctx and is returned after all running tasks
+// have drained.
+func RunTasks(ctx context.Context, nBias, nK, nE int, pool *sched.Pool, fn func(context.Context, Task) error) error {
 	if nBias < 1 || nK < 1 || nE < 1 {
 		return fmt.Errorf("cluster: task counts must be positive")
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if pool == nil {
+		pool = sched.New(0)
 	}
 	total := nBias * nK * nE
-	errs := make([]error, total)
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for idx := 0; idx < total; idx++ {
-		wg.Add(1)
-		go func(idx int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			t := Task{
-				Bias: idx / (nK * nE),
-				K:    (idx / nE) % nK,
-				E:    idx % nE,
-			}
-			errs[idx] = fn(t)
-		}(idx)
+	err := pool.ForEach(ctx, "sweep", total, func(ctx context.Context, idx int) error {
+		return fn(ctx, Task{
+			Bias: idx / (nK * nE),
+			K:    (idx / nE) % nK,
+			E:    idx % nE,
+		})
+	})
+	if te, ok := sched.AsTaskError(err); ok {
+		idx := te.Index
+		return fmt.Errorf("cluster: task %d (bias %d, k %d, E %d): %w",
+			idx, idx/(nK*nE), (idx/nE)%nK, idx%nE, te.Err)
 	}
-	wg.Wait()
-	for idx, err := range errs {
-		if err != nil {
-			return fmt.Errorf("cluster: task %d (bias %d, k %d, E %d): %w",
-				idx, idx/(nK*nE), (idx/nE)%nK, idx%nE, err)
-		}
-	}
-	return nil
+	return err
 }

@@ -8,11 +8,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/cluster"
 	"repro/internal/device"
+	"repro/internal/sched"
 	"repro/internal/sparse"
 	"repro/internal/tb"
 	"repro/internal/transport"
@@ -77,20 +79,26 @@ func (s *Simulator) Bands(nk int) (*tb.BandStructure, error) {
 
 // Transmission returns the momentum-averaged transmission T(E) over the
 // energy grid, with the per-k solves distributed over the worker pool (the
-// momentum × energy levels of the paper's parallel scheme).
-func (s *Simulator) Transmission(energies []float64, potential []float64) ([]float64, error) {
+// momentum × energy levels of the paper's parallel scheme). Both levels —
+// and SplitSolve domains below them — draw helpers from one shared pool,
+// so total concurrency stays bounded by its worker budget.
+func (s *Simulator) Transmission(ctx context.Context, energies []float64, potential []float64) ([]float64, error) {
 	ks := s.kPoints()
+	cfg := s.Transport
+	if cfg.Pool == nil {
+		cfg.Pool = sched.New(cfg.Workers)
+	}
 	perK := make([][]float64, len(ks))
-	err := cluster.RunTasks(1, len(ks), 1, s.Transport.Workers, func(task cluster.Task) error {
+	err := cluster.RunTasks(ctx, 1, len(ks), 1, cfg.Pool, func(ctx context.Context, task cluster.Task) error {
 		h, err := s.Hamiltonian(potential, ks[task.K])
 		if err != nil {
 			return err
 		}
-		eng, err := transport.NewEngine(h, s.Transport)
+		eng, err := transport.NewEngine(h, cfg)
 		if err != nil {
 			return err
 		}
-		t, err := eng.Transmissions(energies)
+		t, err := eng.Transmissions(ctx, energies)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -59,7 +60,7 @@ func TestSimulatorTransmissionFlat(t *testing.T) {
 	}
 	// Inside the first conduction plateau, T = 1 for a clean ribbon; in
 	// the gap, T ≈ 0.
-	ts, err := sim.Transmission([]float64{0, ec + 0.1}, nil)
+	ts, err := sim.Transmission(context.Background(), []float64{0, ec + 0.1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,11 +86,11 @@ func TestSimulatorPotentialBarrier(t *testing.T) {
 		}
 	}
 	e := ec + 0.15
-	tFlat, err := sim.Transmission([]float64{e}, nil)
+	tFlat, err := sim.Transmission(context.Background(), []float64{e}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tBarrier, err := sim.Transmission([]float64{e}, pot)
+	tBarrier, err := sim.Transmission(context.Background(), []float64{e}, pot)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,12 +112,12 @@ func TestUTBMomentumAverage(t *testing.T) {
 	}
 	e := []float64{ec + 0.3}
 	sim.NK = 1
-	t1, err := sim.Transmission(e, nil)
+	t1, err := sim.Transmission(context.Background(), e, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sim.NK = 4
-	t4, err := sim.Transmission(e, nil)
+	t4, err := sim.Transmission(context.Background(), e, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestFETGateControl(t *testing.T) {
 		t.Skip("self-consistent FET loop in -short mode")
 	}
 	fet := fetForTest(t)
-	points, err := fet.GateSweep([]float64{-0.4, 0.0, 0.4}, 0.2)
+	points, err := fet.GateSweep(context.Background(), []float64{-0.4, 0.0, 0.4}, 0.2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/negf"
 	"repro/internal/poisson"
+	"repro/internal/sched"
 	"repro/internal/transport"
 )
 
@@ -104,8 +106,21 @@ func (f *FET) gateMask(nl int) []bool {
 	return mask
 }
 
+// pool returns the worker pool bias points schedule on: the simulator's
+// shared pool when configured, else a private GOMAXPROCS-sized one.
+func (f *FET) pool() *sched.Pool {
+	if p := f.Sim.Transport.Pool; p != nil {
+		return p
+	}
+	return sched.New(f.Sim.Transport.Workers)
+}
+
 // SolveBias runs the self-consistent loop at one (VGate, VDrain) point.
-func (f *FET) SolveBias(vg, vd float64) (*IVPoint, error) {
+func (f *FET) SolveBias(ctx context.Context, vg, vd float64) (*IVPoint, error) {
+	return f.solveBias(ctx, vg, vd, f.pool())
+}
+
+func (f *FET) solveBias(ctx context.Context, vg, vd float64, pool *sched.Pool) (*IVPoint, error) {
 	s := f.Sim.Built.Structure
 	nl := s.NLayers()
 	atoms := s.NAtoms()
@@ -137,6 +152,9 @@ func (f *FET) SolveBias(vg, vd float64) (*IVPoint, error) {
 	// iterations (the production optimization of the paper's code).
 	cfg := f.Sim.Transport
 	cfg.Cache = negf.NewSelfEnergyCache()
+	// All iterations (and, in a GateSweep, all bias points) draw their
+	// energy- and domain-level helpers from the same pool.
+	cfg.Pool = pool
 
 	// Conduction-electron window, fixed per bias point so every iteration
 	// reuses the same cached energies: from just below the lowest
@@ -155,6 +173,9 @@ func (f *FET) SolveBias(vg, vd float64) (*IVPoint, error) {
 	grid := transport.UniformGrid(lo, hi, f.NE)
 
 	for iter := 1; iter <= f.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		point.Iterations = iter
 		// Spread the layer potential onto atoms.
 		for i, a := range s.Atoms {
@@ -168,7 +189,7 @@ func (f *FET) SolveBias(vg, vd float64) (*IVPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		occ, err := eng.ChargeDensity(grid, bias)
+		occ, err := eng.ChargeDensity(ctx, grid, bias)
 		if err != nil {
 			return nil, err
 		}
@@ -227,7 +248,7 @@ func (f *FET) SolveBias(vg, vd float64) (*IVPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	ts, err := eng.Transmissions(iGrid)
+	ts, err := eng.Transmissions(ctx, iGrid)
 	if err != nil {
 		return nil, err
 	}
@@ -240,18 +261,28 @@ func (f *FET) SolveBias(vg, vd float64) (*IVPoint, error) {
 	return point, nil
 }
 
-// GateSweep runs SolveBias over a gate-voltage ladder at fixed drain bias,
-// warm-starting each point from scratch (points are independent, so they
-// can also be distributed — this is the bias level of the parallel
-// scheme; see cmd/scaling for the modeled version).
-func (f *FET) GateSweep(vgs []float64, vd float64) ([]IVPoint, error) {
+// GateSweep runs SolveBias over a gate-voltage ladder at fixed drain bias.
+// The points are independent — this is the outermost (bias) level of the
+// paper's parallel scheme — so they run concurrently, sharing one worker
+// pool with the momentum/energy/domain levels nested inside each point.
+// Results come back in ladder order; the first failing gate voltage (by
+// ladder order) cancels the in-flight siblings and is reported.
+func (f *FET) GateSweep(ctx context.Context, vgs []float64, vd float64) ([]IVPoint, error) {
 	out := make([]IVPoint, len(vgs))
-	for i, vg := range vgs {
-		p, err := f.SolveBias(vg, vd)
+	pool := f.pool()
+	err := pool.ForEach(ctx, "bias", len(vgs), func(ctx context.Context, i int) error {
+		p, err := f.solveBias(ctx, vgs[i], vd, pool)
 		if err != nil {
-			return nil, fmt.Errorf("core: Vg=%g: %w", vg, err)
+			return err
 		}
 		out[i] = *p
+		return nil
+	})
+	if te, ok := sched.AsTaskError(err); ok {
+		return nil, fmt.Errorf("core: Vg=%g: %w", vgs[te.Index], te.Err)
+	}
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

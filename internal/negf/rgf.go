@@ -1,10 +1,12 @@
 package negf
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/perf"
 	"repro/internal/sparse"
 )
 
@@ -56,11 +58,26 @@ type Result struct {
 // column); with density=true the contact-resolved spectral diagonals are
 // also assembled.
 func (s *Solver) Solve(e float64, density bool) (*Result, error) {
+	return s.SolveCtx(context.Background(), e, density)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the solve aborts
+// between its phases (self-energies, RGF sweep) when ctx is canceled, so
+// a failing sibling energy point in a parallel spectrum stops this one
+// early.
+func (s *Solver) SolveCtx(ctx context.Context, e float64, density bool) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	z := complex(e, s.Eta)
 	sigL, sigR, err := s.selfEnergies(z)
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	defer perf.StartPhase("rgf")()
 	return s.solveWithSigma(e, z, sigL, sigR, density)
 }
 

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"repro/internal/linalg"
+	"repro/internal/perf"
 	"repro/internal/sparse"
 )
 
@@ -97,6 +98,10 @@ func LeadsFromDevice(h *sparse.BlockTridiag) (*Leads, error) {
 // Σ_L = L01†·g_L·L01 with g_L the left surface GF, and
 // Σ_R = R01·g_R·R01† with g_R the right surface GF.
 func (l *Leads) SelfEnergies(z complex128) (sigL, sigR *linalg.Matrix, err error) {
+	// Instrumented as the "self-energy" phase: the Sancho-Rubio decimation
+	// below dominates per-energy cost when the cache misses, and the phase
+	// breakdown of the paper's Table is reconstructed from this timer.
+	defer perf.StartPhase("self-energy")()
 	// Left lead grows toward −x: coupling into the bulk is L01†.
 	gL, err := SurfaceGF(l.L00, l.L01.ConjTranspose(), z)
 	if err != nil {

@@ -1,6 +1,7 @@
 // Package perf provides performance accounting shared by the numerical
-// kernels: a global floating-point operation counter, phase timers, and
-// formatting helpers used by the benchmark harness.
+// kernels: a sharded global floating-point operation counter, per-phase
+// wall-time/flop attribution, and formatting helpers used by the benchmark
+// harness.
 //
 // The flop counter is the foundation of the repository's performance model:
 // every dense/sparse kernel in internal/linalg and internal/sparse reports
@@ -9,24 +10,80 @@
 // model to reproduce the paper's sustained-Flop/s figures.
 package perf
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
-// flopCount is the global operation counter. It is updated atomically so
-// that concurrent kernels (worker pools in the transport integrators) can
-// report without synchronization bugs.
-var flopCount atomic.Int64
+// shardCount is the number of independent counter cells the global flop
+// counter is split over. A power of two so the shard pick is a mask. 32
+// cells keep the collision probability low for the worker counts the
+// transport integrators run (GOMAXPROCS-sized pools) while the whole
+// array stays a few cache lines.
+const shardCount = 32
+
+// paddedCounter is one counter cell, padded to its own pair of cache
+// lines so concurrent workers hitting different shards never false-share
+// (128 bytes covers adjacent-line prefetching on common x86 parts).
+type paddedCounter struct {
+	n atomic.Int64
+	_ [120]byte
+}
+
+// flopShards is the sharded global operation counter. Each AddFlops call
+// lands on exactly one shard, so the total over shards is exact; sharding
+// only removes the single contended cache line that a lone atomic.Int64
+// becomes under 8+ concurrent kernel goroutines (see
+// BenchmarkFlopCounter*).
+var flopShards [shardCount]paddedCounter
+
+// shardCursor round-robins freshly requested shards over the fixed array.
+var shardCursor atomic.Uint32
+
+// shardPool hands each processor a sticky shard: sync.Pool's fast path is
+// per-P, so a worker repeatedly hitting AddFlops keeps writing the same
+// already-local cache line instead of bouncing a shared one between cores.
+// The pool only ever holds pointers into flopShards — Flops/ResetFlops sum
+// the fixed array, so no count can be stranded when the pool is drained by
+// the garbage collector.
+var shardPool = sync.Pool{New: func() any {
+	return &flopShards[shardCursor.Add(1)&(shardCount-1)]
+}}
 
 // AddFlops adds n real floating-point operations to the global counter.
 // Kernels count a complex multiply-add as 8 real flops (4 mul + 4 add),
 // a complex add as 2, a complex multiply as 6, and a complex divide as 11
-// (following the LINPACK/LAPACK convention).
-func AddFlops(n int64) { flopCount.Add(n) }
+// (following the LINPACK/LAPACK convention). Callers report at kernel
+// granularity (one call per GEMM/LU/solve), so the few nanoseconds of
+// pool round-trip per call are noise next to the kernels themselves.
+func AddFlops(n int64) {
+	c := shardPool.Get().(*paddedCounter)
+	c.n.Add(n)
+	shardPool.Put(c)
+}
 
-// Flops returns the current value of the global flop counter.
-func Flops() int64 { return flopCount.Load() }
+// Flops returns the current value of the global flop counter. The shard
+// sum is not a single atomic snapshot: counts added concurrently with the
+// read may or may not be included, exactly as with the previous single
+// atomic counter read under concurrent writers; no count is ever lost.
+func Flops() int64 {
+	var sum int64
+	for i := range flopShards {
+		sum += flopShards[i].n.Load()
+	}
+	return sum
+}
 
-// ResetFlops zeroes the global flop counter and returns the previous value.
-func ResetFlops() int64 { return flopCount.Swap(0) }
+// ResetFlops zeroes the global flop counter and returns the previous
+// value. Counts added concurrently with the reset land either in the
+// returned value or in the fresh counter, never both and never neither.
+func ResetFlops() int64 {
+	var sum int64
+	for i := range flopShards {
+		sum += flopShards[i].n.Swap(0)
+	}
+	return sum
+}
 
 // Complex-arithmetic flop-cost constants used by the kernels.
 const (

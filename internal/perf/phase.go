@@ -1,0 +1,95 @@
+package perf
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PhaseStats aggregates the instrumentation of one named simulation phase
+// (self-energy, rgf, wf-solve, splitsolve, poisson, and the sched pool
+// levels bias/momentum/energy).
+type PhaseStats struct {
+	// Calls is the number of recorded executions.
+	Calls int64
+	// Wall is the summed execution wall time. Concurrent executions all
+	// contribute their full duration, so Wall over a parallel region can
+	// exceed elapsed time — it is CPU-occupancy-weighted, which is what
+	// the per-level efficiency accounting needs.
+	Wall time.Duration
+	// Flops is the operation count explicitly attributed to the phase by
+	// the call sites that know it (RecordPhase/AddPhaseFlops). Wall time
+	// is measured automatically by the sched layer and the instrumented
+	// solvers; flop attribution is explicit because the kernel-level
+	// counter (AddFlops) is global and cannot know which phase its caller
+	// belongs to.
+	Flops int64
+}
+
+// phaseCell is the lock-free accumulator behind one phase name.
+type phaseCell struct {
+	calls atomic.Int64
+	nanos atomic.Int64
+	flops atomic.Int64
+}
+
+// phases maps phase name → *phaseCell.
+var phases sync.Map
+
+func phase(name string) *phaseCell {
+	if c, ok := phases.Load(name); ok {
+		return c.(*phaseCell)
+	}
+	c, _ := phases.LoadOrStore(name, &phaseCell{})
+	return c.(*phaseCell)
+}
+
+// RecordPhase adds one execution of the named phase: its wall time and an
+// optional explicitly-known flop count (0 when only timing is available).
+func RecordPhase(name string, wall time.Duration, flops int64) {
+	c := phase(name)
+	c.calls.Add(1)
+	c.nanos.Add(int64(wall))
+	if flops != 0 {
+		c.flops.Add(flops)
+	}
+}
+
+// StartPhase starts timing one execution of the named phase and returns
+// the function that stops the timer and records it:
+//
+//	defer perf.StartPhase("rgf")()
+func StartPhase(name string) func() {
+	start := time.Now()
+	return func() { RecordPhase(name, time.Since(start), 0) }
+}
+
+// AddPhaseFlops attributes n flops to the named phase without recording a
+// call (used when the flop count of an already-timed phase is computed
+// separately, e.g. the SplitSolve reduced interface system).
+func AddPhaseFlops(name string, n int64) {
+	phase(name).flops.Add(n)
+}
+
+// PhaseSnapshot returns a copy of every phase's accumulated statistics.
+func PhaseSnapshot() map[string]PhaseStats {
+	out := make(map[string]PhaseStats)
+	phases.Range(func(k, v any) bool {
+		c := v.(*phaseCell)
+		out[k.(string)] = PhaseStats{
+			Calls: c.calls.Load(),
+			Wall:  time.Duration(c.nanos.Load()),
+			Flops: c.flops.Load(),
+		}
+		return true
+	})
+	return out
+}
+
+// ResetPhases clears all phase statistics.
+func ResetPhases() {
+	phases.Range(func(k, _ any) bool {
+		phases.Delete(k)
+		return true
+	})
+}

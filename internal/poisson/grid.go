@@ -118,6 +118,7 @@ func (g *Grid) applyOperator(v, y []float64) {
 // gradients; tol is the relative residual target (e.g. 1e-10) and maxIter
 // bounds the iterations (0 means 10·N).
 func (g *Grid) Solve(rho []float64, tol float64, maxIter int) ([]float64, error) {
+	defer perf.StartPhase("poisson")()
 	n := g.N()
 	if len(rho) != n {
 		return nil, fmt.Errorf("poisson: charge density has %d entries for %d nodes", len(rho), n)

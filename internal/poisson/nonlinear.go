@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/perf"
 	"repro/internal/units"
 )
 
@@ -194,6 +195,7 @@ type GateAllAround1D struct {
 // matrix diagonal and makes the self-consistent iteration robust through
 // the threshold region.
 func (g *GateAllAround1D) SolveLinearized(vg float64, rho, rhoDeriv, u0 []float64) ([]float64, error) {
+	defer perf.StartPhase("poisson")()
 	n := len(g.GateMask)
 	if len(rho) != n || len(rhoDeriv) != n || len(u0) != n {
 		return nil, fmt.Errorf("poisson: GAA linearized solve: inconsistent vector lengths")

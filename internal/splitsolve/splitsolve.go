@@ -22,11 +22,13 @@
 package splitsolve
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
+	"time"
 
 	"repro/internal/linalg"
+	"repro/internal/perf"
+	"repro/internal/sched"
 	"repro/internal/sparse"
 )
 
@@ -36,15 +38,19 @@ type Options struct {
 	// than the layer count are rejected.
 	Domains int
 	// Workers bounds the number of concurrent domain solves; 0 means
-	// runtime.GOMAXPROCS(0).
+	// runtime.GOMAXPROCS(0). Ignored when Pool is set.
 	Workers int
+	// Pool optionally provides the worker pool the domain stages run on,
+	// sharing its budget with the enclosing parallelism levels (energy
+	// points). Nil creates a private pool of Workers.
+	Pool *sched.Pool
 }
 
 // Solve solves A·X = B by spatial domain decomposition. rhs is given per
 // layer (layer i block is LayerSize(i)×k); the solution is returned in the
 // same layout. With Domains == 1 it reduces to the serial block-Thomas
-// solve.
-func Solve(a *sparse.BlockTridiag, rhs []*linalg.Matrix, opt Options) ([]*linalg.Matrix, error) {
+// solve. Cancelling ctx aborts the parallel stages between domain solves.
+func Solve(ctx context.Context, a *sparse.BlockTridiag, rhs []*linalg.Matrix, opt Options) ([]*linalg.Matrix, error) {
 	nl := a.Layers()
 	p := opt.Domains
 	if p < 1 {
@@ -59,9 +65,9 @@ func Solve(a *sparse.BlockTridiag, rhs []*linalg.Matrix, opt Options) ([]*linalg
 	if p == 1 {
 		return a.SolveBlocks(rhs)
 	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	pool := opt.Pool
+	if pool == nil {
+		pool = sched.New(opt.Workers)
 	}
 
 	// Partition layers into contiguous domains as evenly as possible.
@@ -74,86 +80,76 @@ func Solve(a *sparse.BlockTridiag, rhs []*linalg.Matrix, opt Options) ([]*linalg
 		// (A_p⁻¹·Ê_p)[layer i][:, supV].
 		v, w       []*linalg.Matrix
 		supV, supW []int
-		e          error
 	}
 	results := make([]domainResult, p)
 
-	// Stage 1 (parallel): local factorizations and spike solves.
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for d := 0; d < p; d++ {
-		wg.Add(1)
-		go func(d int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			lo, hi := bounds[d], bounds[d+1] // layers [lo, hi)
-			local := subMatrix(a, lo, hi)
-			nLoc := hi - lo
-			k := rhs[0].Cols
-			var supV, supW []int
-			if d < p-1 {
-				supV = columnSupport(a.Upper[hi-1])
-			}
-			if d > 0 {
-				supW = columnSupport(a.Lower[lo-1])
-			}
-			width := k + len(supV) + len(supW)
-			stacked := make([]*linalg.Matrix, nLoc)
-			for i := 0; i < nLoc; i++ {
-				stacked[i] = linalg.New(a.LayerSize(lo+i), width)
-				stacked[i].SetSubmatrix(0, 0, rhs[lo+i])
-			}
-			if d < p-1 {
-				// Ê: the supported columns of U_{hi-1} in the last local
-				// layer-row.
-				u := a.Upper[hi-1]
-				for j, col := range supV {
-					for i := 0; i < u.Rows; i++ {
-						stacked[nLoc-1].Set(i, k+j, u.At(i, col))
-					}
-				}
-			}
-			if d > 0 {
-				// F̂: the supported columns of L_{lo-1} in the first local
-				// layer-row.
-				l := a.Lower[lo-1]
-				for j, col := range supW {
-					for i := 0; i < l.Rows; i++ {
-						stacked[0].Set(i, k+len(supV)+j, l.At(i, col))
-					}
-				}
-			}
-			x, err := local.SolveBlocks(stacked)
-			if err != nil {
-				results[d].e = fmt.Errorf("splitsolve: domain %d: %w", d, err)
-				return
-			}
-			res := domainResult{
-				g:    make([]*linalg.Matrix, nLoc),
-				v:    make([]*linalg.Matrix, nLoc),
-				w:    make([]*linalg.Matrix, nLoc),
-				supV: supV,
-				supW: supW,
-			}
-			for i := 0; i < nLoc; i++ {
-				ni := a.LayerSize(lo + i)
-				res.g[i] = x[i].Submatrix(0, 0, ni, k)
-				if d < p-1 {
-					res.v[i] = x[i].Submatrix(0, k, ni, len(supV))
-				}
-				if d > 0 {
-					res.w[i] = x[i].Submatrix(0, k+len(supV), ni, len(supW))
-				}
-			}
-			results[d] = res
-		}(d)
-	}
-	wg.Wait()
-	for d := 0; d < p; d++ {
-		if results[d].e != nil {
-			return nil, results[d].e
+	// Stage 1 (parallel): local factorizations and spike solves, fanned
+	// out on the shared pool so the spatial level borrows workers from —
+	// rather than multiplies with — the enclosing energy level.
+	err := pool.ForEach(ctx, "splitsolve", p, func(_ context.Context, d int) error {
+		lo, hi := bounds[d], bounds[d+1] // layers [lo, hi)
+		local := subMatrix(a, lo, hi)
+		nLoc := hi - lo
+		k := rhs[0].Cols
+		var supV, supW []int
+		if d < p-1 {
+			supV = columnSupport(a.Upper[hi-1])
 		}
+		if d > 0 {
+			supW = columnSupport(a.Lower[lo-1])
+		}
+		width := k + len(supV) + len(supW)
+		stacked := make([]*linalg.Matrix, nLoc)
+		for i := 0; i < nLoc; i++ {
+			stacked[i] = linalg.New(a.LayerSize(lo+i), width)
+			stacked[i].SetSubmatrix(0, 0, rhs[lo+i])
+		}
+		if d < p-1 {
+			// Ê: the supported columns of U_{hi-1} in the last local
+			// layer-row.
+			u := a.Upper[hi-1]
+			for j, col := range supV {
+				for i := 0; i < u.Rows; i++ {
+					stacked[nLoc-1].Set(i, k+j, u.At(i, col))
+				}
+			}
+		}
+		if d > 0 {
+			// F̂: the supported columns of L_{lo-1} in the first local
+			// layer-row.
+			l := a.Lower[lo-1]
+			for j, col := range supW {
+				for i := 0; i < l.Rows; i++ {
+					stacked[0].Set(i, k+len(supV)+j, l.At(i, col))
+				}
+			}
+		}
+		x, err := local.SolveBlocks(stacked)
+		if err != nil {
+			return fmt.Errorf("splitsolve: domain %d: %w", d, err)
+		}
+		res := domainResult{
+			g:    make([]*linalg.Matrix, nLoc),
+			v:    make([]*linalg.Matrix, nLoc),
+			w:    make([]*linalg.Matrix, nLoc),
+			supV: supV,
+			supW: supW,
+		}
+		for i := 0; i < nLoc; i++ {
+			ni := a.LayerSize(lo + i)
+			res.g[i] = x[i].Submatrix(0, 0, ni, k)
+			if d < p-1 {
+				res.v[i] = x[i].Submatrix(0, k, ni, len(supV))
+			}
+			if d > 0 {
+				res.w[i] = x[i].Submatrix(0, k+len(supV), ni, len(supW))
+			}
+		}
+		results[d] = res
+		return nil
+	})
+	if err != nil {
+		return nil, unwrapTask(err)
 	}
 
 	// Stage 2 (serial critical path): reduced interface system. Unknowns:
@@ -165,6 +161,7 @@ func Solve(a *sparse.BlockTridiag, rhs []*linalg.Matrix, opt Options) ([]*linalg
 	// so it is solved with the same block-Thomas kernel. Single-layer
 	// domains keep both slots with an explicit ξ_d^l = ξ_d^f constraint
 	// row so every group has uniform size.
+	redStart := time.Now()
 	k := rhs[0].Cols
 	redDiag := make([]*linalg.Matrix, p)
 	redUpper := make([]*linalg.Matrix, p-1)
@@ -238,47 +235,66 @@ func Solve(a *sparse.BlockTridiag, rhs []*linalg.Matrix, opt Options) ([]*linalg
 	if err != nil {
 		return nil, fmt.Errorf("splitsolve: reduced interface system: %w", err)
 	}
+	// Attribute the serial critical path to its own phase, with the flop
+	// count of the reduced block-Thomas solve from the repo's standard
+	// cost formulas (one LU, coupled triangular solves, and the two
+	// coupling products per domain group).
+	var redFlops int64
+	for d := 0; d < p; d++ {
+		tot := sizeF[d] + sizeL[d]
+		redFlops += perf.LUFlops(tot) + perf.SolveFlops(tot, tot+k) +
+			2*perf.GemmFlops(tot, tot, tot)
+	}
+	perf.RecordPhase("splitsolve-reduced", time.Since(redStart), redFlops)
 
 	// Stage 3 (parallel): interior reconstruction,
 	// X_d = G_d − V_d·ξ_{d+1}^f[supV] − W_d·ξ_{d-1}^l[supW].
 	out := make([]*linalg.Matrix, nl)
-	var wg2 sync.WaitGroup
-	for d := 0; d < p; d++ {
-		wg2.Add(1)
-		go func(d int) {
-			defer wg2.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			lo, hi := bounds[d], bounds[d+1]
-			r := results[d]
-			var xiNext, xiPrev *linalg.Matrix
-			if d < p-1 {
-				xiNext = gatherRows(xiBlocks[d+1], r.supV, 0, k)
+	err = pool.ForEach(ctx, "splitsolve", p, func(_ context.Context, d int) error {
+		lo, hi := bounds[d], bounds[d+1]
+		r := results[d]
+		var xiNext, xiPrev *linalg.Matrix
+		if d < p-1 {
+			xiNext = gatherRows(xiBlocks[d+1], r.supV, 0, k)
+		}
+		if d > 0 {
+			xiPrev = gatherRows(xiBlocks[d-1], r.supW, sizeF[d-1], k)
+		}
+		for i := lo; i < hi; i++ {
+			x := r.g[i-lo].Clone()
+			if xiNext != nil {
+				x.SubInPlace(r.v[i-lo].Mul(xiNext))
 			}
-			if d > 0 {
-				xiPrev = gatherRows(xiBlocks[d-1], r.supW, sizeF[d-1], k)
+			if xiPrev != nil {
+				x.SubInPlace(r.w[i-lo].Mul(xiPrev))
 			}
-			for i := lo; i < hi; i++ {
-				x := r.g[i-lo].Clone()
-				if xiNext != nil {
-					x.SubInPlace(r.v[i-lo].Mul(xiNext))
-				}
-				if xiPrev != nil {
-					x.SubInPlace(r.w[i-lo].Mul(xiPrev))
-				}
-				out[i] = x
-			}
-		}(d)
+			out[i] = x
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, unwrapTask(err)
 	}
-	wg2.Wait()
 	return out, nil
 }
 
+// unwrapTask strips the sched.TaskError wrapper: the domain errors built
+// inside the stages already carry their domain number.
+func unwrapTask(err error) error {
+	if te, ok := sched.AsTaskError(err); ok {
+		return te.Err
+	}
+	return err
+}
+
 // Strategy returns a solve function with the given decomposition baked in,
-// suitable for plugging into the wave-function solver.
-func Strategy(domains, workers int) func(*sparse.BlockTridiag, []*linalg.Matrix) ([]*linalg.Matrix, error) {
-	return func(a *sparse.BlockTridiag, rhs []*linalg.Matrix) ([]*linalg.Matrix, error) {
-		return Solve(a, rhs, Options{Domains: domains, Workers: workers})
+// suitable for plugging into the wave-function solver. The pool (nil: a
+// private GOMAXPROCS-sized one) bounds the domain fan-out; passing the
+// enclosing energy-level pool makes the two levels share one worker
+// budget.
+func Strategy(domains int, pool *sched.Pool) func(context.Context, *sparse.BlockTridiag, []*linalg.Matrix) ([]*linalg.Matrix, error) {
+	return func(ctx context.Context, a *sparse.BlockTridiag, rhs []*linalg.Matrix) ([]*linalg.Matrix, error) {
+		return Solve(ctx, a, rhs, Options{Domains: domains, Pool: pool})
 	}
 }
 

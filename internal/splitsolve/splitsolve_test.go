@@ -1,6 +1,7 @@
 package splitsolve
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/linalg"
 	"repro/internal/negf"
+	"repro/internal/sched"
 	"repro/internal/sparse"
 	"repro/internal/tb"
 	"repro/internal/wavefunction"
@@ -58,7 +60,7 @@ func TestSplitSolveMatchesSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, p := range []int{1, 2, 3, 4, 7, 10} {
-		got, err := Solve(a, rhs, Options{Domains: p})
+		got, err := Solve(context.Background(), a, rhs, Options{Domains: p})
 		if err != nil {
 			t.Fatalf("P=%d: %v", p, err)
 		}
@@ -75,7 +77,7 @@ func TestSplitSolveResidual(t *testing.T) {
 	rng := rand.New(rand.NewSource(61))
 	sizes := []int{4, 4, 4, 4, 4, 4}
 	a, rhs := randomSystem(rng, sizes, 2)
-	x, err := Solve(a, rhs, Options{Domains: 3})
+	x, err := Solve(context.Background(), a, rhs, Options{Domains: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,13 +106,13 @@ func TestSplitSolveResidual(t *testing.T) {
 func TestSplitSolveValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(62))
 	a, rhs := randomSystem(rng, []int{2, 2, 2}, 1)
-	if _, err := Solve(a, rhs, Options{Domains: 0}); err == nil {
+	if _, err := Solve(context.Background(), a, rhs, Options{Domains: 0}); err == nil {
 		t.Fatal("accepted zero domains")
 	}
-	if _, err := Solve(a, rhs, Options{Domains: 4}); err == nil {
+	if _, err := Solve(context.Background(), a, rhs, Options{Domains: 4}); err == nil {
 		t.Fatal("accepted more domains than layers")
 	}
-	if _, err := Solve(a, rhs[:2], Options{Domains: 2}); err == nil {
+	if _, err := Solve(context.Background(), a, rhs[:2], Options{Domains: 2}); err == nil {
 		t.Fatal("accepted short RHS")
 	}
 }
@@ -125,7 +127,7 @@ func TestSplitSolveSingleLayerDomains(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Solve(a, rhs, Options{Domains: len(sizes)})
+	got, err := Solve(context.Background(), a, rhs, Options{Domains: len(sizes)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +163,7 @@ func TestSplitSolveInsideWFSolver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wf.SolveStrategy = Strategy(4, 2)
+	wf.SolveStrategy = Strategy(4, sched.New(2))
 	for _, e := range []float64{1.2, 1.9, 2.6} {
 		tWF, err := wf.Transmission(e)
 		if err != nil {
@@ -192,7 +194,7 @@ func TestQuickSplitSolveEquivalence(t *testing.T) {
 		if err != nil {
 			return true // singular random system: nothing to compare
 		}
-		got, err := Solve(a, rhs, Options{Domains: p})
+		got, err := Solve(context.Background(), a, rhs, Options{Domains: p})
 		if err != nil {
 			return false
 		}

@@ -3,14 +3,20 @@
 // grids (the "energy" level of the paper's four-level parallelism),
 // Landauer currents, and energy-integrated electron densities for the
 // self-consistent Poisson coupling.
+//
+// All grid-level entry points take a context.Context and run on a
+// sched.Pool, so energy parallelism composes with the spatial-domain
+// (SplitSolve) level below it and the bias/momentum levels above it
+// under one shared worker budget.
 package transport
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
+	"sort"
 
 	"repro/internal/negf"
+	"repro/internal/sched"
 	"repro/internal/sparse"
 	"repro/internal/splitsolve"
 	"repro/internal/units"
@@ -49,8 +55,14 @@ type Config struct {
 	// Domains selects SplitSolve spatial decomposition for the WF
 	// formalism (≤ 1 means the serial block-Thomas solve).
 	Domains int
-	// Workers bounds concurrent energy points (0: GOMAXPROCS).
+	// Workers bounds the engine's total concurrency across the energy and
+	// spatial-domain levels combined (0: GOMAXPROCS). Ignored when Pool is
+	// set.
 	Workers int
+	// Pool optionally shares a worker budget with other engines (e.g. all
+	// bias points of an I-V sweep drawing from one machine-wide pool). Nil
+	// creates a private pool of Workers size.
+	Pool *sched.Pool
 	// Cache optionally shares memoized contact self-energies across
 	// engines whose lead blocks are identical (pinned contacts in a
 	// self-consistent loop).
@@ -61,15 +73,12 @@ func (c Config) withDefaults() Config {
 	if c.Eta == 0 {
 		c.Eta = 1e-6
 	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
-	}
 	return c
 }
 
 // pointSolver is the common surface of the two formalisms.
 type pointSolver interface {
-	Solve(e float64, density bool) (*negf.Result, error)
+	SolveCtx(ctx context.Context, e float64, density bool) (*negf.Result, error)
 }
 
 // Engine evaluates energy-resolved transport quantities for one device
@@ -77,11 +86,16 @@ type pointSolver interface {
 type Engine struct {
 	cfg    Config
 	solver pointSolver
+	pool   *sched.Pool
 }
 
 // NewEngine builds an engine for the given device Hamiltonian.
 func NewEngine(h *sparse.BlockTridiag, cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
+	pool := cfg.Pool
+	if pool == nil {
+		pool = sched.New(cfg.Workers)
+	}
 	var solver pointSolver
 	switch cfg.Formalism {
 	case WaveFunction:
@@ -90,7 +104,9 @@ func NewEngine(h *sparse.BlockTridiag, cfg Config) (*Engine, error) {
 			return nil, err
 		}
 		if cfg.Domains > 1 {
-			wf.SolveStrategy = splitsolve.Strategy(cfg.Domains, cfg.Workers)
+			// SplitSolve borrows helpers from the same pool that runs the
+			// energy level, so nested parallelism stays within one budget.
+			wf.SolveStrategy = splitsolve.Strategy(cfg.Domains, pool)
 		}
 		wf.Cache = cfg.Cache
 		solver = wf
@@ -104,43 +120,41 @@ func NewEngine(h *sparse.BlockTridiag, cfg Config) (*Engine, error) {
 	default:
 		return nil, fmt.Errorf("transport: unknown formalism %d", cfg.Formalism)
 	}
-	return &Engine{cfg: cfg, solver: solver}, nil
+	return &Engine{cfg: cfg, solver: solver, pool: pool}, nil
 }
+
+// Pool returns the worker pool the engine schedules on, for callers that
+// want to run surrounding parallelism (bias or momentum sweeps) within
+// the same budget.
+func (e *Engine) Pool() *sched.Pool { return e.pool }
 
 // SolveAt exposes the single-energy solve of the configured formalism.
-func (e *Engine) SolveAt(energy float64, density bool) (*negf.Result, error) {
-	return e.solver.Solve(energy, density)
+func (e *Engine) SolveAt(ctx context.Context, energy float64, density bool) (*negf.Result, error) {
+	return e.solver.SolveCtx(ctx, energy, density)
 }
 
-// Spectrum evaluates the solver at every grid energy concurrently and
-// returns the results in grid order (deterministic regardless of
+// Spectrum evaluates the solver at every grid energy on the engine's pool
+// and returns the results in grid order (deterministic regardless of
 // scheduling). density controls whether spectral functions are assembled.
-func (e *Engine) Spectrum(energies []float64, density bool) ([]*negf.Result, error) {
-	results := make([]*negf.Result, len(energies))
-	errs := make([]error, len(energies))
-	sem := make(chan struct{}, e.cfg.Workers)
-	var wg sync.WaitGroup
-	for i, en := range energies {
-		wg.Add(1)
-		go func(i int, en float64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = e.solver.Solve(en, density)
-		}(i, en)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("transport: E=%g: %w", energies[i], err)
+// On failure the in-flight sibling energies are canceled and the error of
+// the lowest-index failing grid point is returned.
+func (e *Engine) Spectrum(ctx context.Context, energies []float64, density bool) ([]*negf.Result, error) {
+	results, err := sched.Map(ctx, e.pool, "energy", len(energies),
+		func(ctx context.Context, i int) (*negf.Result, error) {
+			return e.solver.SolveCtx(ctx, energies[i], density)
+		})
+	if err != nil {
+		if te, ok := sched.AsTaskError(err); ok {
+			return nil, fmt.Errorf("transport: E=%g: %w", energies[te.Index], te.Err)
 		}
+		return nil, err
 	}
 	return results, nil
 }
 
 // Transmissions is a convenience wrapper returning only T(E) over a grid.
-func (e *Engine) Transmissions(energies []float64) ([]float64, error) {
-	res, err := e.Spectrum(energies, false)
+func (e *Engine) Transmissions(ctx context.Context, energies []float64) ([]float64, error) {
+	res, err := e.Spectrum(ctx, energies, false)
 	if err != nil {
 		return nil, err
 	}
@@ -195,11 +209,11 @@ func Current(energies, transmissions []float64, bias Bias, spinDegeneracy float6
 //	n_i = ∫ dE/(2π) [A_L,ii·f_L + A_R,ii·f_R].
 //
 // The energy grid must span the occupied conduction window of interest.
-func (e *Engine) ChargeDensity(energies []float64, bias Bias) ([]float64, error) {
+func (e *Engine) ChargeDensity(ctx context.Context, energies []float64, bias Bias) ([]float64, error) {
 	if len(energies) < 2 {
 		return nil, fmt.Errorf("transport: need at least 2 grid points")
 	}
-	res, err := e.Spectrum(energies, true)
+	res, err := e.Spectrum(ctx, energies, true)
 	if err != nil {
 		return nil, err
 	}
@@ -224,9 +238,14 @@ func (e *Engine) ChargeDensity(energies []float64, bias Bias) ([]float64, error)
 	return n, nil
 }
 
-// UniformGrid returns n energies spanning [lo, hi] inclusive.
+// UniformGrid returns n energies spanning [lo, hi] inclusive. n <= 0
+// yields an empty grid; n == 1 yields the single point lo (the degenerate
+// one-point "span" pins to the lower edge).
 func UniformGrid(lo, hi float64, n int) []float64 {
-	if n < 2 {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
 		return []float64{lo}
 	}
 	g := make([]float64, n)
@@ -237,43 +256,71 @@ func UniformGrid(lo, hi float64, n int) []float64 {
 }
 
 // AdaptiveGrid refines a transmission grid: starting from a coarse uniform
-// grid, intervals where T changes by more than tol are bisected until the
-// budget of maxPoints is exhausted. It returns the refined energies (the
-// engine is consulted for T at each new point). This mirrors the adaptive
-// energy meshes production quantum-transport codes use near resonances and
-// band edges.
-func (e *Engine) AdaptiveGrid(lo, hi float64, nInit, maxPoints int, tol float64) ([]float64, []float64, error) {
+// grid, intervals where T changes by more than tol are bisected until no
+// interval exceeds tol or the budget of maxPoints is exhausted. Refinement
+// proceeds in rounds: every interval currently above tol is bisected
+// (worst first, capped to the remaining budget) and the batch of midpoints
+// is evaluated in one parallel sweep over the engine's pool — so the
+// refinement stays load-balanced instead of solving one energy at a time.
+// It returns the refined energies and transmissions in ascending order.
+// This mirrors the adaptive energy meshes production quantum-transport
+// codes use near resonances and band edges.
+func (e *Engine) AdaptiveGrid(ctx context.Context, lo, hi float64, nInit, maxPoints int, tol float64) ([]float64, []float64, error) {
 	if nInit < 2 {
 		nInit = 2
 	}
 	energies := UniformGrid(lo, hi, nInit)
-	ts, err := e.Transmissions(energies)
+	ts, err := e.Transmissions(ctx, energies)
 	if err != nil {
 		return nil, nil, err
 	}
 	for len(energies) < maxPoints {
-		// Find the interval with the largest |ΔT| above tol.
-		worst, worstIdx := tol, -1
+		// Collect every interval whose |ΔT| exceeds tol, worst first.
+		type interval struct {
+			left int // index of the interval's left endpoint
+			jump float64
+		}
+		var frontier []interval
 		for i := 0; i+1 < len(energies); i++ {
 			d := ts[i+1] - ts[i]
 			if d < 0 {
 				d = -d
 			}
-			if d > worst {
-				worst, worstIdx = d, i
+			if d > tol {
+				frontier = append(frontier, interval{left: i, jump: d})
 			}
 		}
-		if worstIdx < 0 {
+		if len(frontier) == 0 {
 			break
 		}
-		mid := 0.5 * (energies[worstIdx] + energies[worstIdx+1])
-		tm, err := e.Transmissions([]float64{mid})
+		sort.Slice(frontier, func(a, b int) bool { return frontier[a].jump > frontier[b].jump })
+		if budget := maxPoints - len(energies); len(frontier) > budget {
+			frontier = frontier[:budget]
+		}
+		mids := make([]float64, len(frontier))
+		for j, iv := range frontier {
+			mids[j] = 0.5 * (energies[iv.left] + energies[iv.left+1])
+		}
+		tm, err := e.Transmissions(ctx, mids)
 		if err != nil {
 			return nil, nil, err
 		}
-		energies = append(energies[:worstIdx+1],
-			append([]float64{mid}, energies[worstIdx+1:]...)...)
-		ts = append(ts[:worstIdx+1], append([]float64{tm[0]}, ts[worstIdx+1:]...)...)
+		// Merge the evaluated midpoints back in ascending energy order.
+		midAfter := make(map[int]int, len(frontier)) // left index → frontier slot
+		for j, iv := range frontier {
+			midAfter[iv.left] = j
+		}
+		merged := make([]float64, 0, len(energies)+len(mids))
+		mergedT := make([]float64, 0, len(energies)+len(mids))
+		for i := range energies {
+			merged = append(merged, energies[i])
+			mergedT = append(mergedT, ts[i])
+			if j, ok := midAfter[i]; ok {
+				merged = append(merged, mids[j])
+				mergedT = append(mergedT, tm[j])
+			}
+		}
+		energies, ts = merged, mergedT
 	}
 	return energies, ts, nil
 }

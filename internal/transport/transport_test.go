@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"math"
 	"sort"
 	"testing"
@@ -36,11 +37,11 @@ func TestEngineFormalismsAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tw, err := wf.Transmissions(grid)
+	tw, err := wf.Transmissions(context.Background(), grid)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tg, err := gf.Transmissions(grid)
+	tg, err := gf.Transmissions(context.Background(), grid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,11 +63,11 @@ func TestSpectrumDeterministicUnderParallelism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t1, err := e1.Transmissions(grid)
+	t1, err := e1.Transmissions(context.Background(), grid)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t8, err := e8.Transmissions(grid)
+	t8, err := e8.Transmissions(context.Background(), grid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestLandauerCurrentQuantized(t *testing.T) {
 	}
 	const vb = 0.01 // 10 mV window centered at E=0, deep inside the band
 	grid := UniformGrid(-0.1, 0.1, 401)
-	ts, err := eng.Transmissions(grid)
+	ts, err := eng.Transmissions(context.Background(), grid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestCurrentSignAndZeroBias(t *testing.T) {
 		t.Fatal(err)
 	}
 	grid := UniformGrid(-1, 1, 101)
-	ts, err := eng.Transmissions(grid)
+	ts, err := eng.Transmissions(context.Background(), grid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestChargeDensityEquilibrium(t *testing.T) {
 	// poison the trapezoidal rule.
 	grid := UniformGrid(-2.499, 2.499, 1187)
 	bias := Bias{MuL: 0, MuR: 0, Temperature: 100}
-	n, err := eng.ChargeDensity(grid, bias)
+	n, err := eng.ChargeDensity(context.Background(), grid, bias)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,11 +180,11 @@ func TestChargeDensityBiasDependence(t *testing.T) {
 		t.Fatal(err)
 	}
 	grid := UniformGrid(-2.5, 2.5, 601)
-	nEq, err := eng.ChargeDensity(grid, Bias{MuL: 0, MuR: 0, Temperature: 300})
+	nEq, err := eng.ChargeDensity(context.Background(), grid, Bias{MuL: 0, MuR: 0, Temperature: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
-	nHi, err := eng.ChargeDensity(grid, Bias{MuL: 0.5, MuR: 0.5, Temperature: 300})
+	nHi, err := eng.ChargeDensity(context.Background(), grid, Bias{MuL: 0.5, MuR: 0.5, Temperature: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestAdaptiveGridRefinesStep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	energies, ts, err := eng.AdaptiveGrid(-1.5, 1.5, 9, 60, 0.02)
+	energies, ts, err := eng.AdaptiveGrid(context.Background(), -1.5, 1.5, 9, 60, 0.02)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,11 +262,11 @@ func TestSplitSolveFormalismInEngine(t *testing.T) {
 		t.Fatal(err)
 	}
 	grid := UniformGrid(-1.5, 1.5, 11)
-	tr, err := ref.Transmissions(grid)
+	tr, err := ref.Transmissions(context.Background(), grid)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tsp, err := split.Transmissions(grid)
+	tsp, err := split.Transmissions(context.Background(), grid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,11 +308,11 @@ func TestStrainedWireTransportConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 	grid := UniformGrid(6.0, 7.5, 7)
-	tw, err := wf.Transmissions(grid)
+	tw, err := wf.Transmissions(context.Background(), grid)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tg, err := gf.Transmissions(grid)
+	tg, err := gf.Transmissions(context.Background(), grid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestStrainedWireTransportConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t0, err := ref.Transmissions(grid)
+	t0, err := ref.Transmissions(context.Background(), grid)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 package wavefunction
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/linalg"
 	"repro/internal/negf"
+	"repro/internal/perf"
 	"repro/internal/sparse"
 )
 
@@ -25,8 +27,9 @@ type Solver struct {
 	Eta float64
 	// SolveStrategy performs the open-boundary block-tridiagonal solve.
 	// Nil selects the serial block-Thomas algorithm; the splitsolve
-	// package provides domain-decomposed strategies.
-	SolveStrategy func(*sparse.BlockTridiag, []*linalg.Matrix) ([]*linalg.Matrix, error)
+	// package provides domain-decomposed strategies. The context carries
+	// cancellation from the enclosing parallel energy sweep.
+	SolveStrategy func(context.Context, *sparse.BlockTridiag, []*linalg.Matrix) ([]*linalg.Matrix, error)
 	// Cache optionally memoizes the contact self-energies across solves
 	// (valid while the lead blocks stay fixed).
 	Cache *negf.SelfEnergyCache
@@ -51,6 +54,17 @@ func NewSolver(h *sparse.BlockTridiag, eta float64) (*Solver, error) {
 // In this formalism the density of states is assembled from the ballistic
 // identity A = A_L + A_R rather than from diag(G).
 func (s *Solver) Solve(e float64, density bool) (*negf.Result, error) {
+	return s.SolveCtx(context.Background(), e, density)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the solve aborts
+// between its phases (self-energies, injection, linear solve) when ctx is
+// canceled, and passes ctx on to the SolveStrategy so a domain-decomposed
+// solve can abort between its stages too.
+func (s *Solver) SolveCtx(ctx context.Context, e float64, density bool) (*negf.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	z := complex(e, s.Eta)
 	var sigL, sigR *linalg.Matrix
 	var err error
@@ -114,11 +128,18 @@ func (s *Solver) Solve(e float64, density bool) (*negf.Result, error) {
 			}
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	solve := s.SolveStrategy
 	if solve == nil {
-		solve = (*sparse.BlockTridiag).SolveBlocks
+		solve = func(_ context.Context, a *sparse.BlockTridiag, rhs []*linalg.Matrix) ([]*linalg.Matrix, error) {
+			return a.SolveBlocks(rhs)
+		}
 	}
-	x, err := solve(a, rhs)
+	stop := perf.StartPhase("wf-solve")
+	x, err := solve(ctx, a, rhs)
+	stop()
 	if err != nil {
 		return nil, fmt.Errorf("wavefunction: open-boundary solve: %w", err)
 	}
