@@ -1,12 +1,19 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: build vet test race bench ci clean
+.PHONY: build fmt-check vet check test race faults bench ci clean
 
 build:
 	$(GO) build ./...
 
+fmt-check:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 vet:
 	$(GO) vet ./...
+
+check: fmt-check vet
 
 test:
 	$(GO) test ./...
@@ -14,10 +21,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The fault-injection suite: panic isolation, retry/backoff, journal
+# resume, and quarantine drills, under the race detector.
+faults:
+	$(GO) test -race -run 'Fault|Drill|Resum|Quarantine|Panic|Journal|Injector|Retr|Backoff|Classify|Timeout' \
+		./internal/resilience/ ./internal/sched/ ./internal/cluster/ ./internal/transport/ ./internal/core/
+
 bench:
 	$(GO) test -bench . -benchtime 0.5s -run '^$$' ./internal/...
 
-ci: vet build race
+ci: check build race
 
 clean:
 	$(GO) clean ./...

@@ -3,22 +3,39 @@
 // self-consistent gate sweep), and prints tab-separated results suitable
 // for plotting.
 //
+// Transmission sweeps run on the fault-tolerant sweep engine: per-task
+// retries with backoff (-max-retries, -task-timeout), checkpoint/restart
+// through an append-only journal (-checkpoint, -resume), graceful
+// degradation of unsalvageable energy points (-quarantine), and
+// deterministic fault injection for failure drills (-fault-rate,
+// -fault-seed). An interrupt (SIGINT) cancels the sweep cooperatively,
+// prints a partial-progress summary, and exits non-zero; with a journal,
+// rerunning with -resume picks up where the interrupt landed.
+//
 // Examples:
 //
 //	omen -device agnr7 -mode transmission -emin -3 -emax 3 -ne 200
 //	omen -device sinw -mode iv -vd 0.2 -vgmin -0.4 -vgmax 0.6 -nvg 11
+//	omen -device agnr7 -checkpoint sweep.journal -max-retries 3 -fault-rate 0.1
+//	omen -device agnr7 -checkpoint sweep.journal -resume
 //	omen -device sinw-full -mode stats
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/resilience"
+	"repro/internal/sched"
 	"repro/internal/transport"
 )
 
@@ -34,6 +51,16 @@ func knownDevices() map[string]device.Description {
 		"gaasnw":    {Name: "GaAs NW", Kind: device.GaAsNanowire, CellsX: 8, CellsY: 1, CellsZ: 1},
 		"utb":       {Name: "Si UTB", Kind: device.SiUTB, CellsX: 6, CellsY: 1, CellsZ: 1},
 	}
+}
+
+// progress tracks completed/total tasks for the interrupt summary.
+type progress struct {
+	done, total atomic.Int64
+}
+
+func (p *progress) set(done, total int) {
+	p.done.Store(int64(done))
+	p.total.Store(int64(total))
 }
 
 func main() {
@@ -52,12 +79,22 @@ func main() {
 		nvg       = flag.Int("nvg", 6, "gate sweep points")
 		cellsX    = flag.Int("cellsx", 0, "override transport cells")
 		workers   = flag.Int("workers", 0, "total worker budget across all parallel levels (0: GOMAXPROCS)")
+
+		checkpoint  = flag.String("checkpoint", "", "sweep journal file for checkpoint/restart (transmission mode)")
+		resume      = flag.Bool("resume", false, "resume from an existing -checkpoint journal, rerunning only unfinished tasks")
+		maxRetries  = flag.Int("max-retries", 0, "retries per task after the first attempt (exponential backoff)")
+		taskTimeout = flag.Duration("task-timeout", 0, "per-attempt deadline for one task (0: none)")
+		quarantine  = flag.Bool("quarantine", false, "after retries are exhausted, drop the failed point and renormalize instead of failing the sweep")
+		faultRate   = flag.Float64("fault-rate", 0, "fault-injection drill: fraction of tasks that fail (mixed errors and panics) on their first attempt")
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed for deterministic fault injection and retry jitter")
 	)
 	flag.Parse()
 
-	// Interrupts cancel the in-flight solves cooperatively through ctx.
+	// Interrupts cancel the in-flight solves cooperatively through ctx; the
+	// summary printed on exit reports how far the sweep got.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	var prog progress
 
 	desc, ok := knownDevices()[*devName]
 	if !ok {
@@ -67,7 +104,8 @@ func main() {
 	if *cellsX > 0 {
 		desc.CellsX = *cellsX
 	}
-	cfg := transport.Config{Domains: *domains, Workers: *workers}
+	pool := sched.New(*workers)
+	cfg := transport.Config{Domains: *domains, Pool: pool}
 	switch *formalism {
 	case "wf":
 		cfg.Formalism = transport.WaveFunction
@@ -79,7 +117,7 @@ func main() {
 	}
 	sim, err := core.New(desc, cfg)
 	if err != nil {
-		fatal(err)
+		fatal(ctx, &prog, err)
 	}
 	sim.NK = *nk
 
@@ -91,28 +129,41 @@ func main() {
 		fmt.Printf("matrix order\t%d\nlayer block\t%d\nlength\t%.2f nm\n",
 			st.MatrixOrder, st.BlockSize, st.TransportLen)
 	case "transmission":
-		grid := transport.UniformGrid(*emin, *emax, *ne)
-		ts, err := sim.Transmission(ctx, grid, nil)
+		opts, closeJournal, err := sweepOptions(pool, &prog, *checkpoint, *resume, *maxRetries, *taskTimeout, *quarantine, *faultRate, *faultSeed)
 		if err != nil {
-			fatal(err)
+			fatal(ctx, &prog, err)
 		}
+		defer closeJournal()
+		grid := transport.UniformGrid(*emin, *emax, *ne)
+		sweep, err := sim.TransmissionResumable(ctx, grid, nil, opts)
+		if err != nil {
+			fatal(ctx, &prog, err)
+		}
+		printSweepSummary(sweep.Report)
 		fmt.Println("# E(eV)\tT(E)")
-		for i, e := range grid {
-			fmt.Printf("%.6f\t%.8g\n", e, ts[i])
+		for i, e := range sweep.Energies {
+			fmt.Printf("%.6f\t%.8g\n", e, sweep.T[i])
 		}
 	case "iv":
 		fet, err := core.NewFET(sim)
 		if err != nil {
-			fatal(err)
+			fatal(ctx, &prog, err)
 		}
 		// GNR-friendly electrostatics defaults for the CLI devices.
 		fet.Lambda = 1.2
 		fet.SourceDoping = 0.1
 		fet.GateStart, fet.GateEnd = 0.3, 0.7
 		vgs := transport.UniformGrid(*vgMin, *vgMax, *nvg)
+		// Count finished bias points so an interrupt can report progress.
+		prog.set(0, len(vgs))
+		pool.Hook = func(ev sched.TaskEvent) {
+			if ev.Phase == "bias" && ev.Err == nil {
+				prog.done.Add(1)
+			}
+		}
 		points, err := fet.GateSweep(ctx, vgs, *vd)
 		if err != nil {
-			fatal(err)
+			fatal(ctx, &prog, err)
 		}
 		fmt.Println("# Vg(V)\tId(A)\titers\tconverged")
 		for _, p := range points {
@@ -124,7 +175,74 @@ func main() {
 	}
 }
 
-func fatal(err error) {
+// sweepOptions assembles the fault-tolerance configuration from the CLI
+// flags. The returned cleanup closes the journal (a no-op without one).
+func sweepOptions(pool *sched.Pool, prog *progress, checkpoint string, resume bool, maxRetries int, taskTimeout time.Duration, quarantine bool, faultRate float64, faultSeed uint64) (cluster.SweepOptions, func(), error) {
+	opts := cluster.SweepOptions{
+		Pool: pool,
+		Retry: resilience.Policy{
+			MaxAttempts:    maxRetries + 1,
+			AttemptTimeout: taskTimeout,
+			JitterFrac:     0.2,
+			Seed:           faultSeed,
+		},
+		Quarantine: quarantine,
+		OnProgress: prog.set,
+	}
+	if faultRate > 0 {
+		opts.Injector = &resilience.Injector{Seed: faultSeed, Rate: faultRate}
+	}
+	closeJournal := func() {}
+	if checkpoint == "" {
+		if resume {
+			return opts, nil, errors.New("-resume requires -checkpoint")
+		}
+		return opts, closeJournal, nil
+	}
+	if !resume {
+		if _, err := os.Stat(checkpoint); err == nil {
+			return opts, nil, fmt.Errorf("journal %s exists; pass -resume to continue it or remove the file", checkpoint)
+		}
+	}
+	j, err := cluster.OpenFileJournal(checkpoint)
+	if err != nil {
+		return opts, nil, err
+	}
+	opts.Journal = j
+	closeJournal = func() { j.Close() }
+	return opts, closeJournal, nil
+}
+
+// printSweepSummary emits the fault-tolerance accounting as comment lines
+// ahead of the data when anything noteworthy happened.
+func printSweepSummary(rep *cluster.SweepReport) {
+	if rep == nil {
+		return
+	}
+	if rep.Restored > 0 {
+		fmt.Printf("# resumed: %d/%d tasks restored from checkpoint\n", rep.Restored, rep.Total)
+	}
+	if rep.Retries > 0 {
+		fmt.Printf("# retries: %d extra attempts\n", rep.Retries)
+	}
+	if len(rep.Quarantined) > 0 {
+		fmt.Printf("# quarantined: %d/%d tasks dropped and renormalized:", len(rep.Quarantined), rep.Total)
+		for _, t := range rep.Quarantined {
+			fmt.Printf(" (k %d, E %d)", t.K, t.E)
+		}
+		fmt.Println()
+	}
+}
+
+// fatal reports err and exits non-zero. An interrupt gets the
+// conventional 128+SIGINT code and a partial-progress summary so
+// operators can see how much of the sweep a -resume run will skip.
+func fatal(ctx context.Context, prog *progress, err error) {
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "omen: interrupted — completed %d/%d tasks\n",
+			prog.done.Load(), prog.total.Load())
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "omen:", err)
 	os.Exit(1)
 }

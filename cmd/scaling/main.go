@@ -4,9 +4,16 @@
 // growing device cross-sections, per-level efficiency, and the phase
 // breakdown table.
 //
+// The strong study runs through the fault-tolerant sweep engine, so long
+// parameter scans can be checkpointed (-checkpoint/-resume), retried
+// (-max-retries, -task-timeout), and drilled with deterministic fault
+// injection (-fault-rate/-fault-seed). All studies exit non-zero on
+// SIGINT after printing a partial-progress summary.
+//
 // Examples:
 //
 //	scaling -study strong
+//	scaling -study strong -checkpoint strong.journal -fault-rate 0.2 -max-retries 3
 //	scaling -study weak
 //	scaling -study levels
 //	scaling -study phases
@@ -14,12 +21,16 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"sync/atomic"
 
 	"repro/internal/cluster"
+	"repro/internal/resilience"
 )
 
 // flagshipWorkload mirrors the paper's production scenario: a full I-V
@@ -35,9 +46,25 @@ func flagshipWorkload() cluster.Workload {
 	}
 }
 
+// steps tracks study progress for the interrupt summary.
+type steps struct {
+	done, total atomic.Int64
+}
+
+func (s *steps) set(done, total int) {
+	s.done.Store(int64(done))
+	s.total.Store(int64(total))
+}
+
 func main() {
 	var (
-		study = flag.String("study", "strong", "study: strong, weak, levels, phases")
+		study       = flag.String("study", "strong", "study: strong, weak, levels, phases")
+		checkpoint  = flag.String("checkpoint", "", "journal file for checkpoint/restart (strong study)")
+		resume      = flag.Bool("resume", false, "resume from an existing -checkpoint journal")
+		maxRetries  = flag.Int("max-retries", 0, "retries per study step after the first attempt")
+		taskTimeout = flag.Duration("task-timeout", 0, "per-attempt deadline for one study step (0: none)")
+		faultRate   = flag.Float64("fault-rate", 0, "fault-injection drill: fraction of steps failing their first attempt")
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed for deterministic fault injection and retry jitter")
 	)
 	flag.Parse()
 	m := cluster.Jaguar()
@@ -46,18 +73,66 @@ func main() {
 	// evaluations themselves are fast enough not to need finer checks.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	var prog steps
 
 	switch *study {
 	case "strong":
 		w := flagshipWorkload()
 		counts := []int{672, 1344, 2688, 5376, 10752, 21504, 43008, 86016, 172032, 221400}
-		reports, err := m.StrongScaling(w, counts)
+		reports := make([]cluster.Report, len(counts))
+
+		opts := cluster.SweepOptions{
+			Retry: resilience.Policy{
+				MaxAttempts:    *maxRetries + 1,
+				AttemptTimeout: *taskTimeout,
+				JitterFrac:     0.2,
+				Seed:           *faultSeed,
+			},
+			OnProgress: prog.set,
+			Restore: func(t cluster.Task, payload []byte) error {
+				return json.Unmarshal(payload, &reports[t.E])
+			},
+		}
+		if *faultRate > 0 {
+			opts.Injector = &resilience.Injector{Seed: *faultSeed, Rate: *faultRate}
+		}
+		if *checkpoint != "" {
+			if !*resume {
+				if _, err := os.Stat(*checkpoint); err == nil {
+					fatal(ctx, &prog, fmt.Errorf("journal %s exists; pass -resume to continue it or remove the file", *checkpoint))
+				}
+			}
+			j, err := cluster.OpenFileJournal(*checkpoint)
+			if err != nil {
+				fatal(ctx, &prog, err)
+			}
+			defer j.Close()
+			opts.Journal = j
+		} else if *resume {
+			fatal(ctx, &prog, errors.New("-resume requires -checkpoint"))
+		}
+
+		rep, err := cluster.RunTasksResumable(ctx, 1, 1, len(counts), opts,
+			func(_ context.Context, t cluster.Task) ([]byte, error) {
+				r, err := m.PredictAuto(w, counts[t.E])
+				if err != nil {
+					return nil, resilience.MarkPermanent(fmt.Errorf("cluster: %d cores: %w", counts[t.E], err))
+				}
+				reports[t.E] = r
+				return json.Marshal(r)
+			})
 		if err != nil {
-			fatal(err)
+			fatal(ctx, &prog, err)
 		}
 		base := reports[0]
 		fmt.Printf("# strong scaling on %s — workload: %d tasks, device %d layers × %d orbitals\n",
 			m.Name, w.Tasks(), w.NLayers, w.BlockSize)
+		if rep.Restored > 0 {
+			fmt.Printf("# resumed: %d/%d steps restored from checkpoint\n", rep.Restored, rep.Total)
+		}
+		if rep.Retries > 0 {
+			fmt.Printf("# retries: %d extra attempts\n", rep.Retries)
+		}
 		fmt.Println("# cores\tdecomposition\twall(s)\tspeedup\tTFlop/s\tefficiency")
 		for _, r := range reports {
 			fmt.Printf("%d\t%s\t%.1f\t%.1f\t%.1f\t%.3f\n",
@@ -71,7 +146,7 @@ func main() {
 		tuned.NE = 1316 // 2 clean rounds over 658 energy groups
 		rT, err := m.PredictAuto(tuned, 221400)
 		if err != nil {
-			fatal(err)
+			fatal(ctx, &prog, err)
 		}
 		fmt.Printf("# tuned flagship: %d cores, %s → %.2f PFlop/s sustained (eff %.3f)\n",
 			rT.CoresUsed, rT.Decomposition, rT.SustainedFlops/1e15, rT.Efficiency)
@@ -90,9 +165,10 @@ func main() {
 			{120000, 420, 130},
 			{221400, 480, 140},
 		}
-		for _, s := range steps {
+		prog.set(0, len(steps))
+		for i, s := range steps {
 			if err := ctx.Err(); err != nil {
-				fatal(err)
+				fatal(ctx, &prog, err)
 			}
 			w := cluster.Workload{
 				NBias: 16, NK: 21, NE: 1024,
@@ -102,11 +178,12 @@ func main() {
 			}
 			r, err := m.PredictAuto(w, s.cores)
 			if err != nil {
-				fatal(err)
+				fatal(ctx, &prog, err)
 			}
 			fmt.Printf("%d\t%d\t%d\t%.1f\t%.3f\t%.3f\n",
 				r.CoresUsed, s.block, s.layers, r.WallTime,
 				r.SustainedFlops/1e15, r.Efficiency)
+			prog.set(i+1, len(steps))
 		}
 	case "levels":
 		// Each parallelism level exercised in isolation.
@@ -132,9 +209,10 @@ func main() {
 				return cluster.Decomposition{Bias: 1, Momentum: 1, Energy: 1, Domains: n}
 			}, w.NLayers},
 		}
-		for _, l := range levels {
+		prog.set(0, len(levels))
+		for i, l := range levels {
 			if err := ctx.Err(); err != nil {
-				fatal(err)
+				fatal(ctx, &prog, err)
 			}
 			for _, n := range []int{2, 4, 8, 16, 32, 64, 128} {
 				if n > l.max {
@@ -142,27 +220,31 @@ func main() {
 				}
 				r, err := m.Predict(w, l.d(n))
 				if err != nil {
-					fatal(err)
+					fatal(ctx, &prog, err)
 				}
 				fmt.Printf("%s\t%d\t%d\t%.3f\n", l.name, n, r.CoresUsed, r.Efficiency)
 			}
+			prog.set(i+1, len(levels))
 		}
 	case "phases":
 		w := flagshipWorkload()
 		fmt.Printf("# phase breakdown on %s\n", m.Name)
 		fmt.Println("# cores\tselfE(s)\tsolve(s)\treduced(s)\tcomm(s)\timbalance(s)\ttotal(s)")
-		for _, c := range []int{5376, 43008, 221400} {
+		counts := []int{5376, 43008, 221400}
+		prog.set(0, len(counts))
+		for i, c := range counts {
 			if err := ctx.Err(); err != nil {
-				fatal(err)
+				fatal(ctx, &prog, err)
 			}
 			r, err := m.PredictAuto(w, c)
 			if err != nil {
-				fatal(err)
+				fatal(ctx, &prog, err)
 			}
 			b := r.Breakdown
 			fmt.Printf("%d\t%.1f\t%.1f\t%.2f\t%.2f\t%.2f\t%.1f\n",
 				r.CoresUsed, b.SelfEnergy, b.Solve, b.Reduced,
 				b.Communication, b.Imbalance, r.WallTime)
+			prog.set(i+1, len(counts))
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "scaling: unknown study %q\n", *study)
@@ -170,7 +252,14 @@ func main() {
 	}
 }
 
-func fatal(err error) {
+// fatal reports err and exits non-zero; an interrupt gets the 128+SIGINT
+// code plus a partial-progress summary.
+func fatal(ctx context.Context, prog *steps, err error) {
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "scaling: interrupted — completed %d/%d steps\n",
+			prog.done.Load(), prog.total.Load())
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "scaling:", err)
 	os.Exit(1)
 }

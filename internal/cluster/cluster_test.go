@@ -296,3 +296,120 @@ func TestCalibrateBlockSolve(t *testing.T) {
 		t.Fatalf("no-op calibration measured %d flops", n)
 	}
 }
+
+func TestAutoDecomposeSingleCore(t *testing.T) {
+	w := Workload{NBias: 4, NK: 3, NE: 16, NLayers: 10, BlockSize: 8, RHSWidth: 8, SelfEnergyIterations: 5}
+	d, err := AutoDecompose(1, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != (Decomposition{Bias: 1, Momentum: 1, Energy: 1, Domains: 1}) {
+		t.Fatalf("cores=1 gave %v, want all-serial", d)
+	}
+	if d.Cores() != 1 {
+		t.Fatalf("Cores() = %d", d.Cores())
+	}
+}
+
+func TestAutoDecomposeCoresExceedTasks(t *testing.T) {
+	w := Workload{NBias: 2, NK: 3, NE: 4, NLayers: 5, BlockSize: 8, RHSWidth: 8, SelfEnergyIterations: 5}
+	// Far more cores than bias×k×E×layers: every level must saturate at
+	// its task count and never exceed it.
+	d, err := AutoDecompose(1_000_000, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Decomposition{Bias: 2, Momentum: 3, Energy: 4, Domains: 5}
+	if d != want {
+		t.Fatalf("got %v, want fully saturated %v", d, want)
+	}
+	if err := d.Validate(w); err != nil {
+		t.Fatalf("saturated decomposition invalid: %v", err)
+	}
+}
+
+func TestAutoDecomposeNonDivisibleCores(t *testing.T) {
+	w := Workload{NBias: 2, NK: 2, NE: 100, NLayers: 20, BlockSize: 8, RHSWidth: 8, SelfEnergyIterations: 5}
+	for _, cores := range []int{3, 7, 11, 13, 97} {
+		d, err := AutoDecompose(cores, w)
+		if err != nil {
+			t.Fatalf("cores=%d: %v", cores, err)
+		}
+		if d.Cores() > cores {
+			t.Fatalf("cores=%d: decomposition %v uses %d cores", cores, d, d.Cores())
+		}
+		if err := d.Validate(w); err != nil {
+			t.Fatalf("cores=%d: %v", cores, err)
+		}
+	}
+	// A prime budget smaller than NBias goes entirely to the bias level.
+	d, err := AutoDecompose(7, Workload{NBias: 16, NK: 2, NE: 4, NLayers: 5, BlockSize: 8, RHSWidth: 8, SelfEnergyIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Bias != 7 || d.Momentum != 1 || d.Energy != 1 || d.Domains != 1 {
+		t.Fatalf("prime budget split oddly: %v", d)
+	}
+}
+
+func TestAutoDecomposeInvalidInputs(t *testing.T) {
+	w := Workload{NBias: 2, NK: 2, NE: 4, NLayers: 5, BlockSize: 8, RHSWidth: 8, SelfEnergyIterations: 5}
+	if _, err := AutoDecompose(0, w); err == nil {
+		t.Fatal("cores=0 accepted")
+	}
+	if _, err := AutoDecompose(-5, w); err == nil {
+		t.Fatal("negative cores accepted")
+	}
+	if _, err := AutoDecompose(4, Workload{}); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestPredictEnergyImbalance(t *testing.T) {
+	base := Workload{
+		NBias: 2, NK: 2, NE: 64, NLayers: 12, BlockSize: 16, RHSWidth: 16,
+		SelfEnergyIterations: 5,
+	}
+	m := Jaguar()
+	d := Decomposition{Bias: 2, Momentum: 2, Energy: 16, Domains: 1}
+
+	uniform, err := m.Predict(base, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uniform.Breakdown.Imbalance != 0 {
+		t.Fatalf("CV=0 with divisible groups predicted imbalance %g", uniform.Breakdown.Imbalance)
+	}
+
+	hetero := base
+	hetero.EnergyCostCV = 0.3
+	spread, err := m.Predict(hetero, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread.Breakdown.Imbalance <= 0 {
+		t.Fatalf("CV=0.3 predicted no imbalance")
+	}
+	if spread.WallTime <= uniform.WallTime {
+		t.Fatalf("heterogeneous points did not slow the sweep: %g vs %g",
+			spread.WallTime, uniform.WallTime)
+	}
+	if spread.Efficiency >= uniform.Efficiency {
+		t.Fatalf("imbalance did not cost efficiency: %g vs %g",
+			spread.Efficiency, uniform.Efficiency)
+	}
+
+	// CV only bites when the energy level is actually split (g > 1).
+	serial := Decomposition{Bias: 2, Momentum: 2, Energy: 1, Domains: 1}
+	su, err := m.Predict(base, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := m.Predict(hetero, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if su.WallTime != sh.WallTime {
+		t.Fatalf("CV changed wall time with a single energy group: %g vs %g", su.WallTime, sh.WallTime)
+	}
+}

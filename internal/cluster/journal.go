@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// TaskRecord is one completed task in the sweep journal: its flat index,
+// the serialized result payload the task produced, and the payload's
+// SHA-256 digest. The digest makes each record self-verifying, so a
+// journal written by a crashed run can be trusted record by record — a
+// corrupt or truncated record is simply treated as "not done" and the
+// task reruns.
+type TaskRecord struct {
+	// Index is the flat task index (see RunTasks for the layout).
+	Index int `json:"idx"`
+	// Payload is the task's serialized result, restored on resume.
+	Payload []byte `json:"payload,omitempty"`
+	// Digest is the lowercase hex SHA-256 of Payload.
+	Digest string `json:"sha,omitempty"`
+}
+
+// digestOf returns the canonical payload digest.
+func digestOf(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// Verify reports whether the record's digest matches its payload.
+func (r TaskRecord) Verify() bool { return r.Digest == digestOf(r.Payload) }
+
+// Checkpointer persists completed-task records of a sweep so an
+// interrupted run can resume without redoing finished work. Append must be
+// safe for concurrent use from many workers and must not return until the
+// record is handed to the underlying medium (a crashed process loses at
+// most what the OS had not flushed; those tasks rerun on resume, which is
+// always safe because records are idempotent).
+type Checkpointer interface {
+	// Append records one completed task.
+	Append(rec TaskRecord) error
+	// Load returns the records persisted so far, tolerating a corrupt or
+	// truncated tail (such records are dropped, not errors).
+	Load() ([]TaskRecord, error)
+	// Close flushes and releases the journal.
+	Close() error
+}
+
+// FileJournal is an append-only JSON-lines checkpoint file: one TaskRecord
+// per line. The format is deliberately dumb — append-only, self-verifying
+// per record, order-insensitive, duplicate-tolerant — so that a process
+// killed mid-write leaves at worst one garbage tail line, which Load
+// skips. It is the single-node stand-in for the parallel checkpoint
+// streams extreme-scale transport codes write per communicator.
+type FileJournal struct {
+	path string
+
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// OpenFileJournal opens (creating if needed) the journal at path for
+// appending. Existing records are preserved; call Load to read them.
+func OpenFileJournal(path string) (*FileJournal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: open journal: %w", err)
+	}
+	return &FileJournal{path: path, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Path returns the journal file path.
+func (j *FileJournal) Path() string { return j.path }
+
+// Append implements Checkpointer: one JSON line per record, flushed to the
+// OS before returning so a process crash cannot lose an acknowledged
+// record (an OS crash can lose the unsynced tail; affected tasks rerun).
+func (j *FileJournal) Append(rec TaskRecord) error {
+	if rec.Digest == "" {
+		rec.Digest = digestOf(rec.Payload)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("cluster: journal marshal: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("cluster: journal %s is closed", j.path)
+	}
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("cluster: journal append: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("cluster: journal flush: %w", err)
+	}
+	return nil
+}
+
+// Load implements Checkpointer: it reads every well-formed, digest-valid
+// record from the file, silently dropping malformed lines (the torn tail
+// of a killed writer) and records whose digest does not match.
+func (j *FileJournal) Load() ([]TaskRecord, error) {
+	f, err := os.Open(j.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("cluster: read journal: %w", err)
+	}
+	defer f.Close()
+	var recs []TaskRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec TaskRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // torn tail or foreign garbage: rerun those tasks
+		}
+		if !rec.Verify() {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cluster: scan journal: %w", err)
+	}
+	return recs, nil
+}
+
+// Close implements Checkpointer.
+func (j *FileJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	ferr := j.w.Flush()
+	cerr := j.f.Close()
+	j.f, j.w = nil, nil
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// MemJournal is an in-memory Checkpointer for tests and for callers that
+// want resume-within-process semantics without touching disk.
+type MemJournal struct {
+	mu   sync.Mutex
+	recs []TaskRecord
+}
+
+// Append implements Checkpointer.
+func (j *MemJournal) Append(rec TaskRecord) error {
+	if rec.Digest == "" {
+		rec.Digest = digestOf(rec.Payload)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.recs = append(j.recs, rec)
+	return nil
+}
+
+// Load implements Checkpointer.
+func (j *MemJournal) Load() ([]TaskRecord, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]TaskRecord, len(j.recs))
+	copy(out, j.recs)
+	return out, nil
+}
+
+// Close implements Checkpointer.
+func (j *MemJournal) Close() error { return nil }
+
+// Len returns the number of records appended so far.
+func (j *MemJournal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.recs)
+}

@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/resilience"
+	"repro/internal/sched"
+)
+
+// SweepFunc runs one (bias, k, E) task and returns its result serialized
+// as an opaque payload. The payload is what the journal persists and what
+// Restore receives on resume, so it must capture everything the caller
+// needs to reconstruct the task's contribution to the observables —
+// typically a few float64s (a transmission value, a charge column). It
+// must be a deterministic function of the task for resumed sweeps to be
+// bitwise-identical to uninterrupted ones.
+type SweepFunc func(ctx context.Context, t Task) ([]byte, error)
+
+// RestoreFunc reinstates a completed task's result from its journaled
+// payload. It runs serially before the sweep starts.
+type RestoreFunc func(t Task, payload []byte) error
+
+// SweepOptions configures RunTasksResumable. The zero value degrades to
+// plain RunTasks semantics: no journal, no retries, no injection, fail on
+// first error.
+type SweepOptions struct {
+	// Pool supplies the worker budget (nil: a private GOMAXPROCS pool).
+	Pool *sched.Pool
+	// Journal, when non-nil, records every completed task and is consulted
+	// at startup to skip tasks a previous run already finished.
+	Journal Checkpointer
+	// Restore reinstates journaled results. Required when Journal is set
+	// and the caller accumulates results outside the journal.
+	Restore RestoreFunc
+	// Retry is the per-task retry policy (zero value: single attempt).
+	Retry resilience.Policy
+	// Injector, when non-nil, deterministically perturbs tasks — the
+	// reproducible failure-drill hook.
+	Injector *resilience.Injector
+	// Quarantine enables graceful degradation: a task that fails past its
+	// retry budget (or permanently, e.g. a non-finite observable) is set
+	// aside and the sweep continues; the quarantined set is reported so
+	// the caller can renormalize its integrals over the surviving points.
+	Quarantine bool
+	// MaxQuarantineFrac caps the quarantined fraction of the sweep;
+	// exceeding it fails the run (a sweep that loses that much of its
+	// grid is not salvageable by renormalization). <= 0 means 0.25.
+	MaxQuarantineFrac float64
+	// OnProgress, when non-nil, observes completion: done counts both
+	// restored and newly finished tasks. It must be cheap and
+	// thread-safe; quarantined tasks count as done.
+	OnProgress func(done, total int)
+}
+
+// SweepReport summarizes a resumable sweep.
+type SweepReport struct {
+	// Total is the task count of the full sweep.
+	Total int
+	// Restored tasks were skipped because the journal already held their
+	// verified results.
+	Restored int
+	// Completed tasks ran (successfully) in this invocation.
+	Completed int
+	// Retries is the number of extra attempts spent beyond first tries.
+	Retries int
+	// Quarantined lists the tasks abandoned after exhausting retries,
+	// sorted by flat index. Empty unless SweepOptions.Quarantine is set.
+	Quarantined []Task
+}
+
+// QuarantinedSet returns the quarantined tasks keyed by flat index
+// (bias·nK·nE + k·nE + E layout, matching RunTasks).
+func (r *SweepReport) QuarantinedSet(nK, nE int) map[int]bool {
+	set := make(map[int]bool, len(r.Quarantined))
+	for _, t := range r.Quarantined {
+		set[(t.Bias*nK+t.K)*nE+t.E] = true
+	}
+	return set
+}
+
+// taskAt maps a flat index to sweep coordinates (inverse of the RunTasks
+// layout).
+func taskAt(idx, nK, nE int) Task {
+	return Task{Bias: idx / (nK * nE), K: (idx / nE) % nK, E: idx % nE}
+}
+
+// wrapTaskErr rewrites a sched.TaskError into sweep coordinates.
+func wrapTaskErr(err error, nK, nE int) error {
+	if te, ok := sched.AsTaskError(err); ok {
+		t := taskAt(te.Index, nK, nE)
+		return fmt.Errorf("cluster: task %d (bias %d, k %d, E %d): %w",
+			te.Index, t.Bias, t.K, t.E, te.Err)
+	}
+	return err
+}
+
+// RunTasksResumable is the fault-tolerant sweep engine: RunTasks plus
+// checkpoint/restart, per-task retry with backoff, panic isolation,
+// deterministic fault injection, and optional quarantine of unsalvageable
+// points.
+//
+// Execution of one task: injected fault (if drilling) → fn → journal
+// append, all under the retry policy; a panic anywhere inside is recovered
+// into a *resilience.PanicError and retried like an ordinary transient
+// error. On startup every verified journal record marks its task done and
+// replays its payload through Restore, so a rerun after a crash performs
+// only the unfinished work — and because payloads capture the results
+// exactly, the resumed observables are bitwise-identical to an
+// uninterrupted run.
+//
+// The returned report is valid (and meaningful) even when err != nil: it
+// describes how far the sweep got.
+func RunTasksResumable(ctx context.Context, nBias, nK, nE int, opts SweepOptions, fn SweepFunc) (*SweepReport, error) {
+	if nBias < 1 || nK < 1 || nE < 1 {
+		return nil, fmt.Errorf("cluster: task counts must be positive")
+	}
+	total := nBias * nK * nE
+	rep := &SweepReport{Total: total}
+
+	done := make([]bool, total)
+	if opts.Journal != nil {
+		recs, err := opts.Journal.Load()
+		if err != nil {
+			return rep, fmt.Errorf("cluster: resume: %w", err)
+		}
+		for _, rec := range recs {
+			if rec.Index < 0 || rec.Index >= total || done[rec.Index] {
+				continue
+			}
+			if opts.Restore != nil {
+				if err := opts.Restore(taskAt(rec.Index, nK, nE), rec.Payload); err != nil {
+					return rep, fmt.Errorf("cluster: restore task %d: %w", rec.Index, err)
+				}
+			}
+			done[rec.Index] = true
+			rep.Restored++
+		}
+	}
+
+	maxQuarantine := total
+	if opts.Quarantine {
+		frac := opts.MaxQuarantineFrac
+		if frac <= 0 {
+			frac = 0.25
+		}
+		if frac < 1 {
+			maxQuarantine = int(frac * float64(total))
+			if maxQuarantine < 1 {
+				maxQuarantine = 1
+			}
+		}
+	}
+
+	pool := opts.Pool
+	if pool == nil {
+		pool = sched.New(0)
+	}
+	var (
+		progress    atomic.Int64
+		retries     atomic.Int64
+		completed   atomic.Int64
+		mu          sync.Mutex // guards quarantined
+		quarantined []int
+	)
+	progress.Store(int64(rep.Restored))
+
+	step := func() {
+		if opts.OnProgress != nil {
+			opts.OnProgress(int(progress.Add(1)), total)
+		} else {
+			progress.Add(1)
+		}
+	}
+
+	err := pool.ForEach(ctx, "sweep", total, func(ctx context.Context, idx int) error {
+		if done[idx] {
+			return nil
+		}
+		t := taskAt(idx, nK, nE)
+		var payload []byte
+		attempt := 0
+		runErr := opts.Retry.Do(ctx, func(actx context.Context) error {
+			a := attempt
+			attempt++
+			if a > 0 {
+				retries.Add(1)
+			}
+			if err := opts.Injector.Trip(actx, idx, a); err != nil {
+				return err
+			}
+			b, err := fn(actx, t)
+			if err != nil {
+				return err
+			}
+			payload = b
+			return nil
+		})
+		if runErr == nil {
+			if opts.Journal != nil {
+				if err := opts.Journal.Append(TaskRecord{Index: idx, Payload: payload, Digest: digestOf(payload)}); err != nil {
+					return err
+				}
+			}
+			completed.Add(1)
+			step()
+			return nil
+		}
+		if ctx.Err() != nil {
+			return runErr
+		}
+		if opts.Quarantine {
+			mu.Lock()
+			over := len(quarantined) >= maxQuarantine
+			if !over {
+				quarantined = append(quarantined, idx)
+			}
+			mu.Unlock()
+			if over {
+				return fmt.Errorf("cluster: quarantine budget (%d tasks) exceeded: %w", maxQuarantine, runErr)
+			}
+			step()
+			return nil
+		}
+		return runErr
+	})
+
+	rep.Completed = int(completed.Load())
+	rep.Retries = int(retries.Load())
+	sort.Ints(quarantined)
+	for _, idx := range quarantined {
+		rep.Quarantined = append(rep.Quarantined, taskAt(idx, nK, nE))
+	}
+	if err != nil {
+		return rep, wrapTaskErr(err, nK, nE)
+	}
+	return rep, nil
+}
+
+// CompletedTasks returns how many tasks the report accounts for: restored,
+// newly completed, and quarantined.
+func (r *SweepReport) CompletedTasks() int {
+	return r.Restored + r.Completed + len(r.Quarantined)
+}

@@ -7,6 +7,9 @@ import (
 	"repro/internal/sched"
 )
 
+// See resumable.go for the fault-tolerant variant (RunTasksResumable) with
+// checkpoint/restart, retries, and quarantine.
+
 // Task identifies one independent work item of the multi-level sweep.
 type Task struct {
 	// Bias, K, E index the bias point, transverse momentum point, and
@@ -30,16 +33,7 @@ func RunTasks(ctx context.Context, nBias, nK, nE int, pool *sched.Pool, fn func(
 	}
 	total := nBias * nK * nE
 	err := pool.ForEach(ctx, "sweep", total, func(ctx context.Context, idx int) error {
-		return fn(ctx, Task{
-			Bias: idx / (nK * nE),
-			K:    (idx / nE) % nK,
-			E:    idx % nE,
-		})
+		return fn(ctx, taskAt(idx, nK, nE))
 	})
-	if te, ok := sched.AsTaskError(err); ok {
-		idx := te.Index
-		return fmt.Errorf("cluster: task %d (bias %d, k %d, E %d): %w",
-			idx, idx/(nK*nE), (idx/nE)%nK, idx%nE, te.Err)
-	}
-	return err
+	return wrapTaskErr(err, nK, nE)
 }

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/resilience"
+	"repro/internal/sched"
+	"repro/internal/transport"
+)
+
+// TransmissionSweep is the outcome of a fault-tolerant transmission sweep:
+// the momentum-averaged T(E) over the surviving grid, plus the sweep
+// report (restored/completed/retried/quarantined accounting).
+type TransmissionSweep struct {
+	// Energies is the surviving energy grid — the input grid minus any
+	// point whose every momentum sample was quarantined.
+	Energies []float64
+	// T is the transmission averaged over the surviving momentum points at
+	// each surviving energy (renormalized by the surviving k count, so a
+	// lost (k,E) sample degrades the average instead of biasing it).
+	T []float64
+	// Report is the underlying sweep accounting.
+	Report *cluster.SweepReport
+}
+
+// TransmissionResumable computes the momentum-averaged transmission like
+// Transmission, but through the fault-tolerant sweep engine
+// (cluster.RunTasksResumable): each (k, E) point is one journaled,
+// retryable task whose payload is the 8-byte transmission value. With a
+// journal in opts, a killed run resumes from its checkpoint and — because
+// each task is a deterministic function of (k, E) — reproduces the
+// observables of an uninterrupted run bit for bit. With quarantine
+// enabled, unsalvageable points are dropped and the momentum average is
+// renormalized over the surviving samples.
+//
+// Even on error the returned sweep carries the report, so drivers can
+// print partial-progress summaries after an interrupt.
+func (s *Simulator) TransmissionResumable(ctx context.Context, energies, potential []float64, opts cluster.SweepOptions) (*TransmissionSweep, error) {
+	ks := s.kPoints()
+	nk, ne := len(ks), len(energies)
+	if ne == 0 {
+		return nil, fmt.Errorf("core: empty energy grid")
+	}
+	cfg := s.Transport
+	if cfg.Pool == nil {
+		cfg.Pool = sched.New(cfg.Workers)
+	}
+	if opts.Pool == nil {
+		opts.Pool = cfg.Pool
+	}
+
+	perK := make([][]float64, nk)
+	for k := range perK {
+		perK[k] = make([]float64, ne)
+	}
+
+	// One engine per momentum point, built lazily on first use so a resume
+	// that skips a whole k never pays for its Hamiltonian assembly.
+	engines := make([]*transport.Engine, nk)
+	engErrs := make([]error, nk)
+	onces := make([]sync.Once, nk)
+	engineFor := func(k int) (*transport.Engine, error) {
+		onces[k].Do(func() {
+			h, err := s.Hamiltonian(potential, ks[k])
+			if err != nil {
+				engErrs[k] = err
+				return
+			}
+			engines[k], engErrs[k] = transport.NewEngine(h, cfg)
+		})
+		if engErrs[k] != nil {
+			// Assembly failures are deterministic; retrying cannot help.
+			return nil, resilience.MarkPermanent(engErrs[k])
+		}
+		return engines[k], nil
+	}
+
+	opts.Restore = func(t cluster.Task, payload []byte) error {
+		if len(payload) != 8 {
+			return fmt.Errorf("core: task (k %d, E %d): payload is %d bytes, want 8", t.K, t.E, len(payload))
+		}
+		perK[t.K][t.E] = math.Float64frombits(binary.LittleEndian.Uint64(payload))
+		return nil
+	}
+
+	rep, err := cluster.RunTasksResumable(ctx, 1, nk, ne, opts, func(ctx context.Context, t cluster.Task) ([]byte, error) {
+		eng, err := engineFor(t.K)
+		if err != nil {
+			return nil, err
+		}
+		tv, err := eng.TransmissionAt(ctx, energies[t.E])
+		if err != nil {
+			return nil, err
+		}
+		perK[t.K][t.E] = tv
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(tv))
+		return b[:], nil
+	})
+	sweep := &TransmissionSweep{Report: rep}
+	if err != nil {
+		return sweep, err
+	}
+
+	bad := rep.QuarantinedSet(nk, ne)
+	for e := 0; e < ne; e++ {
+		var sum float64
+		cnt := 0
+		for k := 0; k < nk; k++ {
+			if bad[k*ne+e] {
+				continue
+			}
+			sum += perK[k][e]
+			cnt++
+		}
+		if cnt == 0 {
+			continue // every momentum sample of this energy was lost
+		}
+		sweep.Energies = append(sweep.Energies, energies[e])
+		sweep.T = append(sweep.T, sum/float64(cnt))
+	}
+	return sweep, nil
+}

@@ -19,7 +19,12 @@
 //     multiplicatively;
 //   - per-task instrumentation: wall time is attributed to a named phase
 //     via internal/perf, mirroring the paper's per-level performance
-//     accounting.
+//     accounting;
+//   - fault containment: a panic in a task is recovered on the worker,
+//     converted to a *resilience.PanicError with the captured stack, and
+//     reported with ordinary task-error semantics (siblings canceled,
+//     lowest failing index wins) instead of crashing the process; an
+//     optional per-task deadline (Pool.TaskTimeout) bounds runaway solves.
 //
 // The nesting rule mirrors the paper's four-level parallel hierarchy
 // (bias × momentum × energy × spatial domains): outer levels grab workers
@@ -38,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/perf"
+	"repro/internal/resilience"
 )
 
 // Pool is a bounded-parallelism executor. The zero value is not usable;
@@ -52,6 +58,13 @@ type Pool struct {
 	// Hook, if set before the pool is used, observes every completed task.
 	// It runs on the worker goroutine and must be cheap and thread-safe.
 	Hook func(TaskEvent)
+
+	// TaskTimeout, if set before the pool is used, bounds each task's wall
+	// time: the task's context is canceled with context.DeadlineExceeded
+	// once the deadline passes, and a task that returns the deadline error
+	// fails with ordinary task-error semantics (siblings canceled, lowest
+	// index reported). Zero means no per-task deadline.
+	TaskTimeout time.Duration
 }
 
 // TaskEvent describes one completed (or failed) task for the Hook.
@@ -109,6 +122,12 @@ func AsTaskError(err error) (*TaskError, bool) {
 	return te, ok
 }
 
+// Panicked reports whether err carries a recovered worker panic, returning
+// the *resilience.PanicError (panic value + captured stack) when it does.
+func Panicked(err error) (*resilience.PanicError, bool) {
+	return resilience.AsPanicError(err)
+}
+
 // tracker keeps the best (lowest-index, preferring non-cancellation)
 // error seen across workers.
 type tracker struct {
@@ -147,7 +166,9 @@ func (t *tracker) get() (int, error, bool) {
 // failing index in input order among the tasks that ran. If ctx is
 // canceled externally, ForEach drains and returns ctx.Err(). When phase is
 // non-empty, every task's wall time is recorded under that phase name in
-// internal/perf.
+// internal/perf. A panicking task does not unwind ForEach: the panic is
+// recovered into a *resilience.PanicError (see Panicked) and handled as a
+// task error.
 //
 // Nested calls — fn itself calling ForEach/Map on the same pool — are safe
 // and share the worker budget: the inner call runs on the calling worker's
@@ -175,7 +196,7 @@ func (p *Pool) ForEach(ctx context.Context, phase string, n int, fn func(context
 				return
 			}
 			start := time.Now()
-			err := fn(ctx2, i)
+			err := p.runTask(ctx2, i, fn)
 			wall := time.Since(start)
 			if phase != "" {
 				perf.RecordPhase(phase, wall, 0)
@@ -234,6 +255,20 @@ acquire:
 		return err
 	}
 	return context.Canceled
+}
+
+// runTask executes one task with the pool's safety envelope: an optional
+// per-task deadline and a panic boundary. A panicking task becomes an
+// ordinary *resilience.PanicError — carrying the panic value and the
+// worker's stack — so one bad energy point cancels its siblings like any
+// failing task instead of killing the process.
+func (p *Pool) runTask(ctx context.Context, i int, fn func(context.Context, int) error) error {
+	if p.TaskTimeout > 0 {
+		tctx, cancel := context.WithTimeout(ctx, p.TaskTimeout)
+		defer cancel()
+		ctx = tctx
+	}
+	return resilience.Call(ctx, func(ctx context.Context) error { return fn(ctx, i) })
 }
 
 // Map runs fn(ctx, i) for i in [0, n) on the pool and collects the results

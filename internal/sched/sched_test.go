@@ -252,3 +252,95 @@ func TestMapEmptyAndSingle(t *testing.T) {
 		t.Fatalf("single map: %v, %v", one, err)
 	}
 }
+
+func TestPanicBecomesTaskError(t *testing.T) {
+	p := New(4)
+	var sawCancel atomic.Int64
+	err := p.ForEach(context.Background(), "sweep", 64, func(ctx context.Context, i int) error {
+		if i == 3 {
+			panic(fmt.Sprintf("bad energy point %d", i))
+		}
+		select {
+		case <-ctx.Done():
+			sawCancel.Add(1)
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+			return nil
+		}
+	})
+	te, ok := AsTaskError(err)
+	if !ok {
+		t.Fatalf("panic surfaced as %v, not a *TaskError", err)
+	}
+	if te.Index != 3 || te.Phase != "sweep" {
+		t.Fatalf("panic attributed to (%q, %d), want (sweep, 3)", te.Phase, te.Index)
+	}
+	pe, ok := Panicked(err)
+	if !ok {
+		t.Fatalf("Panicked() did not find the recovered panic in %v", err)
+	}
+	if pe.Value != "bad energy point 3" || len(pe.Stack) == 0 {
+		t.Fatalf("panic value/stack lost: %+v", pe)
+	}
+	if sawCancel.Load() == 0 {
+		t.Fatal("panic did not cancel in-flight siblings")
+	}
+}
+
+func TestPanicInNestedLevelContained(t *testing.T) {
+	p := New(4)
+	err := p.ForEach(context.Background(), "outer", 4, func(ctx context.Context, i int) error {
+		return p.ForEach(ctx, "inner", 4, func(_ context.Context, j int) error {
+			if i == 1 && j == 2 {
+				panic("domain blow-up")
+			}
+			return nil
+		})
+	})
+	if _, ok := Panicked(err); !ok {
+		t.Fatalf("nested panic not recovered: %v", err)
+	}
+	te, ok := AsTaskError(err)
+	if !ok || te.Phase != "outer" || te.Index != 1 {
+		t.Fatalf("outer attribution wrong: %v", err)
+	}
+}
+
+func TestTaskTimeoutFailsSlowTask(t *testing.T) {
+	p := New(4)
+	p.TaskTimeout = 10 * time.Millisecond
+	err := p.ForEach(context.Background(), "", 8, func(ctx context.Context, i int) error {
+		if i == 2 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(2 * time.Second):
+				return errors.New("deadline never fired")
+			}
+		}
+		return nil
+	})
+	te, ok := AsTaskError(err)
+	if !ok || te.Index != 2 {
+		t.Fatalf("got %v, want the timed-out task 2", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timeout error is %v, want DeadlineExceeded in chain", err)
+	}
+}
+
+func TestTaskTimeoutLeavesFastTasksAlone(t *testing.T) {
+	p := New(4)
+	p.TaskTimeout = time.Second
+	var n atomic.Int64
+	err := p.ForEach(context.Background(), "", 50, func(ctx context.Context, i int) error {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		n.Add(1)
+		return nil
+	})
+	if err != nil || n.Load() != 50 {
+		t.Fatalf("fast tasks under a generous deadline: err=%v done=%d", err, n.Load())
+	}
+}

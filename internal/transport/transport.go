@@ -13,6 +13,7 @@ package transport
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/negf"
@@ -22,6 +23,49 @@ import (
 	"repro/internal/units"
 	"repro/internal/wavefunction"
 )
+
+// NonFiniteError reports a numerical blow-up — a NaN or Inf observable —
+// at one energy point. It names the offending energy and quantity so the
+// fault-tolerance machinery upstream (internal/resilience,
+// cluster.RunTasksResumable) can classify it: the error is Permanent
+// (rerunning the same deterministic solve reproduces it), which makes the
+// point a quarantine candidate rather than a retry candidate.
+type NonFiniteError struct {
+	// E is the energy (eV) whose solve blew up.
+	E float64
+	// Quantity names the non-finite observable (e.g. "T", "DOS",
+	// "spectral", "charge").
+	Quantity string
+}
+
+// Error implements error.
+func (e *NonFiniteError) Error() string {
+	return fmt.Sprintf("transport: non-finite %s at E=%g eV", e.Quantity, e.E)
+}
+
+// TransientError marks the error Permanent for resilience.Classify.
+func (e *NonFiniteError) TransientError() bool { return false }
+
+// checkFinite validates the observables of one solve, returning a typed
+// *NonFiniteError naming the first non-finite quantity.
+func checkFinite(e float64, r *negf.Result) error {
+	if math.IsNaN(r.T) || math.IsInf(r.T, 0) {
+		return &NonFiniteError{E: e, Quantity: "T"}
+	}
+	for _, v := range r.DOS {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return &NonFiniteError{E: e, Quantity: "DOS"}
+		}
+	}
+	for _, s := range [][]float64{r.SpectralL, r.SpectralR} {
+		for _, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return &NonFiniteError{E: e, Quantity: "spectral"}
+			}
+		}
+	}
+	return nil
+}
 
 // Formalism selects the single-energy solver.
 type Formalism int
@@ -128,9 +172,29 @@ func NewEngine(h *sparse.BlockTridiag, cfg Config) (*Engine, error) {
 // the same budget.
 func (e *Engine) Pool() *sched.Pool { return e.pool }
 
-// SolveAt exposes the single-energy solve of the configured formalism.
+// SolveAt exposes the single-energy solve of the configured formalism,
+// quarantine-checked: a solve whose observables come back NaN/Inf fails
+// with a *NonFiniteError naming the energy point.
 func (e *Engine) SolveAt(ctx context.Context, energy float64, density bool) (*negf.Result, error) {
-	return e.solver.SolveCtx(ctx, energy, density)
+	r, err := e.solver.SolveCtx(ctx, energy, density)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkFinite(energy, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// TransmissionAt evaluates T at a single energy — the per-(bias,k,E) task
+// granule of a resumable sweep — with the same NaN/Inf quarantine check
+// as Spectrum.
+func (e *Engine) TransmissionAt(ctx context.Context, energy float64) (float64, error) {
+	r, err := e.SolveAt(ctx, energy, false)
+	if err != nil {
+		return 0, err
+	}
+	return r.T, nil
 }
 
 // Spectrum evaluates the solver at every grid energy on the engine's pool
@@ -141,7 +205,14 @@ func (e *Engine) SolveAt(ctx context.Context, energy float64, density bool) (*ne
 func (e *Engine) Spectrum(ctx context.Context, energies []float64, density bool) ([]*negf.Result, error) {
 	results, err := sched.Map(ctx, e.pool, "energy", len(energies),
 		func(ctx context.Context, i int) (*negf.Result, error) {
-			return e.solver.SolveCtx(ctx, energies[i], density)
+			r, err := e.solver.SolveCtx(ctx, energies[i], density)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkFinite(energies[i], r); err != nil {
+				return nil, err
+			}
+			return r, nil
 		})
 	if err != nil {
 		if te, ok := sched.AsTaskError(err); ok {
@@ -234,8 +305,59 @@ func (e *Engine) ChargeDensity(ctx context.Context, energies []float64, bias Bia
 	inv2pi := 1 / (2 * 3.141592653589793)
 	for k := range n {
 		n[k] *= inv2pi
+		if math.IsNaN(n[k]) || math.IsInf(n[k], 0) {
+			// The per-point spectral functions were finite (Spectrum checks
+			// them), so a blow-up here came from the integration weights.
+			return nil, &NonFiniteError{E: energies[0], Quantity: "charge"}
+		}
 	}
 	return n, nil
+}
+
+// DropQuarantined filters an energy grid and its per-point values down to
+// the surviving points, removing every index for which bad returns true.
+// It is the renormalization primitive for gracefully degraded sweeps: the
+// trapezoidal integrators (Current, RenormalizedCurrent) then span each
+// gap with a single wider panel, i.e. they linearly interpolate the
+// integrand across the quarantined points.
+func DropQuarantined(energies, values []float64, bad func(i int) bool) (es, vs []float64) {
+	es = make([]float64, 0, len(energies))
+	vs = make([]float64, 0, len(values))
+	for i := range energies {
+		if bad != nil && bad(i) {
+			continue
+		}
+		es = append(es, energies[i])
+		vs = append(vs, values[i])
+	}
+	return es, vs
+}
+
+// RenormalizedCurrent integrates the Landauer current over a grid from
+// which some points were quarantined (lost to numerical blow-ups or
+// exhausted retries). The bad points are dropped; interior gaps are
+// bridged by the trapezoidal rule (linear interpolation of T·[f_L−f_R]
+// across the gap, with error O(gap²·|∂²integrand|)); if quarantine clipped
+// the window edges, the integral is rescaled by the full-to-surviving
+// window ratio — production sweeps put cold window edges well outside the
+// conducting region, so both corrections stay small for isolated losses.
+// At least two points must survive.
+func RenormalizedCurrent(energies, transmissions []float64, bad func(i int) bool, bias Bias, spinDegeneracy float64) (float64, error) {
+	if len(energies) != len(transmissions) {
+		return 0, fmt.Errorf("transport: %d energies vs %d transmissions", len(energies), len(transmissions))
+	}
+	es, ts := DropQuarantined(energies, transmissions, bad)
+	if len(es) < 2 {
+		return 0, fmt.Errorf("transport: only %d of %d grid points survive quarantine", len(es), len(energies))
+	}
+	cur, err := Current(es, ts, bias, spinDegeneracy)
+	if err != nil {
+		return 0, err
+	}
+	if full, kept := energies[len(energies)-1]-energies[0], es[len(es)-1]-es[0]; kept > 0 && kept < full {
+		cur *= full / kept
+	}
+	return cur, nil
 }
 
 // UniformGrid returns n energies spanning [lo, hi] inclusive. n <= 0
