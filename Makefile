@@ -1,7 +1,13 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build fmt-check vet check test race faults bench ci clean
+.PHONY: build fmt-check vet check test race faults bench bench-baseline bench-check ci clean
+
+# The kernel-cost benchmarks gated by the allocation baseline: their
+# allocs/op is deterministic, so a regression means a real change in the
+# solve's memory discipline, not machine noise.
+BENCH_GUARDED = BenchmarkT2_KernelCost
+BENCH_BASELINE = BENCH_kernels.json
 
 build:
 	$(GO) build ./...
@@ -29,6 +35,16 @@ faults:
 
 bench:
 	$(GO) test -bench . -benchtime 0.5s -run '^$$' ./internal/...
+
+# Refresh the committed allocation baseline for the guarded benchmarks.
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(BENCH_GUARDED)' -benchmem -benchtime 3x . \
+		| $(GO) run ./cmd/benchguard -write $(BENCH_BASELINE)
+
+# Fail if allocs/op of any guarded benchmark regressed >10% vs baseline.
+bench-check:
+	$(GO) test -run '^$$' -bench '$(BENCH_GUARDED)' -benchmem -benchtime 3x . \
+		| $(GO) run ./cmd/benchguard -check $(BENCH_BASELINE) -tolerance 0.10
 
 ci: check build race
 

@@ -85,6 +85,7 @@ func BenchmarkT2_KernelCost_WF(b *testing.B) {
 		b.Fatal(err)
 	}
 	perf.ResetFlops()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sol.Solve(6.8, false); err != nil {
@@ -104,6 +105,7 @@ func BenchmarkT2_KernelCost_NEGF(b *testing.B) {
 		b.Fatal(err)
 	}
 	perf.ResetFlops()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sol.Solve(6.8, false); err != nil {
@@ -136,6 +138,7 @@ func BenchmarkF1_Transmission(b *testing.B) {
 		b.Fatal(err)
 	}
 	grid := transport.UniformGrid(-3, 3, 41)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var tw, tg []float64
 	for i := 0; i < b.N; i++ {
@@ -660,6 +663,58 @@ func BenchmarkA3_InjectionRank(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(perf.ResetFlops())/float64(b.N), "flops/solve")
+}
+
+// BenchmarkA5 ablates the fused in-place kernels against their
+// materializing equivalents on the Caroli contraction
+// T = Tr[Γ_L·G·Γ_R·G†] at a transport-typical block size: the fused path
+// runs the triple product through one workspace-backed GemmInto chain and
+// folds the adjoint into an O(n²) trace; the materialized path builds
+// G†, the full four-matrix product, and every intermediate.
+func a5Operands(b *testing.B) (gamL, g, gamR *linalg.Matrix) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(5))
+	n := 160
+	gamL, g, gamR = linalg.New(n, n), linalg.New(n, n), linalg.New(n, n)
+	for i := range g.Data {
+		gamL.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		g.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		gamR.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return gamL, g, gamR
+}
+
+func BenchmarkA5_CaroliFused(b *testing.B) {
+	gamL, g, gamR := a5Operands(b)
+	n := g.Rows
+	perf.ResetFlops()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var t float64
+	for i := 0; i < b.N; i++ {
+		ws := linalg.GetWorkspace()
+		tns := ws.Get(n, n)
+		linalg.Mul3Into(tns, gamL, linalg.NoTrans, g, linalg.NoTrans, gamR, linalg.NoTrans, ws)
+		t = real(linalg.TraceMulConj(tns, g))
+		ws.Release()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(perf.ResetFlops())/float64(b.N), "flops/op")
+	once("A5fused", func() { fmt.Printf("A5\tfused Caroli trace = %.6g\n", t) })
+}
+
+func BenchmarkA5_CaroliMaterialized(b *testing.B) {
+	gamL, g, gamR := a5Operands(b)
+	perf.ResetFlops()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var t float64
+	for i := 0; i < b.N; i++ {
+		t = real(linalg.Mul3(gamL, g, gamR).Mul(g.ConjTranspose()).Trace())
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(perf.ResetFlops())/float64(b.N), "flops/op")
+	once("A5mat", func() { fmt.Printf("A5\tmaterialized Caroli trace = %.6g\n", t) })
 }
 
 // BenchmarkA4 ablates the two interior-eigenstate strategies of the

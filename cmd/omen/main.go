@@ -28,6 +28,9 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -87,8 +90,17 @@ func main() {
 		quarantine  = flag.Bool("quarantine", false, "after retries are exhausted, drop the failed point and renormalize instead of failing the sweep")
 		faultRate   = flag.Float64("fault-rate", 0, "fault-injection drill: fraction of tasks that fail (mixed errors and panics) on their first attempt")
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for deterministic fault injection and retry jitter")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (pprof format) to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (pprof format) to this file on exit")
 	)
 	flag.Parse()
+
+	if err := startProfiles(*cpuprofile, *memprofile); err != nil {
+		fmt.Fprintln(os.Stderr, "omen:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	// Interrupts cancel the in-flight solves cooperatively through ctx; the
 	// summary printed on exit reports how far the sweep got.
@@ -234,10 +246,60 @@ func printSweepSummary(rep *cluster.SweepReport) {
 	}
 }
 
+// stopProfiles flushes any active CPU/heap profiles. It is safe to call
+// more than once; fatal invokes it because os.Exit skips the deferred
+// call in main, and losing the profile on a failed run would defeat the
+// point of profiling a failure.
+var stopProfiles = func() {}
+
+// startProfiles begins CPU profiling (when cpu is non-empty) and arranges
+// for a heap profile to be written at exit (when mem is non-empty),
+// installing the shared stopProfiles flush.
+func startProfiles(cpu, mem string) error {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		cpuFile = f
+	}
+	if cpuFile == nil && mem == "" {
+		return nil
+	}
+	var once sync.Once
+	stopProfiles = func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if mem != "" {
+				f, err := os.Create(mem)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "omen: memprofile:", err)
+					return
+				}
+				runtime.GC() // flush recently freed objects for an accurate live-heap picture
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "omen: memprofile:", err)
+				}
+				f.Close()
+			}
+		})
+	}
+	return nil
+}
+
 // fatal reports err and exits non-zero. An interrupt gets the
 // conventional 128+SIGINT code and a partial-progress summary so
 // operators can see how much of the sweep a -resume run will skip.
 func fatal(ctx context.Context, prog *progress, err error) {
+	stopProfiles()
 	if ctx.Err() != nil {
 		fmt.Fprintf(os.Stderr, "omen: interrupted — completed %d/%d tasks\n",
 			prog.done.Load(), prog.total.Load())

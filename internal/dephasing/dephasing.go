@@ -81,44 +81,57 @@ func (s *Solver) Solve(e, fL, fR float64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	gamL := negf.Broadening(sigL)
-	gamR := negf.Broadening(sigR)
+	ws := linalg.GetWorkspace()
+	defer ws.Release()
+	gamL := ws.Get(sigL.Rows, sigL.Cols)
+	negf.BroadeningInto(gamL, sigL)
+	gamR := ws.Get(sigR.Rows, sigR.Cols)
+	negf.BroadeningInto(gamR, sigR)
 	n := s.H.N()
 	nl := s.H.Layers()
 
 	// Base open-system matrix without the scattering self-energy.
-	base := sparse.ShiftedFromHermitian(s.H, z)
-	base.AddToDiagBlock(0, sigL.Scale(-1))
-	base.AddToDiagBlock(nl-1, sigR.Scale(-1))
-	baseDense := base.Dense()
+	base := sparse.ShiftedFromHermitianWS(s.H, z, ws)
+	base.AddScaledToDiagBlock(0, sigL, -1)
+	base.AddScaledToDiagBlock(nl-1, sigR, -1)
+	baseDense := ws.Get(n, n)
+	denseBTDInto(baseDense, base)
 
 	// Contact inflow kernel Γ_L·f_L + Γ_R·f_R embedded at the contacts.
 	off := s.H.Offsets()
-	inflow0 := linalg.New(n, n)
-	inflow0.SetSubmatrix(0, 0, gamL.Scale(complex(fL, 0)))
-	inflow0.SetSubmatrix(off[nl-1], off[nl-1], gamR.Scale(complex(fR, 0)))
+	inflow0 := ws.Get(n, n)
+	addScaledSubmatrix(inflow0, 0, 0, gamL, complex(fL, 0))
+	addScaledSubmatrix(inflow0, off[nl-1], off[nl-1], gamR, complex(fR, 0))
 
 	sigSr := make([]complex128, n) // retarded scattering self-energy diagonal
 	sigSin := make([]float64, n)   // inscattering diagonal
 	res := &Result{E: e}
-	var g, gn *linalg.Matrix
+	// Iteration buffers, reused across every self-consistency step: the
+	// SCBA loop previously re-materialized A, Σ^in, G† and two products per
+	// iteration — hundreds of full n×n temporaries per energy point.
+	a := ws.Get(n, n)
+	g := ws.Get(n, n)
+	gn := ws.Get(n, n)
+	sin := ws.Get(n, n)
+	gs := ws.Get(n, n)
 	for iter := 1; iter <= s.MaxIter; iter++ {
 		res.Iterations = iter
 		// G^r with the current scattering self-energy.
-		a := baseDense.Clone()
+		a.CopyFrom(baseDense)
 		for i := 0; i < n; i++ {
 			a.Set(i, i, a.At(i, i)-sigSr[i])
 		}
-		g, err = linalg.Inverse(a)
-		if err != nil {
+		if err := linalg.InverseInto(g, a, ws); err != nil {
 			return nil, fmt.Errorf("dephasing: G inversion: %w", err)
 		}
-		// G^n = G·Σ^in·G† with Σ^in = inflow + diag(σ_s^in).
-		sin := inflow0.Clone()
+		// G^n = G·Σ^in·G† with Σ^in = inflow + diag(σ_s^in); the adjoint is
+		// read in place by the fused conjugate GEMM.
+		sin.CopyFrom(inflow0)
 		for i := 0; i < n; i++ {
 			sin.Set(i, i, sin.At(i, i)+complex(sigSin[i], 0))
 		}
-		gn = linalg.Mul3(g, sin, g.ConjTranspose())
+		linalg.MulInto(gs, g, linalg.NoTrans, sin, linalg.NoTrans)
+		linalg.GemmInto(gn, 1, gs, linalg.NoTrans, g, linalg.ConjTrans, 0)
 		// SCBA updates.
 		var delta float64
 		for i := 0; i < n; i++ {
@@ -137,25 +150,59 @@ func (s *Solver) Solve(e, fL, fR float64) (*Result, error) {
 		}
 	}
 
-	// Spectral function A = i(G − G†); contact currents from
-	// i_α = Tr[Γ_α·(f_α·A − G^n)] (Meir-Wingreen, elastic local SCBA).
-	aSpec := g.Sub(g.ConjTranspose()).Scale(complex(0, 1))
+	// Spectral function A = i(G − G†) shares the broadening kernel (it is
+	// Γ applied to G); contact currents from i_α = Tr[Γ_α·(f_α·A − G^n)]
+	// (Meir-Wingreen, elastic local SCBA) via the O(n²) trace identity.
+	aSpec := ws.Get(n, n)
+	negf.BroadeningInto(aSpec, g)
 	res.DOS = make([]float64, n)
 	for i := 0; i < n; i++ {
 		res.DOS[i] = real(aSpec.At(i, i)) / (2 * math.Pi)
 	}
 	n0 := s.H.LayerSize(0)
 	nN := s.H.LayerSize(nl - 1)
-	aL := aSpec.Submatrix(0, 0, n0, n0)
-	gnL := gn.Submatrix(0, 0, n0, n0)
-	aR := aSpec.Submatrix(off[nl-1], off[nl-1], nN, nN)
-	gnR := gn.Submatrix(off[nl-1], off[nl-1], nN, nN)
-	res.CurrentL = real(gamL.Mul(aL.Scale(complex(fL, 0)).Sub(gnL)).Trace())
-	res.CurrentR = real(gamR.Mul(aR.Scale(complex(fR, 0)).Sub(gnR)).Trace())
+	res.CurrentL = contactCurrent(gamL, aSpec, gn, 0, n0, fL, ws)
+	res.CurrentR = contactCurrent(gamR, aSpec, gn, off[nl-1], nN, fR, ws)
 	if df := fL - fR; df != 0 {
 		res.TEff = res.CurrentL / df
 	}
 	return res, nil
+}
+
+// contactCurrent evaluates Tr[Γ·(f·A − G^n)] over the contact block of
+// size nc anchored at global offset o, without materializing any product:
+// Tr[Γ·M] = Σ_ij Γ_ij·M_ji costs O(nc²).
+func contactCurrent(gam, aSpec, gn *linalg.Matrix, o, nc int, f float64, ws *linalg.Workspace) float64 {
+	m := ws.Get(nc, nc)
+	defer ws.Put(m)
+	fc := complex(f, 0)
+	for i := 0; i < nc; i++ {
+		for j := 0; j < nc; j++ {
+			m.Set(i, j, fc*aSpec.At(o+i, o+j)-gn.At(o+i, o+j))
+		}
+	}
+	return real(linalg.TraceMul(gam, m))
+}
+
+// denseBTDInto expands a block-tridiagonal matrix into the zeroed dense dst.
+func denseBTDInto(dst *linalg.Matrix, m *sparse.BlockTridiag) {
+	off := m.Offsets()
+	for i, blk := range m.Diag {
+		dst.SetSubmatrix(off[i], off[i], blk)
+	}
+	for i := range m.Upper {
+		dst.SetSubmatrix(off[i], off[i+1], m.Upper[i])
+		dst.SetSubmatrix(off[i+1], off[i], m.Lower[i])
+	}
+}
+
+// addScaledSubmatrix accumulates s·src into dst at block offset (r0, c0).
+func addScaledSubmatrix(dst *linalg.Matrix, r0, c0 int, src *linalg.Matrix, s complex128) {
+	for i := 0; i < src.Rows; i++ {
+		for j := 0; j < src.Cols; j++ {
+			dst.Set(r0+i, c0+j, dst.At(r0+i, c0+j)+s*src.At(i, j))
+		}
+	}
 }
 
 // EffectiveTransmission returns T_eff(e) for unit occupation difference

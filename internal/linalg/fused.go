@@ -1,0 +1,146 @@
+package linalg
+
+import (
+	"math/cmplx"
+
+	"repro/internal/perf"
+)
+
+// This file holds the flop-minimal fused kernels of the transport hot
+// paths: O(n²) replacements for trace/diagonal observables that the naive
+// formulas compute via full O(n³) products, and in-place elementwise
+// helpers that kill scaled temporaries (Scale(-1) copies, materialized
+// adjoints).
+
+// TraceMulConj returns Tr[a·b†] in O(rows·cols) via
+// Σ_ij a_ij·conj(b_ij), instead of forming the O(n³) product. a and b
+// must have the same shape (a·b† is then square). This is the Caroli
+// transmission kernel: T = Tr[(Γ_L·G·Γ_R)·G†].
+func TraceMulConj(a, b *Matrix) complex128 {
+	checkSameShape(a, b, "TraceMulConj")
+	var s complex128
+	for i, v := range a.Data {
+		s += v * cmplx.Conj(b.Data[i])
+	}
+	perf.AddFlops(int64(len(a.Data)) * perf.FlopsCMulAdd)
+	return s
+}
+
+// TraceMul returns Tr[a·b] in O(n²) via Σ_ij a_ij·b_ji. a must be m×n and
+// b n×m.
+func TraceMul(a, b *Matrix) complex128 {
+	if a.Cols != b.Rows || a.Rows != b.Cols {
+		panic("linalg: dimension mismatch in TraceMul")
+	}
+	var s complex128
+	for i := 0; i < a.Rows; i++ {
+		aRow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range aRow {
+			s += v * b.Data[j*b.Cols+i]
+		}
+	}
+	perf.AddFlops(int64(len(a.Data)) * perf.FlopsCMulAdd)
+	return s
+}
+
+// DiagMulConjInto writes diag(x·g·x†) into dst using one n×m product and
+// n row dots — O(n·m²) instead of the O(n²·m) of materializing x·g·x†.
+// x is n×m, g is m×m, dst has length n. This is the spectral-function
+// assembly kernel: the contact-resolved density needs only [G·Γ·G†]_ii.
+func DiagMulConjInto(dst []complex128, x, g *Matrix, ws *Workspace) {
+	if g.Rows != x.Cols || g.Cols != x.Cols {
+		panic("linalg: dimension mismatch in DiagMulConjInto")
+	}
+	if len(dst) != x.Rows {
+		panic("linalg: output length mismatch in DiagMulConjInto")
+	}
+	m := x.Cols
+	y := ws.Get(x.Rows, m)
+	GemmInto(y, 1, x, NoTrans, g, NoTrans, 0)
+	for i := 0; i < x.Rows; i++ {
+		yRow := y.Data[i*m : (i+1)*m]
+		xRow := x.Data[i*m : (i+1)*m]
+		var s complex128
+		for j, v := range yRow {
+			s += v * cmplx.Conj(xRow[j])
+		}
+		dst[i] = s
+	}
+	ws.Put(y)
+	perf.AddFlops(int64(x.Rows) * int64(m) * perf.FlopsCMulAdd)
+}
+
+// DiagMulConj returns diag(x·g·x†) as a fresh slice; see DiagMulConjInto.
+func DiagMulConj(x, g *Matrix) []complex128 {
+	ws := GetWorkspace()
+	defer ws.Release()
+	dst := make([]complex128, x.Rows)
+	DiagMulConjInto(dst, x, g, ws)
+	return dst
+}
+
+// AddScaled sets m = m + s·b without materializing the scaled copy.
+func (m *Matrix) AddScaled(b *Matrix, s complex128) {
+	checkSameShape(m, b, "AddScaled")
+	for i, v := range b.Data {
+		m.Data[i] += s * v
+	}
+	perf.AddFlops(int64(len(m.Data)) * perf.FlopsCMulAdd)
+}
+
+// AddInto sets dst = a + b. dst may alias a or b (pure elementwise).
+func AddInto(dst, a, b *Matrix) {
+	checkSameShape(a, b, "AddInto")
+	checkSameShape(dst, a, "AddInto")
+	for i, v := range a.Data {
+		dst.Data[i] = v + b.Data[i]
+	}
+	perf.AddFlops(int64(len(a.Data)) * perf.FlopsCAdd)
+}
+
+// SubInto sets dst = a − b. dst may alias a or b (pure elementwise).
+func SubInto(dst, a, b *Matrix) {
+	checkSameShape(a, b, "SubInto")
+	checkSameShape(dst, a, "SubInto")
+	for i, v := range a.Data {
+		dst.Data[i] = v - b.Data[i]
+	}
+	perf.AddFlops(int64(len(a.Data)) * perf.FlopsCAdd)
+}
+
+// ConjTransposeInto writes m† into dst, which must be m.Cols×m.Rows and
+// must not alias m.
+func ConjTransposeInto(dst, m *Matrix) {
+	if dst == m {
+		panic("linalg: ConjTransposeInto output aliases its input")
+	}
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		panic("linalg: dimension mismatch in ConjTransposeInto")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			dst.Data[j*dst.Cols+i] = cmplx.Conj(v)
+		}
+	}
+}
+
+// ShiftedNegInto writes dst = z·I − m for a square m. dst may alias m.
+// This is the resolvent assembly step (z − H) of the decimation and SCBA
+// loops, fused so no identity or scaled copy is materialized.
+func ShiftedNegInto(dst, m *Matrix, z complex128) {
+	if m.Rows != m.Cols {
+		panic("linalg: ShiftedNegInto requires a square matrix")
+	}
+	checkSameShape(dst, m, "ShiftedNegInto")
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		dstRow := dst.Data[i*n : (i+1)*n]
+		mRow := m.Data[i*n : (i+1)*n]
+		for j, v := range mRow {
+			dstRow[j] = -v
+		}
+		dstRow[i] += z
+	}
+	perf.AddFlops(int64(n) * int64(n) * perf.FlopsCAdd)
+}

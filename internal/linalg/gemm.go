@@ -1,28 +1,73 @@
 package linalg
 
-import "repro/internal/perf"
+import (
+	"math/cmplx"
+
+	"repro/internal/perf"
+)
 
 // gemmBlock is the cache-blocking tile edge used by the matrix-product
 // kernels. 64 complex128 values per row segment keep the working set of a
 // tile pair within L1/L2 on commodity cores.
 const gemmBlock = 64
 
+// Op selects how a GEMM operand enters the product.
+type Op int
+
+const (
+	// NoTrans uses the operand as stored.
+	NoTrans Op = iota
+	// ConjTrans uses the Hermitian adjoint of the operand without
+	// materializing it — products like A·B† and Γ·G·Γ·G† read the
+	// original storage directly.
+	ConjTrans
+)
+
+// opDims returns the shape of op(m).
+func opDims(m *Matrix, op Op) (rows, cols int) {
+	if op == ConjTrans {
+		return m.Cols, m.Rows
+	}
+	return m.Rows, m.Cols
+}
+
 // Mul returns the matrix product m·b.
 func (m *Matrix) Mul(b *Matrix) *Matrix {
 	out := New(m.Rows, b.Cols)
-	out.MulAddInto(m, b, 0)
+	GemmInto(out, 1, m, NoTrans, b, NoTrans, 0)
 	return out
 }
 
-// MulAddInto sets dst = beta·dst + a·b. It is the single GEMM kernel every
-// other product routine delegates to, so that flop accounting and blocking
-// live in one place. beta of 0 overwrites dst, 1 accumulates.
+// MulAddInto sets dst = beta·dst + a·b. Kept as the historical entry
+// point; it forwards to GemmInto, the single kernel every product routine
+// delegates to. beta of 0 overwrites dst, 1 accumulates.
 func (dst *Matrix) MulAddInto(a, b *Matrix, beta complex128) {
-	if a.Cols != b.Rows {
-		panic("linalg: inner dimension mismatch in MulAddInto")
+	GemmInto(dst, 1, a, NoTrans, b, NoTrans, beta)
+}
+
+// MulInto sets dst = opA(a)·opB(b), overwriting dst.
+func MulInto(dst *Matrix, a *Matrix, opA Op, b *Matrix, opB Op) {
+	GemmInto(dst, 1, a, opA, b, opB, 0)
+}
+
+// GemmInto is the general fused product kernel:
+//
+//	dst = alpha·opA(a)·opB(b) + beta·dst
+//
+// ConjTrans operands are read in place — no adjoint is ever materialized.
+// dst must not alias a or b. Flop accounting and cache blocking live here
+// so every product routine reports identically.
+func GemmInto(dst *Matrix, alpha complex128, a *Matrix, opA Op, b *Matrix, opB Op, beta complex128) {
+	if dst == a || dst == b {
+		panic("linalg: GemmInto output aliases an operand")
 	}
-	if dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic("linalg: output dimension mismatch in MulAddInto")
+	ra, ca := opDims(a, opA)
+	rb, cb := opDims(b, opB)
+	if ca != rb {
+		panic("linalg: inner dimension mismatch in GemmInto")
+	}
+	if dst.Rows != ra || dst.Cols != cb {
+		panic("linalg: output dimension mismatch in GemmInto")
 	}
 	if beta == 0 {
 		dst.Zero()
@@ -32,28 +77,102 @@ func (dst *Matrix) MulAddInto(a, b *Matrix, beta complex128) {
 		}
 		perf.AddFlops(int64(len(dst.Data)) * perf.FlopsCMul)
 	}
-	n, k, p := a.Rows, a.Cols, b.Cols
-	// i-k-j loop order with row-slice inner loops: the innermost loop
-	// streams contiguously through b and dst, which is what matters for a
-	// pure-Go kernel without SIMD intrinsics. Blocked over k and j for
-	// cache reuse on large operands.
-	for jj := 0; jj < p; jj += gemmBlock {
-		jEnd := min(jj+gemmBlock, p)
+	n, k, p := ra, ca, cb
+	switch {
+	case opA == NoTrans && opB == NoTrans:
+		// i-k-j loop order with row-slice inner loops: the innermost loop
+		// streams contiguously through b and dst, which is what matters for
+		// a pure-Go kernel without SIMD intrinsics. Blocked over k and j
+		// for cache reuse on large operands; unrolled two-deep over k so
+		// each dst row segment is read and written half as often.
+		for jj := 0; jj < p; jj += gemmBlock {
+			jEnd := min(jj+gemmBlock, p)
+			for kk := 0; kk < k; kk += gemmBlock {
+				kEnd := min(kk+gemmBlock, k)
+				for i := 0; i < n; i++ {
+					dstRow := dst.Data[i*p+jj : i*p+jEnd]
+					aRow := a.Data[i*k : (i+1)*k]
+					l := kk
+					for ; l+1 < kEnd; l += 2 {
+						av0 := aRow[l]
+						av1 := aRow[l+1]
+						if av0 == 0 && av1 == 0 {
+							continue
+						}
+						av0 *= alpha
+						av1 *= alpha
+						b0 := b.Data[l*p+jj : l*p+jEnd]
+						b1 := b.Data[(l+1)*p+jj : (l+1)*p+jEnd]
+						b1 = b1[:len(dstRow)]
+						b0 = b0[:len(dstRow)]
+						for j := range dstRow {
+							dstRow[j] += av0*b0[j] + av1*b1[j]
+						}
+					}
+					for ; l < kEnd; l++ {
+						av := aRow[l]
+						if av == 0 {
+							continue
+						}
+						av *= alpha
+						bRow := b.Data[l*p+jj : l*p+jEnd]
+						bRow = bRow[:len(dstRow)]
+						for j := range dstRow {
+							dstRow[j] += av * bRow[j]
+						}
+					}
+				}
+			}
+		}
+	case opA == NoTrans && opB == ConjTrans:
+		// dst[i,j] += alpha·Σ_l a[i,l]·conj(b[j,l]): dot products of
+		// contiguous rows of a and b, blocked over l.
 		for kk := 0; kk < k; kk += gemmBlock {
 			kEnd := min(kk+gemmBlock, k)
 			for i := 0; i < n; i++ {
-				dstRow := dst.Data[i*p : (i+1)*p]
 				aRow := a.Data[i*k : (i+1)*k]
-				for l := kk; l < kEnd; l++ {
-					av := aRow[l]
-					if av == 0 {
-						continue
+				dstRow := dst.Data[i*p : (i+1)*p]
+				for j := 0; j < p; j++ {
+					bRow := b.Data[j*k : (j+1)*k]
+					var s complex128
+					for l := kk; l < kEnd; l++ {
+						s += aRow[l] * cmplx.Conj(bRow[l])
 					}
-					bRow := b.Data[l*p : (l+1)*p]
-					for j := jj; j < jEnd; j++ {
-						dstRow[j] += av * bRow[j]
-					}
+					dstRow[j] += alpha * s
 				}
+			}
+		}
+	case opA == ConjTrans && opB == NoTrans:
+		// dst[i,j] += alpha·Σ_l conj(a[l,i])·b[l,j]: stream rows of a and
+		// b together (l outer), accumulating rank-1 updates into dst rows.
+		for l := 0; l < k; l++ {
+			aRow := a.Data[l*n : (l+1)*n]
+			bRow := b.Data[l*p : (l+1)*p]
+			for i := 0; i < n; i++ {
+				av := aRow[i]
+				if av == 0 {
+					continue
+				}
+				av = alpha * cmplx.Conj(av)
+				dstRow := dst.Data[i*p : (i+1)*p]
+				for j := 0; j < p; j++ {
+					dstRow[j] += av * bRow[j]
+				}
+			}
+		}
+	default: // ConjTrans, ConjTrans
+		// dst[i,j] += alpha·conj(Σ_l b[j,l]·a[l,i]) — rare in the solvers
+		// (it equals (b·a)† and the callers reassociate instead), kept for
+		// completeness.
+		for i := 0; i < n; i++ {
+			dstRow := dst.Data[i*p : (i+1)*p]
+			for j := 0; j < p; j++ {
+				bRow := b.Data[j*k : (j+1)*k]
+				var s complex128
+				for l := 0; l < k; l++ {
+					s += bRow[l] * a.Data[l*n+i]
+				}
+				dstRow[j] += alpha * cmplx.Conj(s)
 			}
 		}
 	}
@@ -63,17 +182,45 @@ func (dst *Matrix) MulAddInto(a, b *Matrix, beta complex128) {
 // MulAdd returns a·b + c as a new matrix.
 func MulAdd(a, b, c *Matrix) *Matrix {
 	out := c.Clone()
-	out.MulAddInto(a, b, 1)
+	GemmInto(out, 1, a, NoTrans, b, NoTrans, 1)
 	return out
 }
 
 // Mul3 returns the triple product a·b·c, associating to minimize work.
 func Mul3(a, b, c *Matrix) *Matrix {
-	// Cost of (a·b)·c versus a·(b·c).
-	left := int64(a.Rows)*int64(a.Cols)*int64(b.Cols) + int64(a.Rows)*int64(b.Cols)*int64(c.Cols)
-	right := int64(b.Rows)*int64(b.Cols)*int64(c.Cols) + int64(a.Rows)*int64(a.Cols)*int64(c.Cols)
-	if left <= right {
-		return a.Mul(b).Mul(c)
+	ws := GetWorkspace()
+	defer ws.Release()
+	out := New(a.Rows, c.Cols)
+	Mul3Into(out, a, NoTrans, b, NoTrans, c, NoTrans, ws)
+	return out
+}
+
+// Mul3Into sets dst = opA(a)·opB(b)·opC(c), associating to minimize work.
+// Both associations run through GemmInto with a single workspace
+// temporary, so the flops of the chosen order are reported through one
+// code path. dst must not alias any operand.
+func Mul3Into(dst *Matrix, a *Matrix, opA Op, b *Matrix, opB Op, c *Matrix, opC Op, ws *Workspace) {
+	ra, ca := opDims(a, opA)
+	rb, cb := opDims(b, opB)
+	rc, cc := opDims(c, opC)
+	if ca != rb || cb != rc {
+		panic("linalg: inner dimension mismatch in Mul3Into")
 	}
-	return a.Mul(b.Mul(c))
+	if dst.Rows != ra || dst.Cols != cc {
+		panic("linalg: output dimension mismatch in Mul3Into")
+	}
+	// Cost of (a·b)·c versus a·(b·c).
+	left := int64(ra)*int64(ca)*int64(cb) + int64(ra)*int64(cb)*int64(cc)
+	right := int64(rb)*int64(cb)*int64(cc) + int64(ra)*int64(ca)*int64(cc)
+	if left <= right {
+		tmp := ws.Get(ra, cb)
+		GemmInto(tmp, 1, a, opA, b, opB, 0)
+		GemmInto(dst, 1, tmp, NoTrans, c, opC, 0)
+		ws.Put(tmp)
+	} else {
+		tmp := ws.Get(rb, cc)
+		GemmInto(tmp, 1, b, opB, c, opC, 0)
+		GemmInto(dst, 1, a, opA, tmp, NoTrans, 0)
+		ws.Put(tmp)
+	}
 }

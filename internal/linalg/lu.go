@@ -27,7 +27,39 @@ func Factor(a *Matrix) (*LU, error) {
 	}
 	n := a.Rows
 	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1}
-	lu := f.lu.Data
+	var err error
+	f.sign, err = factorInPlace(f.lu, f.piv)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FactorInPlace computes the LU factorization of the square matrix a,
+// taking ownership of a's storage for the packed factors (a is destroyed).
+// It saves the defensive clone of Factor when the caller has already
+// materialized a matrix it no longer needs.
+func FactorInPlace(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: FactorInPlace requires a square matrix")
+	}
+	f := &LU{lu: a, piv: make([]int, a.Rows), sign: 1}
+	var err error
+	f.sign, err = factorInPlace(f.lu, f.piv)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// factorInPlace runs the partial-pivoting LU loop on lu's storage,
+// recording row swaps in piv (len n). It returns the permutation sign.
+// This is the single factorization code path shared by Factor and the
+// workspace variants, so flop accounting lives in one place.
+func factorInPlace(m *Matrix, piv []int) (sign int, err error) {
+	n := m.Rows
+	lu := m.Data
+	sign = 1
 	for k := 0; k < n; k++ {
 		// Partial pivoting: pick the largest-modulus entry in column k.
 		p, maxAbs := k, cmplx.Abs(lu[k*n+k])
@@ -36,9 +68,9 @@ func Factor(a *Matrix) (*LU, error) {
 				p, maxAbs = i, a
 			}
 		}
-		f.piv[k] = p
+		piv[k] = p
 		if maxAbs == 0 {
-			return nil, ErrSingular
+			return sign, ErrSingular
 		}
 		if p != k {
 			rowK := lu[k*n : (k+1)*n]
@@ -46,7 +78,7 @@ func Factor(a *Matrix) (*LU, error) {
 			for j := range rowK {
 				rowK[j], rowP[j] = rowP[j], rowK[j]
 			}
-			f.sign = -f.sign
+			sign = -sign
 		}
 		pivInv := 1 / lu[k*n+k]
 		for i := k + 1; i < n; i++ {
@@ -63,7 +95,7 @@ func Factor(a *Matrix) (*LU, error) {
 		}
 	}
 	perf.AddFlops(perf.LUFlops(n))
-	return f, nil
+	return sign, nil
 }
 
 // N returns the order of the factorized matrix.
@@ -79,15 +111,30 @@ func (f *LU) Solve(b *Matrix) *Matrix {
 
 // SolveInPlace overwrites b with the solution of A·X = B.
 func (f *LU) SolveInPlace(b *Matrix) {
-	n := f.lu.Rows
+	luSolveInPlace(f.lu, f.piv, b)
+}
+
+// SolveInto writes the solution of A·X = B into dst without touching b.
+// dst and b must have the same shape; dst may alias b.
+func (f *LU) SolveInto(dst, b *Matrix) {
+	if dst != b {
+		dst.CopyFrom(b)
+	}
+	luSolveInPlace(f.lu, f.piv, dst)
+}
+
+// luSolveInPlace applies P, L⁻¹, then U⁻¹ of a packed factorization to a
+// block right-hand side.
+func luSolveInPlace(f *Matrix, piv []int, b *Matrix) {
+	n := f.Rows
 	if b.Rows != n {
 		panic("linalg: RHS row count mismatch in Solve")
 	}
 	nrhs := b.Cols
-	lu := f.lu.Data
+	lu := f.Data
 	// Apply the row permutation to b.
 	for k := 0; k < n; k++ {
-		if p := f.piv[k]; p != k {
+		if p := piv[k]; p != k {
 			rowK := b.Data[k*nrhs : (k+1)*nrhs]
 			rowP := b.Data[p*nrhs : (p+1)*nrhs]
 			for j := range rowK {
@@ -95,36 +142,72 @@ func (f *LU) SolveInPlace(b *Matrix) {
 			}
 		}
 	}
-	// Forward substitution with unit lower triangular L.
-	for k := 0; k < n; k++ {
-		rowK := b.Data[k*nrhs : (k+1)*nrhs]
-		for i := k + 1; i < n; i++ {
-			m := lu[i*n+k]
+	// Forward substitution with unit lower triangular L, i-outer so the
+	// multipliers of row i are read contiguously, unrolled two-deep over k
+	// so each target row is updated half as often.
+	for i := 1; i < n; i++ {
+		luRow := lu[i*n : i*n+i]
+		rowI := b.Data[i*nrhs : (i+1)*nrhs]
+		k := 0
+		for ; k+1 < i; k += 2 {
+			m0 := luRow[k]
+			m1 := luRow[k+1]
+			if m0 == 0 && m1 == 0 {
+				continue
+			}
+			r0 := b.Data[k*nrhs : (k+1)*nrhs]
+			r1 := b.Data[(k+1)*nrhs : (k+2)*nrhs]
+			r0 = r0[:len(rowI)]
+			r1 = r1[:len(rowI)]
+			for j := range rowI {
+				rowI[j] -= m0*r0[j] + m1*r1[j]
+			}
+		}
+		for ; k < i; k++ {
+			m := luRow[k]
 			if m == 0 {
 				continue
 			}
-			rowI := b.Data[i*nrhs : (i+1)*nrhs]
-			for j := range rowK {
+			rowK := b.Data[k*nrhs : (k+1)*nrhs]
+			rowK = rowK[:len(rowI)]
+			for j := range rowI {
 				rowI[j] -= m * rowK[j]
 			}
 		}
 	}
-	// Back substitution with U.
-	for k := n - 1; k >= 0; k-- {
-		rowK := b.Data[k*nrhs : (k+1)*nrhs]
-		dInv := 1 / lu[k*n+k]
-		for j := range rowK {
-			rowK[j] *= dInv
+	// Back substitution with U, same access pattern from the bottom up.
+	for i := n - 1; i >= 0; i-- {
+		luRow := lu[i*n : (i+1)*n]
+		rowI := b.Data[i*nrhs : (i+1)*nrhs]
+		k := i + 1
+		for ; k+1 < n; k += 2 {
+			m0 := luRow[k]
+			m1 := luRow[k+1]
+			if m0 == 0 && m1 == 0 {
+				continue
+			}
+			r0 := b.Data[k*nrhs : (k+1)*nrhs]
+			r1 := b.Data[(k+1)*nrhs : (k+2)*nrhs]
+			r0 = r0[:len(rowI)]
+			r1 = r1[:len(rowI)]
+			for j := range rowI {
+				rowI[j] -= m0*r0[j] + m1*r1[j]
+			}
 		}
-		for i := 0; i < k; i++ {
-			m := lu[i*n+k]
+		for ; k < n; k++ {
+			m := luRow[k]
 			if m == 0 {
 				continue
 			}
-			rowI := b.Data[i*nrhs : (i+1)*nrhs]
-			for j := range rowK {
+			rowK := b.Data[k*nrhs : (k+1)*nrhs]
+			rowK = rowK[:len(rowI)]
+			for j := range rowI {
 				rowI[j] -= m * rowK[j]
 			}
+		}
+		dInv := 1 / luRow[i]
+		for j := range rowI {
+			rowI[j] *= dInv
 		}
 	}
 	perf.AddFlops(perf.SolveFlops(n, nrhs))
@@ -143,6 +226,36 @@ func (f *LU) Det() complex128 {
 // Inverse returns A⁻¹ computed from the factorization.
 func (f *LU) Inverse() *Matrix {
 	return f.Solve(Identity(f.lu.Rows))
+}
+
+// InverseInto writes a⁻¹ into dst, factoring into workspace scratch so
+// the whole inversion allocates nothing. a is not modified; dst must be
+// square like a and must not alias it.
+func InverseInto(dst, a *Matrix, ws *Workspace) error {
+	if a.Rows != a.Cols {
+		return errors.New("linalg: InverseInto requires a square matrix")
+	}
+	if dst == a {
+		return errors.New("linalg: InverseInto output aliases its input")
+	}
+	if dst.Rows != a.Rows || dst.Cols != a.Cols {
+		return errors.New("linalg: output dimension mismatch in InverseInto")
+	}
+	n := a.Rows
+	lu := ws.Get(n, n)
+	defer ws.Put(lu)
+	lu.CopyFrom(a)
+	piv := ws.GetInts(n)
+	defer ws.PutInts(piv)
+	if _, err := factorInPlace(lu, piv); err != nil {
+		return err
+	}
+	dst.Zero()
+	for i := 0; i < n; i++ {
+		dst.Data[i*n+i] = 1
+	}
+	luSolveInPlace(lu, piv, dst)
+	return nil
 }
 
 // Solve is a convenience wrapper: factorize a and solve A·X = B.

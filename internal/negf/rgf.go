@@ -90,23 +90,37 @@ func (s *Solver) selfEnergies(z complex128) (*linalg.Matrix, *linalg.Matrix, err
 }
 
 func (s *Solver) solveWithSigma(e float64, z complex128, sigL, sigR *linalg.Matrix, density bool) (*Result, error) {
-	a := sparse.ShiftedFromHermitian(s.H, z)
+	// Every temporary of the solve — the shifted system matrix, the
+	// broadenings, and all recursion blocks — lives in one per-solve
+	// workspace, so the sweeps run allocation-free and parallel energy
+	// points never share buffers.
+	ws := linalg.GetWorkspace()
+	defer ws.Release()
+	a := sparse.ShiftedFromHermitianWS(s.H, z, ws)
 	nl := a.Layers()
-	a.AddToDiagBlock(0, sigL.Scale(-1))
-	a.AddToDiagBlock(nl-1, sigR.Scale(-1))
-	gamL := Broadening(sigL)
-	gamR := Broadening(sigR)
+	a.AddScaledToDiagBlock(0, sigL, -1)
+	a.AddScaledToDiagBlock(nl-1, sigR, -1)
+	n0 := s.H.LayerSize(0)
+	nN := s.H.LayerSize(nl - 1)
+	gamL := ws.Get(n0, n0)
+	BroadeningInto(gamL, sigL)
+	gamR := ws.Get(nN, nN)
+	BroadeningInto(gamR, sigR)
 
 	// Forward (left-connected) pass.
 	gLft := make([]*linalg.Matrix, nl)
-	var err error
-	gLft[0], err = linalg.Inverse(a.Diag[0])
-	if err != nil {
+	gLft[0] = ws.Get(n0, n0)
+	if err := linalg.InverseInto(gLft[0], a.Diag[0], ws); err != nil {
 		return nil, fmt.Errorf("negf: RGF forward block 0: %w", err)
 	}
 	for i := 1; i < nl; i++ {
-		m := a.Diag[i].Sub(linalg.Mul3(a.Lower[i-1], gLft[i-1], a.Upper[i-1]))
-		gLft[i], err = linalg.Inverse(m)
+		ni := s.H.LayerSize(i)
+		m := ws.Get(ni, ni)
+		linalg.Mul3Into(m, a.Lower[i-1], linalg.NoTrans, gLft[i-1], linalg.NoTrans, a.Upper[i-1], linalg.NoTrans, ws)
+		linalg.SubInto(m, a.Diag[i], m)
+		gLft[i] = ws.Get(ni, ni)
+		err := linalg.InverseInto(gLft[i], m, ws)
+		ws.Put(m)
 		if err != nil {
 			return nil, fmt.Errorf("negf: RGF forward block %d: %w", i, err)
 		}
@@ -118,37 +132,56 @@ func (s *Solver) solveWithSigma(e float64, z complex128, sigL, sigR *linalg.Matr
 	gDiag[nl-1] = gLft[nl-1]
 	gColR[nl-1] = gLft[nl-1]
 	for i := nl - 2; i >= 0; i-- {
-		gu := gLft[i].Mul(a.Upper[i])
-		gDiag[i] = gLft[i].Add(linalg.Mul3(gu, gDiag[i+1], a.Lower[i]).Mul(gLft[i]))
-		gColR[i] = gu.Mul(gColR[i+1]).Scale(-1)
+		ni := s.H.LayerSize(i)
+		gu := ws.Get(ni, s.H.LayerSize(i+1))
+		linalg.MulInto(gu, gLft[i], linalg.NoTrans, a.Upper[i], linalg.NoTrans)
+		// G_ii = g_i + (g_i·U_i·G_{i+1,i+1}·L_i)·g_i
+		t := ws.Get(ni, ni)
+		linalg.Mul3Into(t, gu, linalg.NoTrans, gDiag[i+1], linalg.NoTrans, a.Lower[i], linalg.NoTrans, ws)
+		gDiag[i] = ws.Get(ni, ni)
+		gDiag[i].CopyFrom(gLft[i])
+		linalg.GemmInto(gDiag[i], 1, t, linalg.NoTrans, gLft[i], linalg.NoTrans, 1)
+		ws.Put(t)
+		gColR[i] = ws.Get(ni, nN)
+		linalg.GemmInto(gColR[i], -1, gu, linalg.NoTrans, gColR[i+1], linalg.NoTrans, 0)
+		ws.Put(gu)
 	}
 
 	res := &Result{E: e}
 
-	// Caroli transmission: T = Tr[Γ_L G_{0,N-1} Γ_R G_{0,N-1}†].
-	t := linalg.Mul3(gamL, gColR[0], gamR).Mul(gColR[0].ConjTranspose()).Trace()
-	res.T = real(t)
+	// Caroli transmission T = Tr[Γ_L·G_{0,N-1}·Γ_R·G_{0,N-1}†], with the
+	// adjoint folded into the O(n²) trace kernel instead of a fourth
+	// product.
+	tns := ws.Get(n0, nN)
+	linalg.Mul3Into(tns, gamL, linalg.NoTrans, gColR[0], linalg.NoTrans, gamR, linalg.NoTrans, ws)
+	res.T = real(linalg.TraceMulConj(tns, gColR[0]))
+	ws.Put(tns)
 
 	// Layer DOS from the retarded diagonal.
 	res.DOS = make([]float64, s.H.N())
 	off := s.H.Offsets()
 	for i := 0; i < nl; i++ {
-		d := gDiag[i].Diag()
-		for k, v := range d {
-			res.DOS[off[i]+k] = -imag(v) / math.Pi
+		d := gDiag[i]
+		for k := 0; k < d.Rows; k++ {
+			res.DOS[off[i]+k] = -imag(d.At(k, k)) / math.Pi
 		}
 	}
 
 	if density {
 		// Right-connected pass for the column G_{i,0}.
 		gRgt := make([]*linalg.Matrix, nl)
-		gRgt[nl-1], err = linalg.Inverse(a.Diag[nl-1])
-		if err != nil {
+		gRgt[nl-1] = ws.Get(nN, nN)
+		if err := linalg.InverseInto(gRgt[nl-1], a.Diag[nl-1], ws); err != nil {
 			return nil, fmt.Errorf("negf: RGF backward block %d: %w", nl-1, err)
 		}
 		for i := nl - 2; i >= 0; i-- {
-			m := a.Diag[i].Sub(linalg.Mul3(a.Upper[i], gRgt[i+1], a.Lower[i]))
-			gRgt[i], err = linalg.Inverse(m)
+			ni := s.H.LayerSize(i)
+			m := ws.Get(ni, ni)
+			linalg.Mul3Into(m, a.Upper[i], linalg.NoTrans, gRgt[i+1], linalg.NoTrans, a.Lower[i], linalg.NoTrans, ws)
+			linalg.SubInto(m, a.Diag[i], m)
+			gRgt[i] = ws.Get(ni, ni)
+			err := linalg.InverseInto(gRgt[i], m, ws)
+			ws.Put(m)
 			if err != nil {
 				return nil, fmt.Errorf("negf: RGF backward block %d: %w", i, err)
 			}
@@ -156,17 +189,29 @@ func (s *Solver) solveWithSigma(e float64, z complex128, sigL, sigR *linalg.Matr
 		gColL := make([]*linalg.Matrix, nl) // G_{i,0}
 		gColL[0] = gDiag[0]
 		for i := 1; i < nl; i++ {
-			gColL[i] = linalg.Mul3(gRgt[i], a.Lower[i-1], gColL[i-1]).Scale(-1)
+			ni := s.H.LayerSize(i)
+			t := ws.Get(ni, n0)
+			linalg.MulInto(t, a.Lower[i-1], linalg.NoTrans, gColL[i-1], linalg.NoTrans)
+			gColL[i] = ws.Get(ni, n0)
+			linalg.GemmInto(gColL[i], -1, gRgt[i], linalg.NoTrans, t, linalg.NoTrans, 0)
+			ws.Put(t)
 		}
+		// Spectral diagonals [G·Γ·G†]_ii via row dots — O(n·m²) per layer
+		// instead of materializing the full G·Γ·G† products.
 		res.SpectralL = make([]float64, s.H.N())
 		res.SpectralR = make([]float64, s.H.N())
 		for i := 0; i < nl; i++ {
-			aL := linalg.Mul3(gColL[i], gamL, gColL[i].ConjTranspose())
-			aR := linalg.Mul3(gColR[i], gamR, gColR[i].ConjTranspose())
-			for k := 0; k < aL.Rows; k++ {
-				res.SpectralL[off[i]+k] = real(aL.At(k, k))
-				res.SpectralR[off[i]+k] = real(aR.At(k, k))
+			ni := s.H.LayerSize(i)
+			d := ws.Get(ni, 1)
+			linalg.DiagMulConjInto(d.Data, gColL[i], gamL, ws)
+			for k := 0; k < ni; k++ {
+				res.SpectralL[off[i]+k] = real(d.Data[k])
 			}
+			linalg.DiagMulConjInto(d.Data, gColR[i], gamR, ws)
+			for k := 0; k < ni; k++ {
+				res.SpectralR[off[i]+k] = real(d.Data[k])
+			}
+			ws.Put(d)
 		}
 	}
 	return res, nil
@@ -193,8 +238,8 @@ func (s *Solver) DenseReference(e float64) (*Result, error) {
 	}
 	a := sparse.ShiftedFromHermitian(s.H, z)
 	nl := a.Layers()
-	a.AddToDiagBlock(0, sigL.Scale(-1))
-	a.AddToDiagBlock(nl-1, sigR.Scale(-1))
+	a.AddScaledToDiagBlock(0, sigL, -1)
+	a.AddScaledToDiagBlock(nl-1, sigR, -1)
 	g, err := linalg.Inverse(a.Dense())
 	if err != nil {
 		return nil, err
@@ -205,7 +250,7 @@ func (s *Solver) DenseReference(e float64) (*Result, error) {
 	g0N := g.Submatrix(0, off[nl-1], n0, nN)
 	gamL := Broadening(sigL)
 	gamR := Broadening(sigR)
-	t := linalg.Mul3(gamL, g0N, gamR).Mul(g0N.ConjTranspose()).Trace()
+	t := linalg.TraceMulConj(linalg.Mul3(gamL, g0N, gamR), g0N)
 	res := &Result{E: e, T: real(t), DOS: make([]float64, s.H.N())}
 	for i := 0; i < g.Rows; i++ {
 		res.DOS[i] = -imag(g.At(i, i)) / math.Pi

@@ -11,6 +11,7 @@ package negf
 import (
 	"errors"
 	"fmt"
+	"math/cmplx"
 	"sync"
 
 	"repro/internal/linalg"
@@ -43,26 +44,48 @@ func SurfaceGF(h00, hInto *linalg.Matrix, z complex128) (*linalg.Matrix, error) 
 	if imag(z) <= 0 {
 		return nil, fmt.Errorf("negf: surface GF needs Im(z) > 0, got %g", imag(z))
 	}
-	epsS := h00.Clone()
-	eps := h00.Clone()
-	alpha := hInto.Clone()
-	beta := hInto.ConjTranspose()
-	zI := linalg.Identity(n).Scale(z)
+	// The decimation loop runs entirely on workspace scratch: every
+	// iteration reuses the same eight n×n buffers, so the ~tens of
+	// iterations per lead cost zero allocations.
+	ws := linalg.GetWorkspace()
+	defer ws.Release()
+	epsS := ws.Get(n, n)
+	epsS.CopyFrom(h00)
+	eps := ws.Get(n, n)
+	eps.CopyFrom(h00)
+	alpha := ws.Get(n, n)
+	alpha.CopyFrom(hInto)
+	beta := ws.Get(n, n)
+	linalg.ConjTransposeInto(beta, hInto)
+	tmp := ws.Get(n, n)
+	g := ws.Get(n, n)
+	agb := ws.Get(n, n)
+	bga := ws.Get(n, n)
+	alphaNew := ws.Get(n, n)
+	betaNew := ws.Get(n, n)
 
 	for iter := 0; iter < surfaceMaxIter; iter++ {
-		g, err := linalg.Inverse(zI.Sub(eps))
-		if err != nil {
+		linalg.ShiftedNegInto(tmp, eps, z)
+		if err := linalg.InverseInto(g, tmp, ws); err != nil {
 			return nil, fmt.Errorf("negf: decimation inversion failed: %w", err)
 		}
-		agb := linalg.Mul3(alpha, g, beta)
-		bga := linalg.Mul3(beta, g, alpha)
+		linalg.Mul3Into(agb, alpha, linalg.NoTrans, g, linalg.NoTrans, beta, linalg.NoTrans, ws)
+		linalg.Mul3Into(bga, beta, linalg.NoTrans, g, linalg.NoTrans, alpha, linalg.NoTrans, ws)
 		epsS.AddInPlace(agb)
 		eps.AddInPlace(agb)
 		eps.AddInPlace(bga)
-		alpha = linalg.Mul3(alpha, g, alpha)
-		beta = linalg.Mul3(beta, g, beta)
+		linalg.Mul3Into(alphaNew, alpha, linalg.NoTrans, g, linalg.NoTrans, alpha, linalg.NoTrans, ws)
+		linalg.Mul3Into(betaNew, beta, linalg.NoTrans, g, linalg.NoTrans, beta, linalg.NoTrans, ws)
+		alpha, alphaNew = alphaNew, alpha
+		beta, betaNew = betaNew, beta
 		if alpha.MaxAbs() < surfaceTol && beta.MaxAbs() < surfaceTol {
-			return linalg.Inverse(zI.Sub(epsS))
+			// The result escapes the workspace, so it gets fresh storage.
+			out := linalg.New(n, n)
+			linalg.ShiftedNegInto(tmp, epsS, z)
+			if err := linalg.InverseInto(out, tmp, ws); err != nil {
+				return nil, fmt.Errorf("negf: surface inversion failed: %w", err)
+			}
+			return out, nil
 		}
 	}
 	return nil, ErrNoConvergence
@@ -102,8 +125,12 @@ func (l *Leads) SelfEnergies(z complex128) (sigL, sigR *linalg.Matrix, err error
 	// below dominates per-energy cost when the cache misses, and the phase
 	// breakdown of the paper's Table is reconstructed from this timer.
 	defer perf.StartPhase("self-energy")()
+	ws := linalg.GetWorkspace()
+	defer ws.Release()
 	// Left lead grows toward −x: coupling into the bulk is L01†.
-	gL, err := SurfaceGF(l.L00, l.L01.ConjTranspose(), z)
+	l10 := ws.Get(l.L01.Cols, l.L01.Rows)
+	linalg.ConjTransposeInto(l10, l.L01)
+	gL, err := SurfaceGF(l.L00, l10, z)
 	if err != nil {
 		return nil, nil, fmt.Errorf("negf: left lead: %w", err)
 	}
@@ -112,16 +139,45 @@ func (l *Leads) SelfEnergies(z complex128) (sigL, sigR *linalg.Matrix, err error
 	if err != nil {
 		return nil, nil, fmt.Errorf("negf: right lead: %w", err)
 	}
-	sigL = linalg.Mul3(l.L01.ConjTranspose(), gL, l.L01)
-	sigR = linalg.Mul3(l.R01, gR, l.R01.ConjTranspose())
+	// The self-energies escape (and may be cached), so they get fresh
+	// storage; the conjugate couplings are read in place by the fused GEMM.
+	sigL = linalg.New(l.L01.Cols, l.L01.Cols)
+	linalg.Mul3Into(sigL, l.L01, linalg.ConjTrans, gL, linalg.NoTrans, l.L01, linalg.NoTrans, ws)
+	sigR = linalg.New(l.R01.Rows, l.R01.Rows)
+	linalg.Mul3Into(sigR, l.R01, linalg.NoTrans, gR, linalg.NoTrans, l.R01, linalg.ConjTrans, ws)
 	return sigL, sigR, nil
 }
 
 // Broadening returns Γ = i(Σ − Σ†), the contact broadening matrix.
 func Broadening(sigma *linalg.Matrix) *linalg.Matrix {
-	g := sigma.Sub(sigma.ConjTranspose())
-	g.ScaleInPlace(complex(0, 1))
+	g := linalg.New(sigma.Rows, sigma.Cols)
+	BroadeningInto(g, sigma)
 	return g
+}
+
+// BroadeningInto writes Γ = i(Σ − Σ†) into dst elementwise, without
+// materializing the adjoint: Γ_ij = i·(Σ_ij − conj(Σ_ji)). dst must be
+// the same shape as the square sigma and must not alias it.
+func BroadeningInto(dst, sigma *linalg.Matrix) {
+	n := sigma.Rows
+	if sigma.Cols != n {
+		panic("negf: BroadeningInto requires a square matrix")
+	}
+	if dst == sigma {
+		panic("negf: BroadeningInto output aliases its input")
+	}
+	if dst.Rows != n || dst.Cols != n {
+		panic("negf: dimension mismatch in BroadeningInto")
+	}
+	for i := 0; i < n; i++ {
+		dstRow := dst.Data[i*n : (i+1)*n]
+		sigRow := sigma.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			d := sigRow[j] - cmplx.Conj(sigma.Data[j*n+i])
+			dstRow[j] = complex(-imag(d), real(d)) // i·d
+		}
+	}
+	perf.AddFlops(int64(n) * int64(n) * (perf.FlopsCAdd + perf.FlopsCMul))
 }
 
 // SelfEnergyCache memoizes contact self-energies by complex energy. The

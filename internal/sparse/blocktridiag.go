@@ -162,10 +162,8 @@ func ShiftedFromHermitian(h *BlockTridiag, z complex128) *BlockTridiag {
 		Lower: make([]*linalg.Matrix, len(h.Lower)),
 	}
 	for i, d := range h.Diag {
-		blk := d.Scale(-1)
-		for k := 0; k < blk.Rows; k++ {
-			blk.Set(k, k, blk.At(k, k)+z)
-		}
+		blk := linalg.New(d.Rows, d.Cols)
+		linalg.ShiftedNegInto(blk, d, z)
 		a.Diag[i] = blk
 	}
 	for i := range h.Upper {
@@ -175,10 +173,42 @@ func ShiftedFromHermitian(h *BlockTridiag, z complex128) *BlockTridiag {
 	return a
 }
 
+// ShiftedFromHermitianWS is ShiftedFromHermitian with every block checked
+// out of ws: the per-solve open-system matrix of the transport kernels,
+// valid only until ws is released. Callers mutate the diagonal blocks
+// (self-energy subtraction) but must not let them escape the solve.
+func ShiftedFromHermitianWS(h *BlockTridiag, z complex128, ws *linalg.Workspace) *BlockTridiag {
+	a := &BlockTridiag{
+		Diag:  make([]*linalg.Matrix, len(h.Diag)),
+		Upper: make([]*linalg.Matrix, len(h.Upper)),
+		Lower: make([]*linalg.Matrix, len(h.Lower)),
+	}
+	for i, d := range h.Diag {
+		blk := ws.Get(d.Rows, d.Cols)
+		linalg.ShiftedNegInto(blk, d, z)
+		a.Diag[i] = blk
+	}
+	for i := range h.Upper {
+		u, l := h.Upper[i], h.Lower[i]
+		a.Upper[i] = ws.Get(u.Rows, u.Cols)
+		a.Upper[i].AddScaled(u, -1)
+		a.Lower[i] = ws.Get(l.Rows, l.Cols)
+		a.Lower[i].AddScaled(l, -1)
+	}
+	return a
+}
+
 // AddToDiagBlock accumulates s into diagonal block i (used to subtract
 // contact self-energies in place).
 func (m *BlockTridiag) AddToDiagBlock(i int, s *linalg.Matrix) {
 	m.Diag[i].AddInPlace(s)
+}
+
+// AddScaledToDiagBlock accumulates scale·s into diagonal block i without
+// materializing the scaled copy — the self-energy subtraction pattern
+// AddScaledToDiagBlock(i, sigma, -1) of the open-system assembly.
+func (m *BlockTridiag) AddScaledToDiagBlock(i int, s *linalg.Matrix, scale complex128) {
+	m.Diag[i].AddScaled(s, scale)
 }
 
 // CSR flattens the block-tridiagonal matrix into CSR form.

@@ -45,8 +45,11 @@ func (m *BlockTridiag) FactorBTD() (*BTDFactor, error) {
 	}
 	for i := 1; i < l; i++ {
 		f.dU[i-1] = f.facs[i-1].Solve(m.Upper[i-1]) // d̃_{i-1}⁻¹·U_{i-1}
-		di := m.Diag[i].Sub(m.Lower[i-1].Mul(f.dU[i-1]))
-		f.facs[i], err = linalg.Factor(di)
+		// d̃_i = D_i − L_{i-1}·d̃_{i-1}⁻¹·U_{i-1}, accumulated straight into
+		// the buffer that becomes the packed factor.
+		di := m.Diag[i].Clone()
+		linalg.GemmInto(di, -1, m.Lower[i-1], linalg.NoTrans, f.dU[i-1], linalg.NoTrans, 1)
+		f.facs[i], err = linalg.FactorInPlace(di)
 		if err != nil {
 			return nil, fmt.Errorf("sparse: block Thomas pivot %d: %w", i, err)
 		}
@@ -54,7 +57,10 @@ func (m *BlockTridiag) FactorBTD() (*BTDFactor, error) {
 	return f, nil
 }
 
-// SolveBlocks solves M·X = B against the stored factorization.
+// SolveBlocks solves M·X = B against the stored factorization. The
+// returned blocks are freshly allocated; the solve itself runs without
+// temporaries (forward elimination and back substitution accumulate
+// directly into the output blocks through the fused GEMM kernel).
 func (f *BTDFactor) SolveBlocks(rhs []*linalg.Matrix) ([]*linalg.Matrix, error) {
 	m := f.m
 	l := m.Layers()
@@ -68,18 +74,20 @@ func (f *BTDFactor) SolveBlocks(rhs []*linalg.Matrix) ([]*linalg.Matrix, error) 
 				i, b.Rows, b.Cols, m.LayerSize(i), k)
 		}
 	}
-	// Forward elimination of the RHS: b̃_i = b_i − L_{i-1}·d̃_{i-1}⁻¹·b̃_{i-1}.
-	bt := make([]*linalg.Matrix, l)
-	bt[0] = rhs[0].Clone()
-	for i := 1; i < l; i++ {
-		y := f.facs[i-1].Solve(bt[i-1])
-		bt[i] = rhs[i].Sub(m.Lower[i-1].Mul(y))
-	}
-	// Back substitution.
+	// Forward elimination, with the eliminated RHS solved layer by layer:
+	// y_i = d̃_i⁻¹·(b_i − L_{i-1}·y_{i-1}), held in the output slot.
 	x := make([]*linalg.Matrix, l)
-	x[l-1] = f.facs[l-1].Solve(bt[l-1])
+	x[0] = linalg.New(m.LayerSize(0), k)
+	f.facs[0].SolveInto(x[0], rhs[0])
+	for i := 1; i < l; i++ {
+		x[i] = linalg.New(m.LayerSize(i), k)
+		x[i].CopyFrom(rhs[i])
+		linalg.GemmInto(x[i], -1, m.Lower[i-1], linalg.NoTrans, x[i-1], linalg.NoTrans, 1)
+		f.facs[i].SolveInPlace(x[i])
+	}
+	// Back substitution: x_i = y_i − d̃_i⁻¹·U_i·x_{i+1}.
 	for i := l - 2; i >= 0; i-- {
-		x[i] = f.facs[i].Solve(bt[i].Sub(m.Upper[i].Mul(x[i+1])))
+		linalg.GemmInto(x[i], -1, f.dU[i], linalg.NoTrans, x[i+1], linalg.NoTrans, 1)
 	}
 	return x, nil
 }

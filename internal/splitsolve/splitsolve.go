@@ -261,12 +261,14 @@ func Solve(ctx context.Context, a *sparse.BlockTridiag, rhs []*linalg.Matrix, op
 			xiPrev = gatherRows(xiBlocks[d-1], r.supW, sizeF[d-1], k)
 		}
 		for i := lo; i < hi; i++ {
+			// x = g − V·ξ_next − W·ξ_prev, accumulated in place through the
+			// fused GEMM so no product is materialized.
 			x := r.g[i-lo].Clone()
 			if xiNext != nil {
-				x.SubInPlace(r.v[i-lo].Mul(xiNext))
+				linalg.GemmInto(x, -1, r.v[i-lo], linalg.NoTrans, xiNext, linalg.NoTrans, 1)
 			}
 			if xiPrev != nil {
-				x.SubInPlace(r.w[i-lo].Mul(xiPrev))
+				linalg.GemmInto(x, -1, r.w[i-lo], linalg.NoTrans, xiPrev, linalg.NoTrans, 1)
 			}
 			out[i] = x
 		}

@@ -76,12 +76,19 @@ func (s *Solver) SolveCtx(ctx context.Context, e float64, density bool) (*negf.R
 	if err != nil {
 		return nil, err
 	}
-	a := sparse.ShiftedFromHermitian(s.H, z)
+	// Per-solve workspace for the broadenings and the transmission
+	// contraction; the shifted system matrix also lives here since the
+	// solve strategies only read it.
+	ws := linalg.GetWorkspace()
+	defer ws.Release()
+	a := sparse.ShiftedFromHermitianWS(s.H, z, ws)
 	nl := a.Layers()
-	a.AddToDiagBlock(0, sigL.Scale(-1))
-	a.AddToDiagBlock(nl-1, sigR.Scale(-1))
-	gamL := negf.Broadening(sigL)
-	gamR := negf.Broadening(sigR)
+	a.AddScaledToDiagBlock(0, sigL, -1)
+	a.AddScaledToDiagBlock(nl-1, sigR, -1)
+	gamL := ws.Get(sigL.Rows, sigL.Cols)
+	negf.BroadeningInto(gamL, sigL)
+	gamR := ws.Get(sigR.Rows, sigR.Cols)
+	negf.BroadeningInto(gamR, sigR)
 
 	// Injection vectors: the broadening matrices are positive
 	// semidefinite with rank equal to the number of (effectively)
@@ -144,10 +151,18 @@ func (s *Solver) SolveCtx(ctx context.Context, e float64, density bool) (*negf.R
 		return nil, fmt.Errorf("wavefunction: open-boundary solve: %w", err)
 	}
 
-	// T = Tr[Γ_R·G·Γ_L·G†] = Σᵢ (G·wᵢ)†_N-1 · Γ_R · (G·wᵢ)_N-1.
-	gwL := x[nl-1].Submatrix(0, 0, nN, wL.Cols)
-	t := gwL.ConjTranspose().Mul(gamR).Mul(gwL).Trace()
-	res.T = real(t)
+	// T = Tr[Γ_R·G·Γ_L·G†] = Σᵢ (G·wᵢ)†_N-1 · Γ_R · (G·wᵢ)_N-1, contracted
+	// as Tr[(Γ_R·gw)·gw†] so the adjoint is never materialized and the
+	// trace costs O(n·rank).
+	gwL := ws.Get(nN, wL.Cols)
+	for k := 0; k < nN; k++ {
+		copy(gwL.Data[k*wL.Cols:(k+1)*wL.Cols], x[nl-1].Data[k*width:k*width+wL.Cols])
+	}
+	ggw := ws.Get(nN, wL.Cols)
+	linalg.MulInto(ggw, gamR, linalg.NoTrans, gwL, linalg.NoTrans)
+	res.T = real(linalg.TraceMulConj(ggw, gwL))
+	ws.Put(ggw)
+	ws.Put(gwL)
 
 	if density {
 		off := s.H.Offsets()
