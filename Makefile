@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build fmt-check vet check test race faults bench bench-baseline bench-check ci clean
+.PHONY: build fmt-check vet check test race faults drill-dist bench bench-baseline bench-check ci clean
 
 # The kernel-cost benchmarks gated by the allocation baseline: their
 # allocs/op is deterministic, so a regression means a real change in the
@@ -32,6 +32,13 @@ race:
 faults:
 	$(GO) test -race -run 'Fault|Drill|Resum|Quarantine|Panic|Journal|Injector|Retr|Backoff|Classify|Timeout' \
 		./internal/resilience/ ./internal/sched/ ./internal/cluster/ ./internal/transport/ ./internal/core/
+
+# The distributed kill drill: coordinator + 4 workers under 10% fault
+# injection, one worker SIGKILLed mid-run. Passes only if observables
+# and the merged flop count are byte-identical to a serial run.
+drill-dist:
+	$(GO) build -o bin/omen ./cmd/omen
+	sh scripts/drill_dist.sh bin/omen
 
 bench:
 	$(GO) test -bench . -benchtime 0.5s -run '^$$' ./internal/...

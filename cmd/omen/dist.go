@@ -1,0 +1,135 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/comms"
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/resilience"
+)
+
+// serveConfig carries the coordinator-side CLI selections into
+// runServeMode.
+type serveConfig struct {
+	addr         string
+	selfWorkers  int // worker processes to spawn from this binary (0: external workers only)
+	leaseTimeout time.Duration
+	checkpoint   string
+	resume       bool
+	quarantine   bool
+	// childArgs builds the argv (minus argv[0]) a self-spawned worker is
+	// launched with, given the coordinator's dialable address.
+	childArgs func(dialAddr string) []string
+	prog      *progress
+}
+
+// runServeMode runs the transmission sweep as the coordinator of a
+// distributed run: it owns the task grid, the checkpoint journal (opened
+// with fsync — the coordinator's journal is the cluster's source of
+// truth), and the assembly of worker results into observables. Workers
+// connect over TCP; optionally this process spawns its own.
+func runServeMode(ctx context.Context, sim *core.Simulator, grid []float64, cfg serveConfig) error {
+	plan, err := sim.PlanTransmission(grid, nil)
+	if err != nil {
+		return err
+	}
+	nBias, nK, nE := plan.Dims()
+
+	opts := distrib.Options{
+		LeaseTimeout: cfg.leaseTimeout,
+		Restore:      plan.Restore,
+		Quarantine:   cfg.quarantine,
+		OnProgress:   cfg.prog.set,
+	}
+	if cfg.checkpoint != "" {
+		if !cfg.resume {
+			if _, err := os.Stat(cfg.checkpoint); err == nil {
+				return fmt.Errorf("journal %s exists; pass -resume to continue it or remove the file", cfg.checkpoint)
+			}
+		}
+		j, err := cluster.OpenFileJournal(cfg.checkpoint, cluster.WithFsync())
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		opts.Journal = j
+	} else if cfg.resume {
+		return errors.New("-resume requires -checkpoint")
+	}
+
+	lis, err := comms.TCP{}.Listen(cfg.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "omen: coordinating %d tasks on %s\n", nBias*nK*nE, lis.Addr())
+
+	var children sync.WaitGroup
+	if cfg.selfWorkers > 0 {
+		args := cfg.childArgs(comms.DialableAddr(lis.Addr()))
+		for i := 0; i < cfg.selfWorkers; i++ {
+			cmd := exec.CommandContext(ctx, os.Args[0], args...)
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				lis.Close()
+				return fmt.Errorf("spawn worker: %w", err)
+			}
+			children.Add(1)
+			go func(cmd *exec.Cmd, i int) {
+				defer children.Done()
+				if err := cmd.Wait(); err != nil {
+					// A dead worker is tolerated, not fatal: its leases are
+					// re-dispatched. Note it for the operator and move on.
+					fmt.Fprintf(os.Stderr, "omen: worker %d exited: %v\n", i, err)
+				}
+			}(cmd, i)
+		}
+	}
+
+	rep, err := distrib.Serve(ctx, lis, nBias, nK, nE, opts)
+	children.Wait()
+	if err != nil {
+		return err
+	}
+
+	sweep := plan.Assemble(rep.Sweep)
+	printSweepSummary(rep.Sweep)
+	fmt.Printf("# cluster: %d workers, %d leases re-dispatched\n", rep.Workers, rep.Redispatched)
+	fmt.Printf("# flops\t%d\n", rep.Perf.Flops)
+	fmt.Println("# E(eV)\tT(E)")
+	for i, e := range sweep.Energies {
+		fmt.Printf("%.6f\t%.8g\n", e, sweep.T[i])
+	}
+	return nil
+}
+
+// runWorkerMode runs the transmission sweep as one worker of a
+// distributed run: dial the coordinator (with patience — workers often
+// start first), pull task leases, solve them on the local pool, report
+// results. The process exits cleanly when the coordinator declares the
+// sweep done or hangs up.
+func runWorkerMode(ctx context.Context, sim *core.Simulator, grid []float64, addr string, retry resilience.Policy, injector *resilience.Injector) error {
+	plan, err := sim.PlanTransmission(grid, nil)
+	if err != nil {
+		return err
+	}
+	nBias, nK, nE := plan.Dims()
+	conn, err := comms.DialRetry(ctx, comms.TCP{}, addr, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	host, _ := os.Hostname()
+	return distrib.RunWorker(ctx, conn, nBias, nK, nE, distrib.WorkerOptions{
+		ID:       fmt.Sprintf("%s-%d", host, os.Getpid()),
+		Pool:     plan.Pool(),
+		Retry:    retry,
+		Injector: injector,
+	}, plan.Run)
+}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/perf"
 	"repro/internal/resilience"
 	"repro/internal/sched"
 	"repro/internal/transport"
@@ -82,6 +83,10 @@ func main() {
 		nvg       = flag.Int("nvg", 6, "gate sweep points")
 		cellsX    = flag.Int("cellsx", 0, "override transport cells")
 		workers   = flag.Int("workers", 0, "total worker budget across all parallel levels (0: GOMAXPROCS)")
+
+		serveAddr    = flag.String("serve", "", "run as distributed-sweep coordinator listening on this TCP address (transmission mode); workers connect with -worker")
+		workerAddr   = flag.String("worker", "", "run as distributed-sweep worker dialing the coordinator at this TCP address (transmission mode)")
+		leaseTimeout = flag.Duration("lease-timeout", 30*time.Second, "coordinator: how long a worker may hold a task lease before it is re-dispatched")
 
 		checkpoint  = flag.String("checkpoint", "", "sweep journal file for checkpoint/restart (transmission mode)")
 		resume      = flag.Bool("resume", false, "resume from an existing -checkpoint journal, rerunning only unfinished tasks")
@@ -141,17 +146,80 @@ func main() {
 		fmt.Printf("matrix order\t%d\nlayer block\t%d\nlength\t%.2f nm\n",
 			st.MatrixOrder, st.BlockSize, st.TransportLen)
 	case "transmission":
+		grid := transport.UniformGrid(*emin, *emax, *ne)
+		if *serveAddr != "" && *workerAddr != "" {
+			fatal(ctx, &prog, errors.New("-serve and -worker are mutually exclusive"))
+		}
+		if *workerAddr != "" {
+			if *checkpoint != "" {
+				fatal(ctx, &prog, errors.New("-checkpoint belongs to the coordinator; workers do not journal"))
+			}
+			retry := resilience.Policy{
+				MaxAttempts:    *maxRetries + 1,
+				AttemptTimeout: *taskTimeout,
+				JitterFrac:     0.2,
+				Seed:           *faultSeed,
+			}
+			var injector *resilience.Injector
+			if *faultRate > 0 {
+				injector = &resilience.Injector{Seed: *faultSeed, Rate: *faultRate}
+			}
+			if err := runWorkerMode(ctx, sim, grid, *workerAddr, retry, injector); err != nil {
+				fatal(ctx, &prog, err)
+			}
+			return
+		}
+		if *serveAddr != "" {
+			cfg := serveConfig{
+				addr:         *serveAddr,
+				selfWorkers:  *workers,
+				leaseTimeout: *leaseTimeout,
+				checkpoint:   *checkpoint,
+				resume:       *resume,
+				quarantine:   *quarantine,
+				prog:         &prog,
+				childArgs: func(dialAddr string) []string {
+					args := []string{
+						"-worker", dialAddr,
+						"-mode", "transmission",
+						"-device", *devName,
+						"-formalism", *formalism,
+						"-domains", fmt.Sprint(*domains),
+						"-nk", fmt.Sprint(*nk),
+						"-emin", fmt.Sprint(*emin),
+						"-emax", fmt.Sprint(*emax),
+						"-ne", fmt.Sprint(*ne),
+						// One solve at a time per worker process keeps the
+						// merged flop accounting exact (see DESIGN.md §10).
+						"-workers", "1",
+						"-max-retries", fmt.Sprint(*maxRetries),
+						"-task-timeout", taskTimeout.String(),
+						"-fault-rate", fmt.Sprint(*faultRate),
+						"-fault-seed", fmt.Sprint(*faultSeed),
+					}
+					if *cellsX > 0 {
+						args = append(args, "-cellsx", fmt.Sprint(*cellsX))
+					}
+					return args
+				},
+			}
+			if err := runServeMode(ctx, sim, grid, cfg); err != nil {
+				fatal(ctx, &prog, err)
+			}
+			return
+		}
 		opts, closeJournal, err := sweepOptions(pool, &prog, *checkpoint, *resume, *maxRetries, *taskTimeout, *quarantine, *faultRate, *faultSeed)
 		if err != nil {
 			fatal(ctx, &prog, err)
 		}
 		defer closeJournal()
-		grid := transport.UniformGrid(*emin, *emax, *ne)
+		before := perf.TakeSnapshot()
 		sweep, err := sim.TransmissionResumable(ctx, grid, nil, opts)
 		if err != nil {
 			fatal(ctx, &prog, err)
 		}
 		printSweepSummary(sweep.Report)
+		fmt.Printf("# flops\t%d\n", perf.TakeSnapshot().Diff(before).Flops)
 		fmt.Println("# E(eV)\tT(E)")
 		for i, e := range sweep.Energies {
 			fmt.Printf("%.6f\t%.8g\n", e, sweep.T[i])

@@ -26,11 +26,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"os/signal"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/comms"
+	"repro/internal/distrib"
 	"repro/internal/resilience"
+	"repro/internal/sched"
 )
 
 // flagshipWorkload mirrors the paper's production scenario: a full I-V
@@ -65,6 +71,11 @@ func main() {
 		taskTimeout = flag.Duration("task-timeout", 0, "per-attempt deadline for one study step (0: none)")
 		faultRate   = flag.Float64("fault-rate", 0, "fault-injection drill: fraction of steps failing their first attempt")
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for deterministic fault injection and retry jitter")
+
+		serveAddr    = flag.String("serve", "", "run the strong study as distributed-sweep coordinator on this TCP address")
+		workerAddr   = flag.String("worker", "", "run as distributed-sweep worker dialing the coordinator at this TCP address (strong study)")
+		workersN     = flag.Int("workers", 0, "with -serve: worker processes to self-spawn from this binary (0: wait for external -worker processes)")
+		leaseTimeout = flag.Duration("lease-timeout", 30*time.Second, "coordinator: how long a worker may hold a task lease before it is re-dispatched")
 	)
 	flag.Parse()
 	m := cluster.Jaguar()
@@ -96,13 +107,46 @@ func main() {
 		if *faultRate > 0 {
 			opts.Injector = &resilience.Injector{Seed: *faultSeed, Rate: *faultRate}
 		}
+		fn := func(_ context.Context, t cluster.Task) ([]byte, error) {
+			r, err := m.PredictAuto(w, counts[t.E])
+			if err != nil {
+				return nil, resilience.MarkPermanent(fmt.Errorf("cluster: %d cores: %w", counts[t.E], err))
+			}
+			reports[t.E] = r
+			return json.Marshal(r)
+		}
+
+		if *workerAddr != "" {
+			conn, err := comms.DialRetry(ctx, comms.TCP{}, *workerAddr, 30*time.Second)
+			if err != nil {
+				fatal(ctx, &prog, err)
+			}
+			host, _ := os.Hostname()
+			err = distrib.RunWorker(ctx, conn, 1, 1, len(counts), distrib.WorkerOptions{
+				ID:       fmt.Sprintf("%s-%d", host, os.Getpid()),
+				Pool:     sched.New(1),
+				Retry:    opts.Retry,
+				Injector: opts.Injector,
+			}, fn)
+			if err != nil {
+				fatal(ctx, &prog, err)
+			}
+			return
+		}
+
 		if *checkpoint != "" {
 			if !*resume {
 				if _, err := os.Stat(*checkpoint); err == nil {
 					fatal(ctx, &prog, fmt.Errorf("journal %s exists; pass -resume to continue it or remove the file", *checkpoint))
 				}
 			}
-			j, err := cluster.OpenFileJournal(*checkpoint)
+			// The coordinator's journal is the cluster's source of truth,
+			// so it syncs every acknowledged record to stable storage.
+			var jopts []cluster.JournalOption
+			if *serveAddr != "" {
+				jopts = append(jopts, cluster.WithFsync())
+			}
+			j, err := cluster.OpenFileJournal(*checkpoint, jopts...)
 			if err != nil {
 				fatal(ctx, &prog, err)
 			}
@@ -112,21 +156,60 @@ func main() {
 			fatal(ctx, &prog, errors.New("-resume requires -checkpoint"))
 		}
 
-		rep, err := cluster.RunTasksResumable(ctx, 1, 1, len(counts), opts,
-			func(_ context.Context, t cluster.Task) ([]byte, error) {
-				r, err := m.PredictAuto(w, counts[t.E])
-				if err != nil {
-					return nil, resilience.MarkPermanent(fmt.Errorf("cluster: %d cores: %w", counts[t.E], err))
+		var rep *cluster.SweepReport
+		var clusterLine string
+		if *serveAddr != "" {
+			lis, err := comms.TCP{}.Listen(*serveAddr)
+			if err != nil {
+				fatal(ctx, &prog, err)
+			}
+			fmt.Fprintf(os.Stderr, "scaling: coordinating %d steps on %s\n", len(counts), lis.Addr())
+			var children sync.WaitGroup
+			for i := 0; i < *workersN; i++ {
+				cmd := exec.CommandContext(ctx, os.Args[0],
+					"-study", "strong", "-worker", comms.DialableAddr(lis.Addr()),
+					"-max-retries", fmt.Sprint(*maxRetries),
+					"-fault-rate", fmt.Sprint(*faultRate),
+					"-fault-seed", fmt.Sprint(*faultSeed))
+				cmd.Stderr = os.Stderr
+				if err := cmd.Start(); err != nil {
+					lis.Close()
+					fatal(ctx, &prog, fmt.Errorf("spawn worker: %w", err))
 				}
-				reports[t.E] = r
-				return json.Marshal(r)
+				children.Add(1)
+				go func(cmd *exec.Cmd, i int) {
+					defer children.Done()
+					if err := cmd.Wait(); err != nil {
+						fmt.Fprintf(os.Stderr, "scaling: worker %d exited: %v\n", i, err)
+					}
+				}(cmd, i)
+			}
+			drep, err := distrib.Serve(ctx, lis, 1, 1, len(counts), distrib.Options{
+				LeaseTimeout: *leaseTimeout,
+				Journal:      opts.Journal,
+				Restore:      opts.Restore,
+				OnProgress:   prog.set,
 			})
-		if err != nil {
-			fatal(ctx, &prog, err)
+			children.Wait()
+			if err != nil {
+				fatal(ctx, &prog, err)
+			}
+			rep = drep.Sweep
+			clusterLine = fmt.Sprintf("# cluster: %d workers, %d leases re-dispatched",
+				drep.Workers, drep.Redispatched)
+		} else {
+			var err error
+			rep, err = cluster.RunTasksResumable(ctx, 1, 1, len(counts), opts, fn)
+			if err != nil {
+				fatal(ctx, &prog, err)
+			}
 		}
 		base := reports[0]
 		fmt.Printf("# strong scaling on %s — workload: %d tasks, device %d layers × %d orbitals\n",
 			m.Name, w.Tasks(), w.NLayers, w.BlockSize)
+		if clusterLine != "" {
+			fmt.Println(clusterLine)
+		}
 		if rep.Restored > 0 {
 			fmt.Printf("# resumed: %d/%d steps restored from checkpoint\n", rep.Restored, rep.Total)
 		}

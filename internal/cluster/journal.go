@@ -58,20 +58,71 @@ type Checkpointer interface {
 // streams extreme-scale transport codes write per communicator.
 type FileJournal struct {
 	path string
+	sync bool
 
 	mu sync.Mutex
 	f  *os.File
 	w  *bufio.Writer
 }
 
+// JournalOption configures OpenFileJournal.
+type JournalOption func(*FileJournal)
+
+// WithFsync makes every Append force the record to stable storage
+// (fsync) before returning. The default (flush-to-OS only) survives a
+// process crash but can lose the unsynced tail on an OS or power crash —
+// acceptable for a worker, whose lost tasks simply rerun, but not for a
+// distributed coordinator, whose journal is the cluster-wide source of
+// truth: a coordinator restarted after a machine crash must trust every
+// record it acknowledged to the workers.
+func WithFsync() JournalOption {
+	return func(j *FileJournal) { j.sync = true }
+}
+
 // OpenFileJournal opens (creating if needed) the journal at path for
-// appending. Existing records are preserved; call Load to read them.
-func OpenFileJournal(path string) (*FileJournal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+// appending. Existing records are preserved; call Load to read them. If
+// the previous writer was killed mid-record, the torn trailing line is
+// terminated so that records appended by this process start on a fresh
+// line instead of merging into the torn one (which would corrupt them).
+func OpenFileJournal(path string, opts ...JournalOption) (*FileJournal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: open journal: %w", err)
 	}
-	return &FileJournal{path: path, f: f, w: bufio.NewWriter(f)}, nil
+	j := &FileJournal{path: path, f: f, w: bufio.NewWriter(f)}
+	for _, o := range opts {
+		o(j)
+	}
+	if err := j.repairTail(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// repairTail terminates an unterminated trailing line (the torn tail of a
+// writer killed mid-record). Load already ignores the torn record; the
+// repair only guarantees the *next* record is not appended onto the same
+// line, which would destroy it too.
+func (j *FileJournal) repairTail() error {
+	st, err := j.f.Stat()
+	if err != nil {
+		return fmt.Errorf("cluster: journal stat: %w", err)
+	}
+	if st.Size() == 0 {
+		return nil
+	}
+	var b [1]byte
+	if _, err := j.f.ReadAt(b[:], st.Size()-1); err != nil {
+		return fmt.Errorf("cluster: journal tail: %w", err)
+	}
+	if b[0] == '\n' {
+		return nil
+	}
+	if _, err := j.f.Write([]byte{'\n'}); err != nil {
+		return fmt.Errorf("cluster: journal tail repair: %w", err)
+	}
+	return nil
 }
 
 // Path returns the journal file path.
@@ -98,6 +149,11 @@ func (j *FileJournal) Append(rec TaskRecord) error {
 	}
 	if err := j.w.Flush(); err != nil {
 		return fmt.Errorf("cluster: journal flush: %w", err)
+	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("cluster: journal fsync: %w", err)
+		}
 	}
 	return nil
 }

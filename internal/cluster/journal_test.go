@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// appendRecords writes n records with recognizable payloads through a
+// fresh journal handle and closes it.
+func appendRecords(t *testing.T, path string, lo, hi int, opts ...JournalOption) {
+	t.Helper()
+	j, err := OpenFileJournal(path, opts...)
+	if err != nil {
+		t.Fatalf("OpenFileJournal: %v", err)
+	}
+	for i := lo; i < hi; i++ {
+		if err := j.Append(TaskRecord{Index: i, Payload: []byte(fmt.Sprintf("payload-%d", i))}); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func loadIndices(t *testing.T, path string) []int {
+	t.Helper()
+	j, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatalf("OpenFileJournal: %v", err)
+	}
+	defer j.Close()
+	recs, err := j.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var idx []int
+	for _, r := range recs {
+		idx = append(idx, r.Index)
+	}
+	return idx
+}
+
+// TestJournalTornTailRecovery kills a journal mid-record (by truncating
+// the file inside the last line, as a crashed writer would leave it) and
+// verifies the full recovery contract: the torn record is dropped, the
+// intact prefix survives, and — critically — a record appended by the
+// next process does not merge into the torn line and get destroyed too.
+func TestJournalTornTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	appendRecords(t, path, 0, 5)
+
+	// Truncate mid-record: cut the file 7 bytes into the final line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	trimmed := bytes.TrimSuffix(data, []byte("\n"))
+	lastLine := trimmed[bytes.LastIndexByte(trimmed, '\n')+1:]
+	cut := len(data) - len(lastLine) - 1 + 7
+	if err := os.Truncate(path, int64(cut)); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+
+	// Reopen (which must repair the unterminated tail) and append one more.
+	appendRecords(t, path, 5, 6)
+
+	// Record 4 was torn and must stay lost; 0–3 and the new record 5 must
+	// all survive intact.
+	got := loadIndices(t, path)
+	want := []int{0, 1, 2, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("recovered %v, want %v", got, want)
+		}
+	}
+}
+
+// TestJournalTornTailEveryCut truncates at every byte offset inside the
+// last record and asserts the invariant that matters for resume: recovery
+// never loses an intact record and never resurrects the torn one, no
+// matter where the crash landed.
+func TestJournalTornTailEveryCut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	appendRecords(t, path, 0, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	trimmed := bytes.TrimSuffix(data, []byte("\n"))
+	lastStart := bytes.LastIndexByte(trimmed, '\n') + 1
+
+	for cut := lastStart; cut < len(data); cut++ {
+		cutPath := filepath.Join(t.TempDir(), "cut.journal")
+		if err := os.WriteFile(cutPath, data[:cut], 0o644); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+		appendRecords(t, cutPath, 3, 4)
+		got := loadIndices(t, cutPath)
+		// Records 0 and 1 are intact; record 2 survives only at the final
+		// offset (cut == len-1 strips just the newline but Load still
+		// parses the complete JSON line after tail repair); record 3 must
+		// always survive.
+		want := []int{0, 1, 3}
+		if cut == len(data)-1 {
+			want = []int{0, 1, 2, 3}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("cut %d: recovered %v, want %v", cut, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cut %d: recovered %v, want %v", cut, got, want)
+			}
+		}
+	}
+}
+
+// TestJournalWithFsync exercises the fsync path end to end; correctness
+// beyond "records survive and load" can't be asserted without crashing
+// the kernel, but the option must at least not disturb the format.
+func TestJournalWithFsync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	appendRecords(t, path, 0, 4, WithFsync())
+	got := loadIndices(t, path)
+	if len(got) != 4 {
+		t.Fatalf("loaded %d records, want 4", len(got))
+	}
+	for i := 0; i < 4; i++ {
+		if got[i] != i {
+			t.Fatalf("loaded indices %v, want [0 1 2 3]", got)
+		}
+	}
+}

@@ -17,6 +17,12 @@ type Task struct {
 	Bias, K, E int
 }
 
+// TaskAt maps a flat task index to sweep coordinates — the inverse of the
+// bias·nK·nE + k·nE + E layout RunTasks iterates in. Exported so the
+// distributed engine (internal/distrib), which ships flat indices over
+// the wire, reconstructs the same coordinates the local runner uses.
+func TaskAt(idx, nK, nE int) Task { return taskAt(idx, nK, nE) }
+
 // RunTasks executes fn for every (bias, k, E) task on the given worker
 // pool — the real (shared-memory) counterpart of the distributed
 // decomposition modeled by Predict. Each task must write only to its own

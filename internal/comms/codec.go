@@ -1,0 +1,69 @@
+package comms
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Codec frames JSON messages over a reliable byte stream. Reads are
+// buffered and must come from a single goroutine; writes are serialized
+// by an internal mutex and flushed per message, so any number of
+// goroutines (a worker's task loop plus its heartbeat ticker) can Send
+// concurrently without interleaving frames.
+type Codec struct {
+	rwc io.ReadWriteCloser
+	r   *bufio.Reader
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+}
+
+// NewCodec wraps a connection (anything reliable and byte-ordered; TCP
+// and net.Pipe both qualify).
+func NewCodec(rwc io.ReadWriteCloser) *Codec {
+	return &Codec{
+		rwc: rwc,
+		r:   bufio.NewReaderSize(rwc, 64<<10),
+		w:   bufio.NewWriterSize(rwc, 64<<10),
+	}
+}
+
+// Send marshals v as JSON and writes it as one frame of type t, flushing
+// before returning. Safe for concurrent use.
+func (c *Codec) Send(t MsgType, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("comms: marshal message type %d: %w", t, err)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := WriteFrame(c.w, t, payload); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Recv reads the next frame and returns its type and raw payload. The
+// error taxonomy is ReadFrame's: io.EOF on a clean close at a frame
+// boundary, ErrTruncated-wrapping errors on a mid-frame death, typed
+// errors on malformed headers.
+func (c *Codec) Recv() (MsgType, []byte, error) {
+	return ReadFrame(c.r)
+}
+
+// SetReadDeadline sets the deadline for future Recv calls when the
+// underlying connection supports deadlines (net.Conn does; a plain pipe
+// may not, in which case this is a no-op). A zero time clears it.
+func (c *Codec) SetReadDeadline(t time.Time) error {
+	if d, ok := c.rwc.(interface{ SetReadDeadline(time.Time) error }); ok {
+		return d.SetReadDeadline(t)
+	}
+	return nil
+}
+
+// Close closes the underlying connection, unblocking any pending Recv.
+func (c *Codec) Close() error { return c.rwc.Close() }

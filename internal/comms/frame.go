@@ -1,0 +1,144 @@
+// Package comms is the wire layer of the distributed sweep engine: a
+// length-prefixed, version-tagged frame format carrying JSON payloads, a
+// message codec safe for one reader plus many writers per connection, and
+// a Transport abstraction with two implementations — real TCP sockets for
+// production and an in-memory loopback network for deterministic tests.
+//
+// The frame format is deliberately minimal (it plays the role MPI's
+// envelope played for the SC11 runs): an 8-byte header of magic, version,
+// message type, and big-endian payload length, followed by the payload
+// bytes. Every decoding failure is a typed error — bad magic, unsupported
+// version, oversized length, truncated header or payload — and the
+// decoder never panics on hostile input (fuzz-tested), so a confused or
+// malicious peer can at worst get its connection dropped.
+package comms
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const (
+	// Magic is the two-byte frame preamble ("OM"): a cheap guard against
+	// a peer that is not speaking this protocol at all.
+	Magic uint16 = 0x4F4D
+	// Version is the wire-format version this build speaks. A frame
+	// tagged with any other version is rejected with *BadVersionError,
+	// so protocol evolution fails loudly instead of misparsing.
+	Version byte = 1
+	// MaxPayload bounds a frame's payload so a corrupt or hostile length
+	// prefix cannot make the reader allocate unbounded memory.
+	MaxPayload = 64 << 20
+
+	// headerLen is magic(2) + version(1) + type(1) + length(4).
+	headerLen = 8
+)
+
+// MsgType tags a frame's payload with its message kind. The values are
+// defined by the protocol built on top (internal/distrib); comms only
+// transports them.
+type MsgType byte
+
+// BadMagicError reports a frame that does not start with Magic — the peer
+// is not speaking this protocol.
+type BadMagicError struct {
+	// Got is the first two bytes received, big-endian.
+	Got uint16
+}
+
+// Error implements error.
+func (e *BadMagicError) Error() string {
+	return fmt.Sprintf("comms: bad frame magic %#04x (want %#04x)", e.Got, Magic)
+}
+
+// BadVersionError reports a frame tagged with an unsupported wire-format
+// version.
+type BadVersionError struct {
+	// Got is the version byte received.
+	Got byte
+}
+
+// Error implements error.
+func (e *BadVersionError) Error() string {
+	return fmt.Sprintf("comms: unsupported frame version %d (want %d)", e.Got, Version)
+}
+
+// OversizedError reports a frame whose declared payload length exceeds
+// MaxPayload.
+type OversizedError struct {
+	// Size is the declared payload length.
+	Size uint64
+}
+
+// Error implements error.
+func (e *OversizedError) Error() string {
+	return fmt.Sprintf("comms: frame payload %d bytes exceeds limit %d", e.Size, MaxPayload)
+}
+
+// ErrTruncated is wrapped by read errors reporting a frame cut off
+// mid-header or mid-payload (the connection died inside a frame).
+var ErrTruncated = errors.New("comms: truncated frame")
+
+// WriteFrame writes one frame. It performs exactly two writes (header,
+// payload); callers that need atomic frames on a shared writer must
+// serialize calls (Codec does).
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return &OversizedError{Size: uint64(len(payload))}
+	}
+	var h [headerLen]byte
+	binary.BigEndian.PutUint16(h[0:2], Magic)
+	h[2] = Version
+	h[3] = byte(t)
+	binary.BigEndian.PutUint32(h[4:8], uint32(len(payload)))
+	if _, err := w.Write(h[:]); err != nil {
+		return fmt.Errorf("comms: write frame header: %w", err)
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("comms: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame. A clean end of stream at a frame boundary
+// returns io.EOF; a stream that dies inside a frame returns an error
+// wrapping ErrTruncated; malformed headers return the typed errors above.
+// The payload slice is freshly allocated and owned by the caller.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var h [headerLen]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, fmt.Errorf("%w: stream ended inside the header", ErrTruncated)
+		}
+		return 0, nil, fmt.Errorf("comms: read frame header: %w", err)
+	}
+	if m := binary.BigEndian.Uint16(h[0:2]); m != Magic {
+		return 0, nil, &BadMagicError{Got: m}
+	}
+	if h[2] != Version {
+		return 0, nil, &BadVersionError{Got: h[2]}
+	}
+	n := binary.BigEndian.Uint32(h[4:8])
+	if n > MaxPayload {
+		return 0, nil, &OversizedError{Size: uint64(n)}
+	}
+	if n == 0 {
+		return MsgType(h[3]), nil, nil
+	}
+	payload := make([]byte, n)
+	if k, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) || err == io.EOF {
+			return 0, nil, fmt.Errorf("%w: stream ended %d bytes into a %d-byte payload", ErrTruncated, k, n)
+		}
+		return 0, nil, fmt.Errorf("comms: read frame payload: %w", err)
+	}
+	return MsgType(h[3]), payload, nil
+}

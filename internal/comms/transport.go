@@ -1,0 +1,176 @@
+package comms
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Transport abstracts how coordinator and workers reach each other: real
+// TCP for production, an in-memory loopback network for deterministic
+// tests that exercise the full protocol — leases, heartbeats, crashes,
+// re-dispatch — without sockets, ports, or timing flakiness.
+type Transport interface {
+	// Listen binds addr and accepts connections.
+	Listen(addr string) (net.Listener, error)
+	// Dial connects to addr, honoring ctx cancellation.
+	Dial(ctx context.Context, addr string) (net.Conn, error)
+}
+
+// TCP is the production transport: plain TCP sockets.
+type TCP struct{}
+
+// Listen implements Transport.
+func (TCP) Listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+
+// Dial implements Transport.
+func (TCP) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// DialRetry dials addr through t, retrying on failure until ctx expires
+// or the per-call patience window closes — workers routinely start before
+// their coordinator is listening, and a few hundred milliseconds of
+// patience makes launch ordering irrelevant.
+func DialRetry(ctx context.Context, t Transport, addr string, patience time.Duration) (net.Conn, error) {
+	if patience <= 0 {
+		patience = 10 * time.Second
+	}
+	deadline := time.Now().Add(patience)
+	var lastErr error
+	for {
+		conn, err := t.Dial(ctx, addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("comms: dial %s: %w", addr, lastErr)
+		}
+		t := time.NewTimer(100 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// DialableAddr rewrites a listener's address into one a local process
+// can dial: a wildcard host (":0", "[::]:…", "0.0.0.0:…") becomes
+// loopback. Coordinators use it to tell self-spawned workers where to
+// connect.
+func DialableAddr(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return a.String()
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
+// Loopback is an in-memory transport: a private network namespace where
+// Listen registers names and Dial joins them with synchronous pipe pairs
+// (net.Pipe). Connections support deadlines, so the full coordinator
+// liveness machinery works unchanged over it.
+type Loopback struct {
+	mu        sync.Mutex
+	listeners map[string]*loopListener
+	next      int
+}
+
+// NewLoopback returns an empty in-memory network.
+func NewLoopback() *Loopback {
+	return &Loopback{listeners: make(map[string]*loopListener)}
+}
+
+// Listen implements Transport. An empty addr (or ":0") auto-assigns a
+// fresh name, mirroring the TCP idiom; the assigned name is available
+// from the listener's Addr.
+func (l *Loopback) Listen(addr string) (net.Listener, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if addr == "" || addr == ":0" {
+		l.next++
+		addr = fmt.Sprintf("loop-%d", l.next)
+	}
+	if _, dup := l.listeners[addr]; dup {
+		return nil, fmt.Errorf("comms: loopback address %q already in use", addr)
+	}
+	ll := &loopListener{owner: l, addr: addr, accept: make(chan net.Conn), done: make(chan struct{})}
+	l.listeners[addr] = ll
+	return ll, nil
+}
+
+// Dial implements Transport.
+func (l *Loopback) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	l.mu.Lock()
+	ll := l.listeners[addr]
+	l.mu.Unlock()
+	if ll == nil {
+		return nil, fmt.Errorf("comms: loopback dial %q: connection refused", addr)
+	}
+	client, server := net.Pipe()
+	select {
+	case ll.accept <- server:
+		return client, nil
+	case <-ll.done:
+		client.Close()
+		return nil, fmt.Errorf("comms: loopback dial %q: listener closed", addr)
+	case <-ctx.Done():
+		client.Close()
+		return nil, ctx.Err()
+	}
+}
+
+// loopListener is the accept side of a Loopback name.
+type loopListener struct {
+	owner  *Loopback
+	addr   string
+	accept chan net.Conn
+	done   chan struct{}
+	once   sync.Once
+}
+
+// Accept implements net.Listener.
+func (ll *loopListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-ll.accept:
+		return c, nil
+	case <-ll.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener: it unregisters the name and fails
+// pending and future Accept/Dial calls.
+func (ll *loopListener) Close() error {
+	ll.once.Do(func() {
+		close(ll.done)
+		ll.owner.mu.Lock()
+		delete(ll.owner.listeners, ll.addr)
+		ll.owner.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr implements net.Listener.
+func (ll *loopListener) Addr() net.Addr { return loopAddr(ll.addr) }
+
+// loopAddr is the net.Addr of a loopback endpoint.
+type loopAddr string
+
+// Network implements net.Addr.
+func (loopAddr) Network() string { return "loop" }
+
+// String implements net.Addr.
+func (a loopAddr) String() string { return string(a) }

@@ -1,0 +1,158 @@
+package comms
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+type ping struct {
+	N int `json:"n"`
+}
+
+func decodeJSON(payload []byte, v any) error { return json.Unmarshal(payload, v) }
+
+func TestCodecRoundTripOverLoopback(t *testing.T) {
+	lb := NewLoopback()
+	lis, err := lb.Listen("")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	addr := lis.Addr().String()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := lis.Accept()
+		if err != nil {
+			t.Errorf("Accept: %v", err)
+			return
+		}
+		cd := NewCodec(conn)
+		defer cd.Close()
+		for {
+			mt, payload, err := cd.Recv()
+			if err != nil {
+				return // client hung up
+			}
+			var p ping
+			if err := decodeJSON(payload, &p); err != nil {
+				t.Errorf("decode: %v", err)
+				return
+			}
+			if err := cd.Send(mt+1, ping{N: p.N * 2}); err != nil {
+				t.Errorf("Send: %v", err)
+				return
+			}
+		}
+	}()
+
+	conn, err := lb.Dial(context.Background(), addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	cd := NewCodec(conn)
+	for i := 1; i <= 5; i++ {
+		if err := cd.Send(MsgType(i), ping{N: i}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		mt, payload, err := cd.Recv()
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		if mt != MsgType(i+1) {
+			t.Fatalf("reply type = %d, want %d", mt, i+1)
+		}
+		var p ping
+		if err := decodeJSON(payload, &p); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if p.N != 2*i {
+			t.Fatalf("reply N = %d, want %d", p.N, 2*i)
+		}
+	}
+	cd.Close()
+	wg.Wait()
+	lis.Close()
+}
+
+func TestLoopbackDialUnknownAddr(t *testing.T) {
+	lb := NewLoopback()
+	if _, err := lb.Dial(context.Background(), "nowhere"); err == nil {
+		t.Fatal("dial of unregistered address succeeded")
+	}
+}
+
+func TestLoopbackListenerClose(t *testing.T) {
+	lb := NewLoopback()
+	lis, err := lb.Listen("a")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if _, err := lb.Listen("a"); err == nil {
+		t.Fatal("duplicate Listen on one name succeeded")
+	}
+	lis.Close()
+	lis.Close() // idempotent
+	if _, err := lis.Accept(); err != net.ErrClosed {
+		t.Fatalf("Accept after close: err = %v, want net.ErrClosed", err)
+	}
+	if _, err := lb.Dial(context.Background(), "a"); err == nil {
+		t.Fatal("dial of closed listener succeeded")
+	}
+	// The name is free again after close.
+	if _, err := lb.Listen("a"); err != nil {
+		t.Fatalf("re-Listen after close: %v", err)
+	}
+}
+
+func TestLoopbackDialHonorsContext(t *testing.T) {
+	lb := NewLoopback()
+	lis, err := lb.Listen("busy")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer lis.Close()
+	// Nobody accepts, so Dial blocks until the context expires.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := lb.Dial(ctx, "busy"); err != context.DeadlineExceeded {
+		t.Fatalf("Dial: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestDialRetryWaitsForListener(t *testing.T) {
+	lb := NewLoopback()
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		lis, err := lb.Listen("late")
+		if err != nil {
+			t.Errorf("Listen: %v", err)
+			return
+		}
+		conn, err := lis.Accept()
+		if err == nil {
+			conn.Close()
+		}
+	}()
+	conn, err := DialRetry(context.Background(), lb, "late", 2*time.Second)
+	if err != nil {
+		t.Fatalf("DialRetry: %v", err)
+	}
+	conn.Close()
+}
+
+func TestDialRetryGivesUp(t *testing.T) {
+	lb := NewLoopback()
+	start := time.Now()
+	if _, err := DialRetry(context.Background(), lb, "never", 50*time.Millisecond); err == nil {
+		t.Fatal("DialRetry to a dead address succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("DialRetry took %v, patience was 50ms", elapsed)
+	}
+}

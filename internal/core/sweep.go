@@ -28,6 +28,137 @@ type TransmissionSweep struct {
 	Report *cluster.SweepReport
 }
 
+// TransmissionPlan is a transmission sweep decomposed into the three
+// roles the distributed engine separates: executing one (k, E) task
+// (Run), reinstating a task's payload into the accumulators (Restore),
+// and folding the accumulators into observables once every task is
+// accounted for (Assemble). The local path wires all three into
+// cluster.RunTasksResumable; in a distributed run the workers use only
+// Run while the coordinator uses only Restore and Assemble — which is
+// what makes the two paths bitwise-identical, since the payload is the
+// single point of truth either way.
+type TransmissionPlan struct {
+	sim      *Simulator
+	cfg      transport.Config
+	energies []float64
+	ks       []float64
+	perK     [][]float64
+
+	engines   []*transport.Engine
+	engErrs   []error
+	onces     []sync.Once
+	potential []float64
+}
+
+// PlanTransmission prepares a transmission sweep over the energy grid at
+// the given potential without running anything.
+func (s *Simulator) PlanTransmission(energies, potential []float64) (*TransmissionPlan, error) {
+	if len(energies) == 0 {
+		return nil, fmt.Errorf("core: empty energy grid")
+	}
+	ks := s.kPoints()
+	nk := len(ks)
+	cfg := s.Transport
+	if cfg.Pool == nil {
+		cfg.Pool = sched.New(cfg.Workers)
+	}
+	p := &TransmissionPlan{
+		sim:       s,
+		cfg:       cfg,
+		energies:  energies,
+		ks:        ks,
+		perK:      make([][]float64, nk),
+		engines:   make([]*transport.Engine, nk),
+		engErrs:   make([]error, nk),
+		onces:     make([]sync.Once, nk),
+		potential: potential,
+	}
+	for k := range p.perK {
+		p.perK[k] = make([]float64, len(energies))
+	}
+	return p, nil
+}
+
+// Dims returns the task-grid shape (nBias, nK, nE) — the numbers every
+// process of a distributed run must agree on.
+func (p *TransmissionPlan) Dims() (nBias, nK, nE int) { return 1, len(p.ks), len(p.energies) }
+
+// Pool returns the transport-level scheduler pool the plan solves on.
+func (p *TransmissionPlan) Pool() *sched.Pool { return p.cfg.Pool }
+
+// engineFor builds the momentum point's engine on first use, so a run
+// that never touches a k (a resume, or a worker leased a subset) never
+// pays for its Hamiltonian assembly.
+func (p *TransmissionPlan) engineFor(k int) (*transport.Engine, error) {
+	p.onces[k].Do(func() {
+		h, err := p.sim.Hamiltonian(p.potential, p.ks[k])
+		if err != nil {
+			p.engErrs[k] = err
+			return
+		}
+		p.engines[k], p.engErrs[k] = transport.NewEngine(h, p.cfg)
+	})
+	if p.engErrs[k] != nil {
+		// Assembly failures are deterministic; retrying cannot help.
+		return nil, resilience.MarkPermanent(p.engErrs[k])
+	}
+	return p.engines[k], nil
+}
+
+// Run executes one task and returns its payload — the 8-byte
+// little-endian transmission value, a deterministic function of (k, E).
+// It also deposits the value locally so a purely local run needs no
+// Restore round-trip. Safe for concurrent use across distinct tasks.
+func (p *TransmissionPlan) Run(ctx context.Context, t cluster.Task) ([]byte, error) {
+	eng, err := p.engineFor(t.K)
+	if err != nil {
+		return nil, err
+	}
+	tv, err := eng.TransmissionAt(ctx, p.energies[t.E])
+	if err != nil {
+		return nil, err
+	}
+	p.perK[t.K][t.E] = tv
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(tv))
+	return b[:], nil
+}
+
+// Restore reinstates one task's journaled (or wire-delivered) payload.
+func (p *TransmissionPlan) Restore(t cluster.Task, payload []byte) error {
+	if len(payload) != 8 {
+		return fmt.Errorf("core: task (k %d, E %d): payload is %d bytes, want 8", t.K, t.E, len(payload))
+	}
+	p.perK[t.K][t.E] = math.Float64frombits(binary.LittleEndian.Uint64(payload))
+	return nil
+}
+
+// Assemble folds the accumulated per-(k,E) values into the
+// momentum-averaged observables, renormalizing each energy over its
+// surviving momentum samples per the report's quarantined set.
+func (p *TransmissionPlan) Assemble(rep *cluster.SweepReport) *TransmissionSweep {
+	_, nk, ne := p.Dims()
+	sweep := &TransmissionSweep{Report: rep}
+	bad := rep.QuarantinedSet(nk, ne)
+	for e := 0; e < ne; e++ {
+		var sum float64
+		cnt := 0
+		for k := 0; k < nk; k++ {
+			if bad[k*ne+e] {
+				continue
+			}
+			sum += p.perK[k][e]
+			cnt++
+		}
+		if cnt == 0 {
+			continue // every momentum sample of this energy was lost
+		}
+		sweep.Energies = append(sweep.Energies, p.energies[e])
+		sweep.T = append(sweep.T, sum/float64(cnt))
+	}
+	return sweep
+}
+
 // TransmissionResumable computes the momentum-averaged transmission like
 // Transmission, but through the fault-tolerant sweep engine
 // (cluster.RunTasksResumable): each (k, E) point is one journaled,
@@ -41,88 +172,18 @@ type TransmissionSweep struct {
 // Even on error the returned sweep carries the report, so drivers can
 // print partial-progress summaries after an interrupt.
 func (s *Simulator) TransmissionResumable(ctx context.Context, energies, potential []float64, opts cluster.SweepOptions) (*TransmissionSweep, error) {
-	ks := s.kPoints()
-	nk, ne := len(ks), len(energies)
-	if ne == 0 {
-		return nil, fmt.Errorf("core: empty energy grid")
-	}
-	cfg := s.Transport
-	if cfg.Pool == nil {
-		cfg.Pool = sched.New(cfg.Workers)
+	plan, err := s.PlanTransmission(energies, potential)
+	if err != nil {
+		return nil, err
 	}
 	if opts.Pool == nil {
-		opts.Pool = cfg.Pool
+		opts.Pool = plan.Pool()
 	}
-
-	perK := make([][]float64, nk)
-	for k := range perK {
-		perK[k] = make([]float64, ne)
-	}
-
-	// One engine per momentum point, built lazily on first use so a resume
-	// that skips a whole k never pays for its Hamiltonian assembly.
-	engines := make([]*transport.Engine, nk)
-	engErrs := make([]error, nk)
-	onces := make([]sync.Once, nk)
-	engineFor := func(k int) (*transport.Engine, error) {
-		onces[k].Do(func() {
-			h, err := s.Hamiltonian(potential, ks[k])
-			if err != nil {
-				engErrs[k] = err
-				return
-			}
-			engines[k], engErrs[k] = transport.NewEngine(h, cfg)
-		})
-		if engErrs[k] != nil {
-			// Assembly failures are deterministic; retrying cannot help.
-			return nil, resilience.MarkPermanent(engErrs[k])
-		}
-		return engines[k], nil
-	}
-
-	opts.Restore = func(t cluster.Task, payload []byte) error {
-		if len(payload) != 8 {
-			return fmt.Errorf("core: task (k %d, E %d): payload is %d bytes, want 8", t.K, t.E, len(payload))
-		}
-		perK[t.K][t.E] = math.Float64frombits(binary.LittleEndian.Uint64(payload))
-		return nil
-	}
-
-	rep, err := cluster.RunTasksResumable(ctx, 1, nk, ne, opts, func(ctx context.Context, t cluster.Task) ([]byte, error) {
-		eng, err := engineFor(t.K)
-		if err != nil {
-			return nil, err
-		}
-		tv, err := eng.TransmissionAt(ctx, energies[t.E])
-		if err != nil {
-			return nil, err
-		}
-		perK[t.K][t.E] = tv
-		var b [8]byte
-		binary.LittleEndian.PutUint64(b[:], math.Float64bits(tv))
-		return b[:], nil
-	})
-	sweep := &TransmissionSweep{Report: rep}
+	opts.Restore = plan.Restore
+	nBias, nk, ne := plan.Dims()
+	rep, err := cluster.RunTasksResumable(ctx, nBias, nk, ne, opts, plan.Run)
 	if err != nil {
-		return sweep, err
+		return &TransmissionSweep{Report: rep}, err
 	}
-
-	bad := rep.QuarantinedSet(nk, ne)
-	for e := 0; e < ne; e++ {
-		var sum float64
-		cnt := 0
-		for k := 0; k < nk; k++ {
-			if bad[k*ne+e] {
-				continue
-			}
-			sum += perK[k][e]
-			cnt++
-		}
-		if cnt == 0 {
-			continue // every momentum sample of this energy was lost
-		}
-		sweep.Energies = append(sweep.Energies, energies[e])
-		sweep.T = append(sweep.T, sum/float64(cnt))
-	}
-	return sweep, nil
+	return plan.Assemble(rep), nil
 }

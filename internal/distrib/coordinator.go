@@ -1,0 +1,577 @@
+package distrib
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/comms"
+	"repro/internal/perf"
+)
+
+// Options configures Serve. The zero value is usable: 30 s leases,
+// heartbeats at a quarter of that, no journal, fail on the first
+// unsalvageable task.
+type Options struct {
+	// LeaseTimeout is how long a worker may hold a task before the
+	// coordinator assumes it straggled or died and re-dispatches the task
+	// (default 30s). It must comfortably exceed the cost of one task.
+	LeaseTimeout time.Duration
+	// HeartbeatEvery is the liveness beacon interval imposed on workers
+	// (default LeaseTimeout/4, clamped to [100ms, 5s]). A worker silent
+	// for three intervals is declared dead and its leases re-dispatched.
+	HeartbeatEvery time.Duration
+	// RetryAfter is the back-off told to an idle worker when every
+	// remaining task is leased elsewhere (default 50ms).
+	RetryAfter time.Duration
+	// Journal, when non-nil, records every accepted result and seeds the
+	// done set on startup — the same checkpoint/restart contract as
+	// cluster.SweepOptions.Journal. First-result-wins dedup guarantees at
+	// most one record per task is appended per run.
+	Journal cluster.Checkpointer
+	// Restore reinstates payloads into the caller's accumulators, both
+	// for journaled records at startup and for results as they arrive.
+	Restore cluster.RestoreFunc
+	// Quarantine, MaxQuarantineFrac: as in cluster.SweepOptions — a task
+	// whose worker-side retry budget is exhausted is set aside instead of
+	// failing the sweep, up to the budget (default 25% of the grid).
+	Quarantine        bool
+	MaxQuarantineFrac float64
+	// OnProgress observes completion (restored + completed + quarantined,
+	// total). Must be cheap and thread-safe.
+	OnProgress func(done, total int)
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeaseTimeout <= 0 {
+		o.LeaseTimeout = 30 * time.Second
+	}
+	if o.HeartbeatEvery <= 0 {
+		o.HeartbeatEvery = o.LeaseTimeout / 4
+		if o.HeartbeatEvery < 100*time.Millisecond {
+			o.HeartbeatEvery = 100 * time.Millisecond
+		}
+		if o.HeartbeatEvery > 5*time.Second {
+			o.HeartbeatEvery = 5 * time.Second
+		}
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = 50 * time.Millisecond
+	}
+	return o
+}
+
+// Report summarizes a distributed sweep: the familiar per-task accounting
+// plus the cluster-level quantities only the coordinator can see.
+type Report struct {
+	// Sweep is the task accounting, type-compatible with the local
+	// engine's report so assembly code is path-agnostic.
+	Sweep *cluster.SweepReport
+	// Workers is the number of distinct workers that ever connected.
+	Workers int
+	// Redispatched counts leases reclaimed from dead, silent, or
+	// straggling workers and handed to another worker.
+	Redispatched int
+	// Perf is the cluster-wide merge of the per-task performance deltas
+	// of every accepted result: total flops and per-phase wall/flop
+	// attribution across all workers. When each worker executes its tasks
+	// serially, the flop total is exact — it equals the single-process
+	// count — because per-task deltas partition each worker's counters
+	// and only winning results are merged.
+	Perf perf.Snapshot
+}
+
+// task lease states.
+const (
+	statePending uint8 = iota
+	stateLeased
+	stateDone
+	stateQuarantined
+)
+
+// taskState is one cell of the coordinator's lease table.
+type taskState struct {
+	phase    uint8
+	worker   string
+	deadline time.Time
+}
+
+// workerState is the coordinator's view of one connected worker.
+type workerState struct {
+	id     string
+	cd     *comms.Codec
+	leased map[int]bool
+}
+
+// coordinator owns the lease table of one sweep.
+type coordinator struct {
+	opts          Options
+	nBias, nK, nE int
+	total         int
+	maxQuarantine int
+
+	mu           sync.Mutex
+	st           []taskState
+	queue        []int // pending task indices, FIFO
+	remaining    int   // tasks not yet done or quarantined
+	quarantined  []int
+	restored     int
+	completed    int
+	retries      int
+	redispatched int
+	workersSeen  int
+	workers      map[string]*workerState
+	perf         perf.Snapshot
+	failure      error
+	finished     bool
+	done         chan struct{}
+}
+
+// Serve runs a sweep's coordinator: it shards the nBias × nK × nE task
+// grid over the workers that connect to lis, re-dispatches lost leases,
+// and returns when every task is accounted for (or the run fails, or ctx
+// is canceled). The listener is closed before Serve returns. Even on
+// error the report describes how far the sweep got.
+func Serve(ctx context.Context, lis net.Listener, nBias, nK, nE int, opts Options) (*Report, error) {
+	if nBias < 1 || nK < 1 || nE < 1 {
+		lis.Close()
+		return nil, fmt.Errorf("distrib: task counts must be positive")
+	}
+	opts = opts.withDefaults()
+	total := nBias * nK * nE
+	c := &coordinator{
+		opts:  opts,
+		nBias: nBias, nK: nK, nE: nE,
+		total:         total,
+		maxQuarantine: quarantineBudget(opts, total),
+		st:            make([]taskState, total),
+		workers:       make(map[string]*workerState),
+		done:          make(chan struct{}),
+	}
+	rep := &Report{Sweep: &cluster.SweepReport{Total: total}}
+
+	// Seed the done set from the journal, exactly like the local engine.
+	if opts.Journal != nil {
+		recs, err := opts.Journal.Load()
+		if err != nil {
+			lis.Close()
+			return rep, fmt.Errorf("distrib: resume: %w", err)
+		}
+		for _, rec := range recs {
+			if rec.Index < 0 || rec.Index >= total || c.st[rec.Index].phase == stateDone {
+				continue
+			}
+			if opts.Restore != nil {
+				if err := opts.Restore(cluster.TaskAt(rec.Index, nK, nE), rec.Payload); err != nil {
+					lis.Close()
+					return rep, fmt.Errorf("distrib: restore task %d: %w", rec.Index, err)
+				}
+			}
+			c.st[rec.Index].phase = stateDone
+			c.restored++
+		}
+	}
+	c.queue = make([]int, 0, total-c.restored)
+	for i := 0; i < total; i++ {
+		if c.st[i].phase == statePending {
+			c.queue = append(c.queue, i)
+		}
+	}
+	c.remaining = len(c.queue)
+	c.progress()
+	if c.remaining == 0 {
+		lis.Close()
+		c.fill(rep)
+		return rep, nil
+	}
+
+	ctx2, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c.acceptLoop(ctx2, lis, &wg)
+	}()
+	go func() {
+		defer wg.Done()
+		c.reap(ctx2)
+	}()
+
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+		c.fail(ctx.Err())
+	}
+	cancel()
+	lis.Close()
+	c.closeConns()
+	wg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fill(rep)
+	return rep, c.failure
+}
+
+// quarantineBudget mirrors cluster.RunTasksResumable's budget arithmetic.
+func quarantineBudget(opts Options, total int) int {
+	if !opts.Quarantine {
+		return 0
+	}
+	frac := opts.MaxQuarantineFrac
+	if frac <= 0 {
+		frac = 0.25
+	}
+	if frac >= 1 {
+		return total
+	}
+	n := int(frac * float64(total))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// fill writes the coordinator's accounting into rep. Callers hold mu or
+// have exclusive access.
+func (c *coordinator) fill(rep *Report) {
+	rep.Sweep.Restored = c.restored
+	rep.Sweep.Completed = c.completed
+	rep.Sweep.Retries = c.retries
+	sort.Ints(c.quarantined)
+	rep.Sweep.Quarantined = nil
+	for _, idx := range c.quarantined {
+		rep.Sweep.Quarantined = append(rep.Sweep.Quarantined, cluster.TaskAt(idx, c.nK, c.nE))
+	}
+	rep.Workers = c.workersSeen
+	rep.Redispatched = c.redispatched
+	rep.Perf = c.perf
+}
+
+// acceptLoop admits workers until the listener closes.
+func (c *coordinator) acceptLoop(ctx context.Context, lis net.Listener, wg *sync.WaitGroup) {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.handle(ctx, conn)
+		}()
+	}
+}
+
+// handle speaks the protocol with one worker for the life of its
+// connection. On any exit — clean bye, crash, protocol violation — the
+// worker's outstanding leases go back to the pending queue.
+func (c *coordinator) handle(ctx context.Context, conn net.Conn) {
+	cd := comms.NewCodec(conn)
+	defer cd.Close()
+
+	// The hello must arrive promptly; a connection that never identifies
+	// itself is dropped rather than tracked.
+	cd.SetReadDeadline(time.Now().Add(10 * time.Second))
+	t, payload, err := cd.Recv()
+	if err != nil || t != msgHello {
+		return
+	}
+	var hello helloMsg
+	if decode(t, payload, &hello) != nil {
+		return
+	}
+	if hello.Proto != ProtoVersion {
+		cd.Send(msgError, errorMsg{Reason: fmt.Sprintf(
+			"protocol version mismatch: worker speaks %d, coordinator %d", hello.Proto, ProtoVersion)})
+		return
+	}
+	if hello.NBias != c.nBias || hello.NK != c.nK || hello.NE != c.nE {
+		cd.Send(msgError, errorMsg{Reason: fmt.Sprintf(
+			"task grid mismatch: worker configured for %d×%d×%d, coordinator for %d×%d×%d (check that both processes share the same flags)",
+			hello.NBias, hello.NK, hello.NE, c.nBias, c.nK, c.nE)})
+		return
+	}
+
+	w := c.register(cd, hello.ID)
+	if w == nil {
+		cd.Send(msgLease, leaseMsg{Done: true})
+		return
+	}
+	defer c.unregister(w)
+	if err := cd.Send(msgWelcome, welcomeMsg{
+		NBias: c.nBias, NK: c.nK, NE: c.nE,
+		HeartbeatEvery: c.opts.HeartbeatEvery,
+		LeaseTimeout:   c.opts.LeaseTimeout,
+	}); err != nil {
+		return
+	}
+
+	// Liveness: every inbound frame (heartbeats included) refreshes the
+	// read deadline; three missed heartbeats kill the connection, which
+	// releases the worker's leases via the deferred unregister.
+	silence := 3*c.opts.HeartbeatEvery + time.Second
+	for {
+		cd.SetReadDeadline(time.Now().Add(silence))
+		t, payload, err := cd.Recv()
+		if err != nil {
+			return
+		}
+		switch t {
+		case msgLeaseRequest:
+			var req leaseRequestMsg
+			if decode(t, payload, &req) != nil {
+				return
+			}
+			if err := cd.Send(msgLease, c.grant(w, req.Capacity)); err != nil {
+				return
+			}
+		case msgResult:
+			var res resultMsg
+			if decode(t, payload, &res) != nil {
+				return
+			}
+			if err := c.applyResult(w, res); err != nil {
+				c.fail(err)
+				return
+			}
+		case msgHeartbeat:
+			// The deadline refresh above is the entire effect.
+		case msgBye:
+			return
+		default:
+			return // protocol violation: drop the worker
+		}
+	}
+}
+
+// register admits a worker under a unique id, or returns nil when the run
+// is already over.
+func (c *coordinator) register(cd *comms.Codec, id string) *workerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finished || c.failure != nil {
+		return nil
+	}
+	c.workersSeen++
+	if id == "" {
+		id = fmt.Sprintf("worker-%d", c.workersSeen)
+	}
+	if _, dup := c.workers[id]; dup {
+		id = fmt.Sprintf("%s#%d", id, c.workersSeen)
+	}
+	w := &workerState{id: id, cd: cd, leased: make(map[int]bool)}
+	c.workers[id] = w
+	return w
+}
+
+// unregister removes a worker and returns its unfinished leases to the
+// pending queue — the immediate re-dispatch path for crashed workers.
+func (c *coordinator) unregister(w *workerState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.workers, w.id)
+	for idx := range w.leased {
+		delete(w.leased, idx)
+		if c.st[idx].phase == stateLeased && c.st[idx].worker == w.id {
+			c.st[idx].phase = statePending
+			c.st[idx].worker = ""
+			c.queue = append(c.queue, idx)
+			c.redispatched++
+		}
+	}
+}
+
+// grant answers one lease request.
+func (c *coordinator) grant(w *workerState, capacity int) leaseMsg {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finished || c.failure != nil || c.remaining == 0 {
+		return leaseMsg{Done: true}
+	}
+	if len(c.queue) == 0 {
+		// Everything pending is leased elsewhere; reclaim stragglers
+		// opportunistically before telling the worker to wait.
+		c.reclaimExpiredLocked(time.Now())
+	}
+	n := len(c.queue)
+	if n > capacity {
+		n = capacity
+	}
+	if n == 0 {
+		return leaseMsg{RetryAfter: c.opts.RetryAfter}
+	}
+	tasks := make([]int, n)
+	copy(tasks, c.queue[:n])
+	c.queue = c.queue[n:]
+	deadline := time.Now().Add(c.opts.LeaseTimeout)
+	for _, idx := range tasks {
+		c.st[idx] = taskState{phase: stateLeased, worker: w.id, deadline: deadline}
+		w.leased[idx] = true
+	}
+	return leaseMsg{Tasks: tasks, TTL: c.opts.LeaseTimeout}
+}
+
+// reclaimExpiredLocked returns every lease past its deadline to the
+// pending queue. The holder may still be running the task — that is the
+// straggler case, and whichever execution reports first wins.
+func (c *coordinator) reclaimExpiredLocked(now time.Time) {
+	for idx := range c.st {
+		s := &c.st[idx]
+		if s.phase != stateLeased || now.Before(s.deadline) {
+			continue
+		}
+		if w := c.workers[s.worker]; w != nil {
+			delete(w.leased, idx)
+		}
+		s.phase = statePending
+		s.worker = ""
+		c.queue = append(c.queue, idx)
+		c.redispatched++
+	}
+}
+
+// reap periodically reclaims expired leases so re-dispatch does not wait
+// for the next lease request.
+func (c *coordinator) reap(ctx context.Context) {
+	interval := c.opts.LeaseTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Second {
+		interval = time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-tick.C:
+			c.mu.Lock()
+			if !c.finished && c.failure == nil {
+				c.reclaimExpiredLocked(now)
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// applyResult commits one worker-reported result. Duplicates (a task the
+// first responder already finished) are discarded along with their perf
+// delta, so re-dispatched stragglers can never double-count work. The
+// returned error, if any, is fatal to the whole run.
+func (c *coordinator) applyResult(w *workerState, res resultMsg) error {
+	c.mu.Lock()
+	if res.Task < 0 || res.Task >= c.total {
+		c.mu.Unlock()
+		return fmt.Errorf("distrib: worker %s reported task %d outside the %d-task grid", w.id, res.Task, c.total)
+	}
+	delete(w.leased, res.Task)
+	s := &c.st[res.Task]
+	if s.phase == stateDone || s.phase == stateQuarantined {
+		c.mu.Unlock() // first result won; this one is a re-dispatch echo
+		return nil
+	}
+	c.retries += res.Retries
+	task := cluster.TaskAt(res.Task, c.nK, c.nE)
+
+	if res.Failed {
+		if !c.opts.Quarantine {
+			c.mu.Unlock()
+			return fmt.Errorf("distrib: task %d (bias %d, k %d, E %d) failed on worker %s: %s",
+				res.Task, task.Bias, task.K, task.E, w.id, res.Error)
+		}
+		if len(c.quarantined) >= c.maxQuarantine {
+			c.mu.Unlock()
+			return fmt.Errorf("distrib: quarantine budget (%d tasks) exceeded: task %d failed on worker %s: %s",
+				c.maxQuarantine, res.Task, w.id, res.Error)
+		}
+		s.phase = stateQuarantined
+		s.worker = w.id
+		c.quarantined = append(c.quarantined, res.Task)
+		c.perf.Add(res.Perf)
+		c.noteDoneLocked()
+		c.mu.Unlock()
+		c.progress()
+		return nil
+	}
+
+	if c.opts.Journal != nil {
+		if err := c.opts.Journal.Append(cluster.TaskRecord{Index: res.Task, Payload: res.Payload}); err != nil {
+			c.mu.Unlock()
+			return fmt.Errorf("distrib: journal: %w", err)
+		}
+	}
+	if c.opts.Restore != nil {
+		if err := c.opts.Restore(task, res.Payload); err != nil {
+			c.mu.Unlock()
+			return fmt.Errorf("distrib: restore task %d from worker %s: %w", res.Task, w.id, err)
+		}
+	}
+	s.phase = stateDone
+	s.worker = w.id
+	c.completed++
+	c.perf.Add(res.Perf)
+	c.noteDoneLocked()
+	c.mu.Unlock()
+	c.progress()
+	return nil
+}
+
+// noteDoneLocked retires one task and completes the run when it was the
+// last.
+func (c *coordinator) noteDoneLocked() {
+	c.remaining--
+	if c.remaining == 0 && !c.finished {
+		c.finished = true
+		close(c.done)
+	}
+}
+
+// progress reports completion to the observer.
+func (c *coordinator) progress() {
+	if c.opts.OnProgress == nil {
+		return
+	}
+	c.mu.Lock()
+	done := c.restored + c.completed + len(c.quarantined)
+	c.mu.Unlock()
+	c.opts.OnProgress(done, c.total)
+}
+
+// fail records the first fatal error and tears the run down.
+func (c *coordinator) fail(err error) {
+	c.mu.Lock()
+	if c.failure == nil {
+		c.failure = err
+	}
+	already := c.finished
+	c.finished = true
+	c.mu.Unlock()
+	if !already {
+		close(c.done)
+	}
+}
+
+// closeConns drops every live worker connection, unblocking their
+// handlers.
+func (c *coordinator) closeConns() {
+	c.mu.Lock()
+	conns := make([]*comms.Codec, 0, len(c.workers))
+	for _, w := range c.workers {
+		conns = append(conns, w.cd)
+	}
+	c.mu.Unlock()
+	for _, cd := range conns {
+		cd.Close()
+	}
+}

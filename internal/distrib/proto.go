@@ -1,0 +1,126 @@
+// Package distrib is the coordinator/worker runtime of the distributed
+// sweep engine — the inter-process counterpart of cluster.RunTasksResumable,
+// and this repository's stand-in for the MPI rank structure the SC11 runs
+// decomposed their (bias × momentum × energy) grids over.
+//
+// One coordinator owns the task grid. Workers connect over a
+// comms.Transport (TCP in production, in-memory loopback in tests),
+// announce themselves, and pull *leases*: small batches of flat task
+// indices with a deadline. A worker that completes a task reports the
+// result (plus its perf counter delta for that task); a worker that
+// crashes, hangs, or straggles loses its leases — on disconnect
+// immediately, on silence after missed heartbeats, on a straggling task
+// when the lease deadline passes — and the tasks are re-dispatched to
+// live workers. Because every task is a deterministic function of its
+// coordinates, duplicate executions caused by re-dispatch are harmless:
+// the first result wins, later ones are discarded, and exactly one record
+// per task reaches the checkpoint journal. The merged observables are
+// therefore bitwise-identical to a single-process run, kill a worker or
+// don't.
+//
+// The protocol is strictly request/response from the worker's side
+// (heartbeats are fire-and-forget): the coordinator never sends an
+// unsolicited frame, which makes the message flow deadlock-free even over
+// unbuffered synchronous pipes.
+package distrib
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/comms"
+	"repro/internal/perf"
+)
+
+// ProtoVersion is the distrib message-schema version, checked in the
+// hello exchange (the comms frame layer has its own, lower-level version
+// byte).
+const ProtoVersion = 1
+
+// Frame types of the coordinator/worker protocol.
+const (
+	msgHello comms.MsgType = iota + 1
+	msgWelcome
+	msgError
+	msgLeaseRequest
+	msgLease
+	msgResult
+	msgHeartbeat
+	msgBye
+)
+
+// helloMsg is the worker's opening frame: its identity, protocol version,
+// and the task grid it was configured for. The coordinator rejects a
+// worker whose grid disagrees with its own — the usual cause is a flag
+// mismatch between the two processes, which would otherwise silently
+// corrupt the sweep.
+type helloMsg struct {
+	ID    string `json:"id"`
+	Proto int    `json:"proto"`
+	NBias int    `json:"nBias"`
+	NK    int    `json:"nK"`
+	NE    int    `json:"nE"`
+}
+
+// welcomeMsg is the coordinator's accept: the authoritative grid plus the
+// liveness parameters the worker must honor.
+type welcomeMsg struct {
+	NBias          int           `json:"nBias"`
+	NK             int           `json:"nK"`
+	NE             int           `json:"nE"`
+	HeartbeatEvery time.Duration `json:"heartbeatEvery"`
+	LeaseTimeout   time.Duration `json:"leaseTimeout"`
+}
+
+// errorMsg rejects a worker with a reason (bad protocol version, grid
+// mismatch) before any lease is granted.
+type errorMsg struct {
+	Reason string `json:"reason"`
+}
+
+// leaseRequestMsg asks for up to Capacity tasks.
+type leaseRequestMsg struct {
+	Capacity int `json:"capacity"`
+}
+
+// leaseMsg answers a lease request. Exactly one of three shapes: a batch
+// of tasks with a TTL; an empty batch with a RetryAfter back-off (tasks
+// exist but are all leased elsewhere); or Done (the sweep is complete —
+// send a bye and disconnect).
+type leaseMsg struct {
+	Tasks      []int         `json:"tasks,omitempty"`
+	TTL        time.Duration `json:"ttl,omitempty"`
+	RetryAfter time.Duration `json:"retryAfter,omitempty"`
+	Done       bool          `json:"done,omitempty"`
+}
+
+// resultMsg reports one finished task: its payload on success, the final
+// error string after the worker's retry policy gave up on failure, and in
+// both cases the worker's perf-counter delta attributed to the task and
+// the number of extra attempts spent.
+type resultMsg struct {
+	Task    int           `json:"task"`
+	Payload []byte        `json:"payload,omitempty"`
+	Retries int           `json:"retries,omitempty"`
+	Failed  bool          `json:"failed,omitempty"`
+	Error   string        `json:"error,omitempty"`
+	Perf    perf.Snapshot `json:"perf"`
+}
+
+// heartbeatMsg is the worker's periodic liveness beacon, carrying the
+// number of tasks it is currently executing (diagnostic only).
+type heartbeatMsg struct {
+	Running int `json:"running,omitempty"`
+}
+
+// byeMsg is the worker's clean sign-off.
+type byeMsg struct{}
+
+// decode unmarshals a frame payload, wrapping failures as protocol errors.
+func decode(t comms.MsgType, payload []byte, v any) error {
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("distrib: malformed message type %d: %w", t, err)
+	}
+	return nil
+}

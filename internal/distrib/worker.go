@@ -1,0 +1,282 @@
+package distrib
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/comms"
+	"repro/internal/perf"
+	"repro/internal/resilience"
+	"repro/internal/sched"
+)
+
+// WorkerOptions configures RunWorker. The zero value is usable: anonymous
+// identity, a private GOMAXPROCS pool, lease capacity equal to the pool
+// width, single-attempt execution, no fault injection.
+type WorkerOptions struct {
+	// ID names the worker in coordinator-side diagnostics ("" lets the
+	// coordinator assign one).
+	ID string
+	// Pool executes leased tasks (nil: a private GOMAXPROCS pool). A
+	// one-worker pool makes per-task perf deltas individually exact; wider
+	// pools keep the summed flop count exact but smear the per-task
+	// attribution across concurrently running tasks.
+	Pool *sched.Pool
+	// Capacity is how many tasks to request per lease (default: the
+	// pool's worker count).
+	Capacity int
+	// Retry is the per-task retry policy, identical in semantics to
+	// cluster.SweepOptions.Retry (zero value: single attempt).
+	Retry resilience.Policy
+	// Injector, when non-nil, deterministically perturbs tasks — the same
+	// reproducible failure-drill hook the local engine takes.
+	Injector *resilience.Injector
+	// PerfNow samples the performance counters this worker's deltas are
+	// computed from (default perf.TakeSnapshot, the process globals —
+	// correct when the worker is its own process; in-process tests with
+	// several workers inject per-worker counters here).
+	PerfNow func() perf.Snapshot
+}
+
+// RunWorker speaks the worker side of the protocol over conn until the
+// coordinator declares the sweep done (returns nil), the connection drops
+// (a hang-up after the handshake also returns nil — the coordinator only
+// hangs up when the run is over, and if it ended in failure the
+// coordinator process is the one reporting it), or ctx is canceled.
+//
+// Each leased task runs under the retry policy and fault injector with
+// exactly the attempt semantics of cluster.RunTasksResumable; a task that
+// exhausts its budget is reported to the coordinator as failed rather
+// than ending the worker, so quarantine decisions stay centralized.
+func RunWorker(ctx context.Context, conn net.Conn, nBias, nK, nE int, opts WorkerOptions, fn cluster.SweepFunc) error {
+	cd := comms.NewCodec(conn)
+	defer cd.Close()
+	pool := opts.Pool
+	if pool == nil {
+		pool = sched.New(0)
+	}
+	capacity := opts.Capacity
+	if capacity < 1 {
+		capacity = pool.Workers()
+	}
+	perfNow := opts.PerfNow
+	if perfNow == nil {
+		perfNow = perf.TakeSnapshot
+	}
+
+	if err := cd.Send(msgHello, helloMsg{ID: opts.ID, Proto: ProtoVersion, NBias: nBias, NK: nK, NE: nE}); err != nil {
+		return fmt.Errorf("distrib: hello: %w", err)
+	}
+	cd.SetReadDeadline(time.Now().Add(30 * time.Second))
+	t, payload, err := cd.Recv()
+	cd.SetReadDeadline(time.Time{})
+	if err != nil {
+		return fmt.Errorf("distrib: handshake: %w", err)
+	}
+	var welcome welcomeMsg
+	switch t {
+	case msgWelcome:
+		if err := decode(t, payload, &welcome); err != nil {
+			return err
+		}
+	case msgError:
+		var e errorMsg
+		if err := decode(t, payload, &e); err != nil {
+			return err
+		}
+		return fmt.Errorf("distrib: coordinator rejected worker: %s", e.Reason)
+	case msgLease:
+		// The sweep finished before this worker arrived.
+		var l leaseMsg
+		if err := decode(t, payload, &l); err != nil {
+			return err
+		}
+		if l.Done {
+			cd.Send(msgBye, byeMsg{})
+			return nil
+		}
+		return fmt.Errorf("distrib: unexpected lease before welcome")
+	default:
+		return fmt.Errorf("distrib: unexpected handshake message type %d", t)
+	}
+
+	w := &worker{
+		cd: cd, pool: pool,
+		nK: nK, nE: nE,
+		retry: opts.Retry, injector: opts.Injector,
+		perfNow: perfNow, fn: fn,
+	}
+	w.last = perfNow()
+
+	// Heartbeats: fire-and-forget liveness beacons on their own goroutine.
+	// A send failure here is not acted on — the main loop sees the dead
+	// connection on its next exchange.
+	hbEvery := welcome.HeartbeatEvery
+	if hbEvery <= 0 {
+		hbEvery = time.Second
+	}
+	hbCtx, hbCancel := context.WithCancel(ctx)
+	defer hbCancel()
+	go func() {
+		tick := time.NewTicker(hbEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-tick.C:
+				cd.Send(msgHeartbeat, heartbeatMsg{Running: int(w.running.Load())})
+			}
+		}
+	}()
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := cd.Send(msgLeaseRequest, leaseRequestMsg{Capacity: capacity}); err != nil {
+			if isHangup(err) {
+				return nil
+			}
+			return fmt.Errorf("distrib: lease request: %w", err)
+		}
+		t, payload, err := cd.Recv()
+		if err != nil {
+			if isHangup(err) {
+				return nil
+			}
+			return fmt.Errorf("distrib: awaiting lease: %w", err)
+		}
+		switch t {
+		case msgLease:
+		case msgError:
+			var e errorMsg
+			if err := decode(t, payload, &e); err != nil {
+				return err
+			}
+			return fmt.Errorf("distrib: coordinator error: %s", e.Reason)
+		default:
+			return fmt.Errorf("distrib: unexpected message type %d awaiting lease", t)
+		}
+		var lease leaseMsg
+		if err := decode(t, payload, &lease); err != nil {
+			return err
+		}
+		if lease.Done {
+			cd.Send(msgBye, byeMsg{})
+			return nil
+		}
+		if len(lease.Tasks) == 0 {
+			wait := lease.RetryAfter
+			if wait <= 0 {
+				wait = 50 * time.Millisecond
+			}
+			timer := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			case <-timer.C:
+			}
+			continue
+		}
+		w.running.Store(int64(len(lease.Tasks)))
+		err = w.runLease(ctx, lease.Tasks)
+		w.running.Store(0)
+		if err != nil {
+			if isHangup(err) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// worker is the state of one RunWorker invocation.
+type worker struct {
+	cd       *comms.Codec
+	pool     *sched.Pool
+	nK, nE   int
+	retry    resilience.Policy
+	injector *resilience.Injector
+	fn       cluster.SweepFunc
+	running  atomic.Int64
+
+	perfNow func() perf.Snapshot
+	perfMu  sync.Mutex
+	last    perf.Snapshot
+}
+
+// runLease executes one lease's tasks on the pool and reports each result
+// (success or exhausted failure) to the coordinator. Only transport-level
+// send failures end the lease early.
+func (w *worker) runLease(ctx context.Context, tasks []int) error {
+	err := w.pool.ForEach(ctx, "distrib-lease", len(tasks), func(ctx context.Context, i int) error {
+		idx := tasks[i]
+		t := cluster.TaskAt(idx, w.nK, w.nE)
+		var payload []byte
+		attempt := 0
+		runErr := w.retry.Do(ctx, func(actx context.Context) error {
+			a := attempt
+			attempt++
+			if err := w.injector.Trip(actx, idx, a); err != nil {
+				return err
+			}
+			b, err := w.fn(actx, t)
+			if err != nil {
+				return err
+			}
+			payload = b
+			return nil
+		})
+		if runErr != nil && ctx.Err() != nil {
+			return runErr // canceled mid-task: nothing to report
+		}
+		res := resultMsg{Task: idx, Retries: attempt - 1, Perf: w.perfDelta()}
+		if runErr != nil {
+			res.Failed = true
+			res.Error = runErr.Error()
+		} else {
+			res.Payload = payload
+		}
+		return w.cd.Send(msgResult, res)
+	})
+	if err != nil {
+		if te, ok := sched.AsTaskError(err); ok {
+			return te.Err
+		}
+	}
+	return err
+}
+
+// perfDelta returns the counters accrued since the previous delta (or
+// since startup). Successive deltas partition this worker's counters
+// exactly, so the coordinator's sum over accepted results equals the
+// worker's true total; with a serial pool each delta is additionally the
+// exact cost of its own task.
+func (w *worker) perfDelta() perf.Snapshot {
+	w.perfMu.Lock()
+	defer w.perfMu.Unlock()
+	now := w.perfNow()
+	d := now.Diff(w.last)
+	w.last = now
+	return d
+}
+
+// isHangup reports whether err means the peer closed the connection — the
+// coordinator's normal way of dismissing workers once the sweep is over.
+func isHangup(err error) bool {
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrClosedPipe) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE)
+}

@@ -1,0 +1,84 @@
+package perf
+
+// Snapshot is a mergeable copy of the performance counters: the global
+// flop total plus every phase's accumulated statistics. Snapshots are what
+// the distributed sweep engine ships over the wire — each worker reports
+// per-task deltas (TakeSnapshot + Diff) and the coordinator folds them
+// into one cluster-wide view (Add, or Merge back into the process-global
+// counters). The type is JSON-serializable: Wall durations travel as
+// integer nanoseconds.
+type Snapshot struct {
+	// Flops is the global flop counter value (or, for a Diff result, the
+	// flops accumulated between the two snapshots).
+	Flops int64 `json:"flops"`
+	// Phases maps phase name to its accumulated (or delta) statistics.
+	// Nil when no phase has been recorded.
+	Phases map[string]PhaseStats `json:"phases,omitempty"`
+}
+
+// TakeSnapshot captures the current global counters. The capture is not a
+// single atomic cut across all counters: flops and phases recorded
+// concurrently with the call land on either side, exactly as with the
+// individual Flops/PhaseSnapshot reads; no count is ever lost between two
+// successive snapshots of the same process.
+func TakeSnapshot() Snapshot {
+	return Snapshot{Flops: Flops(), Phases: PhaseSnapshot()}
+}
+
+// Diff returns the counters accumulated between prev and s (s − prev).
+// Phases whose statistics did not change are omitted, so a per-task delta
+// stays small on the wire. Successive deltas of one process partition its
+// counters exactly: summing every delta reproduces the final snapshot.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	d := Snapshot{Flops: s.Flops - prev.Flops}
+	for name, st := range s.Phases {
+		p := prev.Phases[name]
+		st.Calls -= p.Calls
+		st.Wall -= p.Wall
+		st.Flops -= p.Flops
+		if st == (PhaseStats{}) {
+			continue
+		}
+		if d.Phases == nil {
+			d.Phases = make(map[string]PhaseStats)
+		}
+		d.Phases[name] = st
+	}
+	return d
+}
+
+// Add folds o into s: flop totals add, and per-phase statistics add
+// field-wise. It is the pure (off-counter) merge the coordinator uses to
+// accumulate worker deltas into one cluster-wide snapshot.
+func (s *Snapshot) Add(o Snapshot) {
+	s.Flops += o.Flops
+	if len(o.Phases) == 0 {
+		return
+	}
+	if s.Phases == nil {
+		s.Phases = make(map[string]PhaseStats, len(o.Phases))
+	}
+	for name, st := range o.Phases {
+		cur := s.Phases[name]
+		cur.Calls += st.Calls
+		cur.Wall += st.Wall
+		cur.Flops += st.Flops
+		s.Phases[name] = cur
+	}
+}
+
+// Merge folds a snapshot into this process's global counters — the
+// coordinator-side counterpart of Add for callers that want the merged
+// cluster totals visible through the ordinary Flops()/PhaseSnapshot()
+// reads (e.g. so a driver's final report includes work done remotely).
+func Merge(s Snapshot) {
+	if s.Flops != 0 {
+		AddFlops(s.Flops)
+	}
+	for name, st := range s.Phases {
+		c := phase(name)
+		c.calls.Add(st.Calls)
+		c.nanos.Add(int64(st.Wall))
+		c.flops.Add(st.Flops)
+	}
+}

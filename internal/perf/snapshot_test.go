@@ -1,0 +1,86 @@
+package perf
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSnapshotDiffPartitions(t *testing.T) {
+	base := TakeSnapshot()
+
+	AddFlops(100)
+	RecordPhase("snaptest-a", 5*time.Millisecond, 40)
+	s1 := TakeSnapshot()
+	d1 := s1.Diff(base)
+
+	AddFlops(50)
+	RecordPhase("snaptest-a", 2*time.Millisecond, 10)
+	RecordPhase("snaptest-b", time.Millisecond, 0)
+	s2 := TakeSnapshot()
+	d2 := s2.Diff(s1)
+
+	if d1.Flops != 100 || d2.Flops != 50 {
+		t.Fatalf("flop deltas = %d, %d; want 100, 50", d1.Flops, d2.Flops)
+	}
+	if st := d1.Phases["snaptest-a"]; st.Calls != 1 || st.Flops != 40 || st.Wall != 5*time.Millisecond {
+		t.Fatalf("d1 snaptest-a = %+v", st)
+	}
+	if _, ok := d1.Phases["snaptest-b"]; ok {
+		t.Fatal("d1 contains a phase recorded only later")
+	}
+	if st := d2.Phases["snaptest-b"]; st.Calls != 1 || st.Wall != time.Millisecond {
+		t.Fatalf("d2 snaptest-b = %+v", st)
+	}
+
+	// Summing the deltas must reproduce the total accrued since base.
+	var sum Snapshot
+	sum.Add(d1)
+	sum.Add(d2)
+	total := s2.Diff(base)
+	if sum.Flops != total.Flops {
+		t.Fatalf("delta sum flops = %d, total = %d", sum.Flops, total.Flops)
+	}
+	for name, st := range total.Phases {
+		if sum.Phases[name] != st {
+			t.Fatalf("phase %s: delta sum %+v, total %+v", name, sum.Phases[name], st)
+		}
+	}
+}
+
+func TestSnapshotMergeFoldsIntoGlobals(t *testing.T) {
+	before := TakeSnapshot()
+	Merge(Snapshot{
+		Flops: 77,
+		Phases: map[string]PhaseStats{
+			"snaptest-merge": {Calls: 3, Wall: 9 * time.Millisecond, Flops: 77},
+		},
+	})
+	d := TakeSnapshot().Diff(before)
+	if d.Flops != 77 {
+		t.Fatalf("merged flop delta = %d, want 77", d.Flops)
+	}
+	if st := d.Phases["snaptest-merge"]; st.Calls != 3 || st.Wall != 9*time.Millisecond || st.Flops != 77 {
+		t.Fatalf("merged phase = %+v", st)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	in := Snapshot{
+		Flops: 12,
+		Phases: map[string]PhaseStats{
+			"p": {Calls: 2, Wall: 3 * time.Second, Flops: 12},
+		},
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out Snapshot
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.Flops != in.Flops || out.Phases["p"] != in.Phases["p"] {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}

@@ -1,0 +1,66 @@
+#!/bin/sh
+# drill_dist.sh — the distributed kill drill.
+#
+# Runs the same transmission sweep twice under 10% deterministic fault
+# injection: once serial, once distributed (a coordinator that
+# self-spawns 3 workers plus one externally launched victim worker that
+# is SIGKILLed mid-run). The drill passes only if the distributed run,
+# despite losing a worker, produces byte-identical observables AND the
+# exact same merged flop count as the serial run.
+#
+# Usage: scripts/drill_dist.sh [path-to-omen-binary]
+set -eu
+
+OMEN=${1:-./bin/omen}
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT
+
+# A sweep big enough (~4s serial) that the kill lands mid-run.
+ARGS="-device agnr7 -cellsx 40 -ne 3000 -emin -2.5 -emax 2.5"
+FAULTS="-fault-rate 0.1 -max-retries 3 -fault-seed 7"
+
+echo "drill-dist: serial reference run"
+# shellcheck disable=SC2086
+"$OMEN" $ARGS $FAULTS > "$WORKDIR/serial.txt"
+
+PORT=$((20000 + $$ % 20000))
+echo "drill-dist: distributed run on 127.0.0.1:$PORT (3 spawned workers + 1 victim)"
+# shellcheck disable=SC2086
+"$OMEN" $ARGS $FAULTS -serve "127.0.0.1:$PORT" -workers 3 -lease-timeout 2s \
+	> "$WORKDIR/dist.txt" 2> "$WORKDIR/dist.err" &
+COORD=$!
+
+# The victim dials the same fixed port; DialRetry tolerates launch order.
+# shellcheck disable=SC2086
+"$OMEN" $ARGS $FAULTS -worker "127.0.0.1:$PORT" -workers 1 \
+	2> "$WORKDIR/victim.err" &
+VICTIM=$!
+
+sleep 0.8
+echo "drill-dist: SIGKILL worker pid $VICTIM"
+kill -9 "$VICTIM" 2>/dev/null || true
+
+if ! wait "$COORD"; then
+	echo "drill-dist: FAIL — coordinator exited non-zero" >&2
+	cat "$WORKDIR/dist.err" >&2
+	exit 1
+fi
+wait "$VICTIM" 2>/dev/null || true
+
+grep -v '^#' "$WORKDIR/serial.txt" > "$WORKDIR/serial_obs.txt"
+grep -v '^#' "$WORKDIR/dist.txt" > "$WORKDIR/dist_obs.txt"
+if ! diff "$WORKDIR/serial_obs.txt" "$WORKDIR/dist_obs.txt" > /dev/null; then
+	echo "drill-dist: FAIL — observables differ between serial and distributed runs" >&2
+	diff "$WORKDIR/serial_obs.txt" "$WORKDIR/dist_obs.txt" | head -20 >&2
+	exit 1
+fi
+
+SERIAL_FLOPS=$(grep '^# flops' "$WORKDIR/serial.txt")
+DIST_FLOPS=$(grep '^# flops' "$WORKDIR/dist.txt")
+if [ "$SERIAL_FLOPS" != "$DIST_FLOPS" ]; then
+	echo "drill-dist: FAIL — flop counts differ: serial '$SERIAL_FLOPS' vs distributed '$DIST_FLOPS'" >&2
+	exit 1
+fi
+
+grep '^# cluster' "$WORKDIR/dist.txt"
+echo "drill-dist: PASS — observables byte-identical, $SERIAL_FLOPS exact across the kill"
