@@ -72,6 +72,13 @@ func runServeMode(ctx context.Context, sim *core.Simulator, grid []float64, cfg 
 	fmt.Fprintf(os.Stderr, "omen: coordinating %d tasks on %s\n", nBias*nK*nE, lis.Addr())
 
 	var children sync.WaitGroup
+	if cfg.selfWorkers == 0 {
+		// In serve mode -workers means self-spawned worker processes, and
+		// zero of them is a legitimate deployment (external workers dial
+		// in) — but without this notice a bare `omen -serve` looks hung.
+		fmt.Fprintf(os.Stderr, "omen: no self-spawned workers (-workers 0); waiting for external `omen -worker %s` processes to connect\n",
+			comms.DialableAddr(lis.Addr()))
+	}
 	if cfg.selfWorkers > 0 {
 		args := cfg.childArgs(comms.DialableAddr(lis.Addr()))
 		for i := 0; i < cfg.selfWorkers; i++ {

@@ -82,7 +82,7 @@ func main() {
 		vgMax     = flag.Float64("vgmax", 0.6, "gate sweep end (V)")
 		nvg       = flag.Int("nvg", 6, "gate sweep points")
 		cellsX    = flag.Int("cellsx", 0, "override transport cells")
-		workers   = flag.Int("workers", 0, "total worker budget across all parallel levels (0: GOMAXPROCS)")
+		workers   = flag.Int("workers", 0, "total worker budget across all parallel levels (0: GOMAXPROCS); with -serve: worker processes to self-spawn (0: wait for external -worker processes)")
 
 		serveAddr    = flag.String("serve", "", "run as distributed-sweep coordinator listening on this TCP address (transmission mode); workers connect with -worker")
 		workerAddr   = flag.String("worker", "", "run as distributed-sweep worker dialing the coordinator at this TCP address (transmission mode)")

@@ -164,11 +164,16 @@ func main() {
 				fatal(ctx, &prog, err)
 			}
 			fmt.Fprintf(os.Stderr, "scaling: coordinating %d steps on %s\n", len(counts), lis.Addr())
+			if *workersN == 0 {
+				fmt.Fprintf(os.Stderr, "scaling: no self-spawned workers (-workers 0); waiting for external `scaling -study strong -worker %s` processes to connect\n",
+					comms.DialableAddr(lis.Addr()))
+			}
 			var children sync.WaitGroup
 			for i := 0; i < *workersN; i++ {
 				cmd := exec.CommandContext(ctx, os.Args[0],
 					"-study", "strong", "-worker", comms.DialableAddr(lis.Addr()),
 					"-max-retries", fmt.Sprint(*maxRetries),
+					"-task-timeout", taskTimeout.String(),
 					"-fault-rate", fmt.Sprint(*faultRate),
 					"-fault-seed", fmt.Sprint(*faultSeed))
 				cmd.Stderr = os.Stderr

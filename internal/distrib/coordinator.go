@@ -79,9 +79,13 @@ type Report struct {
 	// Perf is the cluster-wide merge of the per-task performance deltas
 	// of every accepted result: total flops and per-phase wall/flop
 	// attribution across all workers. When each worker executes its tasks
-	// serially, the flop total is exact — it equals the single-process
-	// count — because per-task deltas partition each worker's counters
-	// and only winning results are merged.
+	// serially (a 1-wide pool — the CLIs' self-spawn default), the flop
+	// total is exact: each delta is then the exact cost of its own task,
+	// so summing only winning results reproduces the single-process
+	// count. With a wider pool, deltas smear concurrently running tasks
+	// together, and discarding a duplicate's delta also discards flops
+	// that belong to winning tasks — the total then undercounts whenever
+	// a lease was re-dispatched, and is approximate in general.
 	Perf perf.Snapshot
 }
 
@@ -89,6 +93,7 @@ type Report struct {
 const (
 	statePending uint8 = iota
 	stateLeased
+	stateCommitting // result accepted; journal append + restore in flight outside the mutex
 	stateDone
 	stateQuarantined
 )
@@ -114,9 +119,15 @@ type coordinator struct {
 	total         int
 	maxQuarantine int
 
-	mu           sync.Mutex
-	st           []taskState
-	queue        []int // pending task indices, FIFO
+	mu sync.Mutex
+	st []taskState
+	// commitMu serializes journal appends and Restore calls for accepted
+	// results. It is separate from mu so that lease grants, heartbeats,
+	// and the reaper never wait behind a journal fsync, while Restore
+	// keeps the same never-called-concurrently contract the local
+	// engine's replay gives it.
+	commitMu     sync.Mutex
+	queue        []int // pending task indices, FIFO; may hold stale entries (see popPendingLocked)
 	remaining    int   // tasks not yet done or quarantined
 	quarantined  []int
 	restored     int
@@ -397,27 +408,43 @@ func (c *coordinator) grant(w *workerState, capacity int) leaseMsg {
 	if c.finished || c.failure != nil || c.remaining == 0 {
 		return leaseMsg{Done: true}
 	}
-	if len(c.queue) == 0 {
+	tasks := c.popPendingLocked(capacity)
+	if len(tasks) == 0 {
 		// Everything pending is leased elsewhere; reclaim stragglers
 		// opportunistically before telling the worker to wait.
 		c.reclaimExpiredLocked(time.Now())
+		tasks = c.popPendingLocked(capacity)
 	}
-	n := len(c.queue)
-	if n > capacity {
-		n = capacity
-	}
-	if n == 0 {
+	if len(tasks) == 0 {
 		return leaseMsg{RetryAfter: c.opts.RetryAfter}
 	}
-	tasks := make([]int, n)
-	copy(tasks, c.queue[:n])
-	c.queue = c.queue[n:]
 	deadline := time.Now().Add(c.opts.LeaseTimeout)
 	for _, idx := range tasks {
 		c.st[idx] = taskState{phase: stateLeased, worker: w.id, deadline: deadline}
 		w.leased[idx] = true
 	}
 	return leaseMsg{Tasks: tasks, TTL: c.opts.LeaseTimeout}
+}
+
+// popPendingLocked removes up to n indices from the head of the queue,
+// returning only those still pending. A queue entry can go stale: when a
+// reclaimed task's original holder reports before the re-dispatched copy
+// is granted, applyResult accepts the straggler's result directly from
+// statePending and the re-queued index now names a finished task. Handing
+// such an index out again would overwrite stateDone with stateLeased and
+// let a second result be accepted — a duplicate journal record and a
+// double decrement of remaining — so stale entries are dropped here.
+func (c *coordinator) popPendingLocked(n int) []int {
+	var tasks []int
+	for len(tasks) < n && len(c.queue) > 0 {
+		idx := c.queue[0]
+		c.queue = c.queue[1:]
+		if c.st[idx].phase != statePending {
+			continue
+		}
+		tasks = append(tasks, idx)
+	}
+	return tasks
 }
 
 // reclaimExpiredLocked returns every lease past its deadline to the
@@ -466,9 +493,15 @@ func (c *coordinator) reap(ctx context.Context) {
 }
 
 // applyResult commits one worker-reported result. Duplicates (a task the
-// first responder already finished) are discarded along with their perf
-// delta, so re-dispatched stragglers can never double-count work. The
-// returned error, if any, is fatal to the whole run.
+// first responder already finished, or is committing right now) are
+// discarded along with their perf delta, so re-dispatched stragglers can
+// never double-count a task — note the flop-exactness caveat on
+// Report.Perf about what discarding a delta means for concurrent pools.
+// The first-wins decision is made under c.mu, but the journal append
+// (fsync'd in coordinator deployments) and the Restore call happen
+// outside it, under commitMu, so result I/O never stalls lease grants,
+// heartbeat handling, or the reaper. The returned error, if any, is
+// fatal to the whole run.
 func (c *coordinator) applyResult(w *workerState, res resultMsg) error {
 	c.mu.Lock()
 	if res.Task < 0 || res.Task >= c.total {
@@ -477,7 +510,7 @@ func (c *coordinator) applyResult(w *workerState, res resultMsg) error {
 	}
 	delete(w.leased, res.Task)
 	s := &c.st[res.Task]
-	if s.phase == stateDone || s.phase == stateQuarantined {
+	if s.phase == stateCommitting || s.phase == stateDone || s.phase == stateQuarantined {
 		c.mu.Unlock() // first result won; this one is a re-dispatch echo
 		return nil
 	}
@@ -505,20 +538,31 @@ func (c *coordinator) applyResult(w *workerState, res resultMsg) error {
 		return nil
 	}
 
+	// Claim the task so concurrent duplicates are turned away, then do
+	// the I/O without blocking the rest of the coordinator. On error the
+	// task stays in stateCommitting — harmless, because the caller fails
+	// the whole run and stateCommitting is never re-dispatched.
+	s.phase = stateCommitting
+	s.worker = w.id
+	c.mu.Unlock()
+
+	c.commitMu.Lock()
 	if c.opts.Journal != nil {
 		if err := c.opts.Journal.Append(cluster.TaskRecord{Index: res.Task, Payload: res.Payload}); err != nil {
-			c.mu.Unlock()
+			c.commitMu.Unlock()
 			return fmt.Errorf("distrib: journal: %w", err)
 		}
 	}
 	if c.opts.Restore != nil {
 		if err := c.opts.Restore(task, res.Payload); err != nil {
-			c.mu.Unlock()
+			c.commitMu.Unlock()
 			return fmt.Errorf("distrib: restore task %d from worker %s: %w", res.Task, w.id, err)
 		}
 	}
+	c.commitMu.Unlock()
+
+	c.mu.Lock()
 	s.phase = stateDone
-	s.worker = w.id
 	c.completed++
 	c.perf.Add(res.Perf)
 	c.noteDoneLocked()

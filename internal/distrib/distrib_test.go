@@ -381,6 +381,80 @@ func TestStragglerRedispatch(t *testing.T) {
 	}
 }
 
+// TestStaleQueueEntryNotRegranted drives the lease table through the
+// straggler interleaving that used to corrupt it: a lease expires and its
+// tasks are re-queued, then the original holder's results arrive and win
+// while the re-queued indices are still in the queue. A later grant must
+// skip those stale entries — before the fix it re-leased the finished
+// tasks, overwrote stateDone, and accepted their results a second time
+// (duplicate journal records plus a double decrement of remaining, which
+// let the run report success with tasks never executed).
+func TestStaleQueueEntryNotRegranted(t *testing.T) {
+	const total = 3
+	journal := &cluster.MemJournal{}
+	c := &coordinator{
+		opts:  Options{}.withDefaults(),
+		nBias: 1, nK: 1, nE: total,
+		total:     total,
+		st:        make([]taskState, total),
+		queue:     []int{0, 1, 2},
+		remaining: total,
+		workers:   make(map[string]*workerState),
+		done:      make(chan struct{}),
+	}
+	c.opts.Journal = journal
+	straggler := &workerState{id: "straggler", leased: make(map[int]bool)}
+	fresh := &workerState{id: "fresh", leased: make(map[int]bool)}
+	c.workers[straggler.id] = straggler
+	c.workers[fresh.id] = fresh
+
+	lease := c.grant(straggler, 2)
+	if len(lease.Tasks) != 2 {
+		t.Fatalf("granted %v, want 2 tasks", lease.Tasks)
+	}
+	// The lease expires: tasks 0 and 1 go back to the queue behind task 2.
+	c.mu.Lock()
+	c.reclaimExpiredLocked(time.Now().Add(2 * c.opts.LeaseTimeout))
+	c.mu.Unlock()
+	// The straggler reports task 0 anyway, and its result wins.
+	if err := c.applyResult(straggler, resultMsg{Task: 0, Payload: encodeVal(valFor(0))}); err != nil {
+		t.Fatalf("straggler result: %v", err)
+	}
+	// A fresh worker asks for everything: it must get tasks 2 and 1, never
+	// the finished task 0 whose queue entry is now stale.
+	lease = c.grant(fresh, total)
+	for _, idx := range lease.Tasks {
+		if idx == 0 {
+			t.Fatalf("grant re-leased finished task 0 (lease %v)", lease.Tasks)
+		}
+	}
+	if len(lease.Tasks) != 2 {
+		t.Fatalf("granted %v, want the 2 unfinished tasks", lease.Tasks)
+	}
+	c.mu.Lock()
+	if c.st[0].phase != stateDone {
+		t.Fatalf("task 0 phase = %d, want stateDone", c.st[0].phase)
+	}
+	if c.remaining != total-1 {
+		t.Fatalf("remaining = %d, want %d", c.remaining, total-1)
+	}
+	c.mu.Unlock()
+	// A late duplicate for task 0 (say the re-dispatch raced after all)
+	// must be a no-op: no extra journal record, no remaining decrement.
+	if err := c.applyResult(fresh, resultMsg{Task: 0, Payload: encodeVal(valFor(0))}); err != nil {
+		t.Fatalf("duplicate result: %v", err)
+	}
+	if journal.Len() != 1 {
+		t.Fatalf("journal has %d records for task 0, want exactly 1", journal.Len())
+	}
+	c.mu.Lock()
+	if c.remaining != total-1 || c.completed != 1 {
+		t.Fatalf("remaining = %d, completed = %d after duplicate, want %d and 1",
+			c.remaining, c.completed, total-1)
+	}
+	c.mu.Unlock()
+}
+
 // TestQuarantineDistributed routes a permanently failing task through the
 // worker → coordinator failure report and into the quarantined set.
 func TestQuarantineDistributed(t *testing.T) {

@@ -26,9 +26,14 @@ type WorkerOptions struct {
 	// coordinator assign one).
 	ID string
 	// Pool executes leased tasks (nil: a private GOMAXPROCS pool). A
-	// one-worker pool makes per-task perf deltas individually exact; wider
-	// pools keep the summed flop count exact but smear the per-task
-	// attribution across concurrently running tasks.
+	// one-worker pool makes each per-task perf delta the exact cost of
+	// its own task, which is what lets the coordinator's merge reproduce
+	// the single-process flop total: duplicates of re-dispatched tasks
+	// are discarded delta and all, and with a serial pool a discarded
+	// delta holds only the duplicate's own flops. A wider pool smears
+	// concurrently running tasks into every delta, so once a duplicate
+	// is discarded the cluster flop total undercounts — use width 1
+	// whenever exact merged flop accounting matters.
 	Pool *sched.Pool
 	// Capacity is how many tasks to request per lease (default: the
 	// pool's worker count).
@@ -259,9 +264,11 @@ func (w *worker) runLease(ctx context.Context, tasks []int) error {
 
 // perfDelta returns the counters accrued since the previous delta (or
 // since startup). Successive deltas partition this worker's counters
-// exactly, so the coordinator's sum over accepted results equals the
-// worker's true total; with a serial pool each delta is additionally the
-// exact cost of its own task.
+// exactly, with no overlap and no gap — but the coordinator discards the
+// deltas of duplicate results, so its sum equals the worker's true total
+// only when every delta it keeps is self-contained. A serial pool
+// guarantees that: each delta is then the exact cost of its own task
+// (see WorkerOptions.Pool for the concurrent-pool caveat).
 func (w *worker) perfDelta() perf.Snapshot {
 	w.perfMu.Lock()
 	defer w.perfMu.Unlock()
