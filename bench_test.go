@@ -210,6 +210,52 @@ func BenchmarkF2_IdVg(b *testing.B) {
 	})
 }
 
+// BenchmarkF1_GateSweep_CacheReuse is the headline number for the
+// sweep-scale self-energy cache (DESIGN.md §11): one cold gate sweep per
+// iteration, with every grid point of every SCF iteration and final
+// current pass sharing a single shift-invariant cache. The hits/op and
+// misses/op metrics pin the reuse ratio the speedup comes from; a fresh
+// cache per iteration keeps iterations independent and cold-start honest.
+func BenchmarkF1_GateSweep_CacheReuse(b *testing.B) {
+	sim, err := core.New(device.Description{
+		Name: "AGNR-7 FET", Kind: device.ArmchairGNR, CellsX: 12, CellsY: 7,
+	}, transport.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fet, err := core.NewFET(sim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fet.Lambda = 1.2
+	fet.SourceDoping = 0.1
+	fet.GateStart, fet.GateEnd = 0.3, 0.7
+	fet.NE = 64
+	vgs := []float64{-0.4, -0.1, 0.2, 0.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var hits, misses int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fet.Cache = negf.NewSelfEnergyCache() // cold sweep, intra-sweep reuse only
+		b.StartTimer()
+		if _, err := fet.GateSweep(context.Background(), vgs, 0.2); err != nil {
+			b.Fatal(err)
+		}
+		st := fet.Cache.Stats()
+		hits += st.Hits
+		misses += st.Misses
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(hits)/float64(b.N), "hits/op")
+	b.ReportMetric(float64(misses)/float64(b.N), "misses/op")
+	once("F1cache", func() {
+		fmt.Printf("F1\tgate sweep Σ-cache reuse: %.0f hits, %.0f misses per sweep (%.1f×)\n",
+			float64(hits)/float64(b.N), float64(misses)/float64(b.N),
+			float64(hits+misses)/float64(misses))
+	})
+}
+
 // --- F3: SplitSolve domain sweep vs serial solve ----------------------------
 
 func BenchmarkF3_SplitSolve(b *testing.B) {

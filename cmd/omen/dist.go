@@ -110,6 +110,7 @@ func runServeMode(ctx context.Context, sim *core.Simulator, grid []float64, cfg 
 	printSweepSummary(rep.Sweep)
 	fmt.Printf("# cluster: %d workers, %d leases re-dispatched\n", rep.Workers, rep.Redispatched)
 	fmt.Printf("# flops\t%d\n", rep.Perf.Flops)
+	printSigmaCache(rep.Perf.Counters)
 	fmt.Println("# E(eV)\tT(E)")
 	for i, e := range sweep.Energies {
 		fmt.Printf("%.6f\t%.8g\n", e, sweep.T[i])

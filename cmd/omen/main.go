@@ -37,6 +37,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/negf"
 	"repro/internal/perf"
 	"repro/internal/resilience"
 	"repro/internal/sched"
@@ -96,6 +97,9 @@ func main() {
 		faultRate   = flag.Float64("fault-rate", 0, "fault-injection drill: fraction of tasks that fail (mixed errors and panics) on their first attempt")
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for deterministic fault injection and retry jitter")
 
+		cacheCap   = flag.Int("sigma-cache-cap", 4096, "self-energy cache capacity in entries, one per (lead, shifted energy); 0: unbounded")
+		seedRefine = flag.Float64("seed-refine", 0, "seed the surface-GF fixed point from a cached neighbor within this energy distance (eV) instead of decimating; 0 disables and keeps results bitwise reproducible")
+
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (pprof format) to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (pprof format) to this file on exit")
 	)
@@ -122,7 +126,14 @@ func main() {
 		desc.CellsX = *cellsX
 	}
 	pool := sched.New(*workers)
-	cfg := transport.Config{Domains: *domains, Pool: pool}
+	cfg := transport.Config{
+		Domains: *domains,
+		Pool:    pool,
+		Cache: negf.NewSelfEnergyCacheWith(negf.CacheConfig{
+			Capacity: *cacheCap,
+			SeedDist: *seedRefine,
+		}),
+	}
 	switch *formalism {
 	case "wf":
 		cfg.Formalism = transport.WaveFunction
@@ -196,6 +207,8 @@ func main() {
 						"-task-timeout", taskTimeout.String(),
 						"-fault-rate", fmt.Sprint(*faultRate),
 						"-fault-seed", fmt.Sprint(*faultSeed),
+						"-sigma-cache-cap", fmt.Sprint(*cacheCap),
+						"-seed-refine", fmt.Sprint(*seedRefine),
 					}
 					if *cellsX > 0 {
 						args = append(args, "-cellsx", fmt.Sprint(*cellsX))
@@ -219,7 +232,9 @@ func main() {
 			fatal(ctx, &prog, err)
 		}
 		printSweepSummary(sweep.Report)
-		fmt.Printf("# flops\t%d\n", perf.TakeSnapshot().Diff(before).Flops)
+		d := perf.TakeSnapshot().Diff(before)
+		fmt.Printf("# flops\t%d\n", d.Flops)
+		printSigmaCache(d.Counters)
 		fmt.Println("# E(eV)\tT(E)")
 		for i, e := range sweep.Energies {
 			fmt.Printf("%.6f\t%.8g\n", e, sweep.T[i])
@@ -233,6 +248,9 @@ func main() {
 		fet.Lambda = 1.2
 		fet.SourceDoping = 0.1
 		fet.GateStart, fet.GateEnd = 0.3, 0.7
+		// One cache spans the whole sweep: the FET's lead keys and bias
+		// shifts make every gate point address the same entries.
+		fet.Cache = cfg.Cache
 		vgs := transport.UniformGrid(*vgMin, *vgMax, *nvg)
 		// Count finished bias points so an interrupt can report progress.
 		prog.set(0, len(vgs))
@@ -241,10 +259,14 @@ func main() {
 				prog.done.Add(1)
 			}
 		}
+		before := perf.TakeSnapshot()
 		points, err := fet.GateSweep(ctx, vgs, *vd)
 		if err != nil {
 			fatal(ctx, &prog, err)
 		}
+		d := perf.TakeSnapshot().Diff(before)
+		fmt.Printf("# flops\t%d\n", d.Flops)
+		printSigmaCache(d.Counters)
 		fmt.Println("# Vg(V)\tId(A)\titers\tconverged")
 		for _, p := range points {
 			fmt.Printf("%.4f\t%.6e\t%d\t%v\n", p.VGate, p.Current, p.Iterations, p.Converged)
@@ -291,6 +313,19 @@ func sweepOptions(pool *sched.Pool, prog *progress, checkpoint string, resume bo
 	opts.Journal = j
 	closeJournal = func() { j.Close() }
 	return opts, closeJournal, nil
+}
+
+// printSigmaCache emits the self-energy cache counters as a comment line
+// alongside the flop count, in both serial and distributed output (a
+// coordinator prints the exact merge of its workers' deltas).
+func printSigmaCache(counters map[string]int64) {
+	if counters["sigma-hits"] == 0 && counters["sigma-misses"] == 0 {
+		return
+	}
+	fmt.Printf("# sigma-cache\thits=%d misses=%d coalesced=%d evictions=%d decimations=%d seeded=%d seed-fallbacks=%d\n",
+		counters["sigma-hits"], counters["sigma-misses"], counters["sigma-coalesced"],
+		counters["sigma-evictions"], counters["sigma-decimations"],
+		counters["sigma-seeded"], counters["sigma-seed-fallbacks"])
 }
 
 // printSweepSummary emits the fault-tolerance accounting as comment lines

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/negf"
 	"repro/internal/poisson"
@@ -39,10 +41,34 @@ type FET struct {
 	Tol float64
 	// MaxIter bounds the self-consistent loop.
 	MaxIter int
+	// Cache memoizes contact self-energies across the whole I-V surface:
+	// every gate/drain point, every SCF iteration, and the final dense
+	// current grid share it. The FET's contacts are flat-band and pinned
+	// (source at 0, drain at −Vd), so each lead's surface physics is a
+	// pure function of the shifted energy z − qV_lead — one decimation per
+	// (lead, shifted energy) serves the entire sweep. NewFET installs an
+	// unbounded, unseeded cache; replace it via NewSelfEnergyCacheWith to
+	// bound memory or enable neighbor seeding, or set nil to disable.
+	Cache *negf.SelfEnergyCache
+	// EStep is the spacing (eV) of the shared energy lattice every grid of
+	// this FET snaps to, so the SCF grids and the final dense current grid
+	// (which runs on the half lattice EStep/2) reuse each other's cached
+	// self-energies. 0 derives it on first solve: a GateSweep uses its
+	// union charge window divided into NE−1 steps, a standalone SolveBias
+	// the zero-bias window.
+	EStep float64
 	// gapWindow is fixed at construction: the energy window the transport
 	// gap was located in.
 	ev, ec float64
+
+	stepOnce   sync.Once
+	keyL, keyR string
 }
+
+// fetSeq distinguishes the lead families of distinct FET instances: two
+// different devices must never share cache entries even if they collide
+// on a shared cache.
+var fetSeq atomic.Int64
 
 // NewFET builds a self-consistent FET driver around a simulator with
 // production-style defaults. The device must be semiconducting.
@@ -67,6 +93,10 @@ func NewFET(sim *Simulator) (*FET, error) {
 		return nil, err
 	}
 	f.ev, f.ec = ev, ec
+	f.Cache = negf.NewSelfEnergyCache()
+	id := fetSeq.Add(1)
+	f.keyL = fmt.Sprintf("fet%d/L", id)
+	f.keyR = fmt.Sprintf("fet%d/R", id)
 	return f, nil
 }
 
@@ -104,6 +134,116 @@ func (f *FET) gateMask(nl int) []bool {
 		mask[i] = frac >= f.GateStart && frac <= f.GateEnd
 	}
 	return mask
+}
+
+// ensureLattice fixes the shared energy-lattice spacing on first use:
+// the zero-bias charge window divided into NE−1 steps, matching the grid
+// resolution solveBias used before the lattice existed. All grids of the
+// FET are then integer multiples of EStep (half multiples for the final
+// current grid), which is what lets different bias windows overlap on
+// identical — bitwise identical — cache keys. GateSweep pre-empts this
+// with sweepLattice so the spacing reflects the sweep's widest window.
+func (f *FET) ensureLattice() {
+	f.latticeFrom(func() (float64, float64) { return f.chargeWindow(0, 0) })
+}
+
+// sweepLattice fixes the lattice spacing from the union charge window of
+// a whole gate sweep: the widest window divided into NE−1 steps. Each
+// bias point's grid then holds at most NE points — the same per-window
+// budget the pre-lattice code spent — while every grid of the sweep still
+// lands on one shared lattice.
+func (f *FET) sweepLattice(vgs []float64, vd float64) {
+	f.latticeFrom(func() (float64, float64) {
+		lo, hi := f.chargeWindow(0, 0)
+		for _, vg := range vgs {
+			l, h := f.chargeWindow(vg, vd)
+			lo = math.Min(lo, l)
+			hi = math.Max(hi, h)
+		}
+		return lo, hi
+	})
+}
+
+// latticeFrom derives EStep from a reference window exactly once; an
+// explicitly pre-set EStep always wins.
+func (f *FET) latticeFrom(window func() (float64, float64)) {
+	f.stepOnce.Do(func() {
+		if f.EStep > 0 {
+			return
+		}
+		lo, hi := window()
+		ne := f.NE
+		if ne < 2 {
+			ne = 2
+		}
+		f.EStep = (hi - lo) / float64(ne-1)
+	})
+}
+
+// chargeWindow is the conduction-electron integration window at one bias
+// point: from just below the lowest plausible local band minimum to well
+// above the hotter contact, clamped above the (shifted) valence bands.
+func (f *FET) chargeWindow(vg, vd float64) (lo, hi float64) {
+	kT := KT(f.Temperature)
+	muS := f.ec + f.MuOffset
+	muD := muS - vd
+	uLo := math.Min(0, math.Min(-vd, -vg)) - 0.05
+	uHi := math.Max(0, -vd) + 0.05
+	lo = f.ec + uLo - 4*kT
+	if vb := f.ev + uHi + 6*kT; lo < vb {
+		lo = vb
+	}
+	hi = math.Max(muS, muD) + 10*kT
+	if hi <= lo {
+		hi = lo + 20*kT
+	}
+	return lo, hi
+}
+
+// chargeGrid is the SCF charge-integration grid: the bias point's window
+// snapped inward onto the shared lattice.
+func (f *FET) chargeGrid(vg, vd float64) []float64 {
+	f.ensureLattice()
+	lo, hi := f.chargeWindow(vg, vd)
+	return latticeGrid(lo, hi, f.EStep)
+}
+
+// currentGrid is the final dense transmission grid over the bias window
+// at the converged potential u: twice the SCF resolution, on the half
+// lattice — whose even points coincide bitwise with the SCF lattice, so
+// half of the dense pass is served straight from the SCF iterations'
+// cache entries.
+func (f *FET) currentGrid(vd float64, u []float64) []float64 {
+	f.ensureLattice()
+	kT := KT(f.Temperature)
+	muS := f.ec + f.MuOffset
+	muD := muS - vd
+	eLo := math.Min(muS, muD) - 12*kT
+	if vb := f.ev + maxOf(u) + 4*kT; eLo < vb {
+		eLo = vb
+	}
+	eHi := math.Max(muS, muD) + 12*kT
+	return latticeGrid(eLo, eHi, f.EStep/2)
+}
+
+// latticeGrid returns the energies k·step, k integer, covering [lo, hi]
+// snapped inward (so clamps — e.g. staying above the valence band — are
+// respected). Every grid built from one step lands on bitwise-identical
+// energies wherever their windows overlap, because each point rounds the
+// same exact product k·step.
+func latticeGrid(lo, hi, step float64) []float64 {
+	k0 := int(math.Ceil(lo / step))
+	k1 := int(math.Floor(hi / step))
+	for k1 < k0+1 {
+		// Degenerate window: widen symmetrically to keep ≥ 2 points.
+		k0--
+		k1++
+	}
+	g := make([]float64, 0, k1-k0+1)
+	for k := k0; k <= k1; k++ {
+		g = append(g, float64(k)*step)
+	}
+	return g
 }
 
 // pool returns the worker pool bias points schedule on: the simulator's
@@ -147,30 +287,23 @@ func (f *FET) solveBias(ctx context.Context, vg, vd float64, pool *sched.Pool) (
 	pot := make([]float64, atoms)
 	point := &IVPoint{VGate: vg, VDrain: vd}
 
-	// The contacts are flat-band and pinned, so the expensive Sancho-Rubio
-	// surface functions depend only on energy: share one cache across all
-	// iterations (the production optimization of the paper's code).
+	// The contacts are flat-band and pinned (source at 0, drain at −vd),
+	// so the expensive Sancho-Rubio surface functions depend only on the
+	// shifted energy: share the FET's sweep-wide cache across all
+	// iterations and bias points, declaring each lead's family and rigid
+	// shift so the cache can key shift-invariantly (the production
+	// optimization of the paper's code, extended to the whole I-V surface).
 	cfg := f.Sim.Transport
-	cfg.Cache = negf.NewSelfEnergyCache()
+	cfg.Cache = f.Cache
+	cfg.LeadMeta = &negf.LeadMeta{KeyL: f.keyL, KeyR: f.keyR, ShiftR: -vd}
 	// All iterations (and, in a GateSweep, all bias points) draw their
 	// energy- and domain-level helpers from the same pool.
 	cfg.Pool = pool
 
-	// Conduction-electron window, fixed per bias point so every iteration
-	// reuses the same cached energies: from just below the lowest
-	// plausible local band minimum to well above the hotter contact,
-	// clamped above the (shifted) valence bands.
-	uLo := math.Min(0, math.Min(-vd, -vg)) - 0.05
-	uHi := math.Max(0, -vd) + 0.05
-	lo := f.ec + uLo - 4*kT
-	if vb := f.ev + uHi + 6*kT; lo < vb {
-		lo = vb
-	}
-	hi := math.Max(muS, muD) + 10*kT
-	if hi <= lo {
-		hi = lo + 20*kT
-	}
-	grid := transport.UniformGrid(lo, hi, f.NE)
+	// Charge-integration grid, fixed per bias point and snapped to the
+	// FET's shared energy lattice so every iteration — and every other
+	// bias point whose window overlaps — reuses the same cached energies.
+	grid := f.chargeGrid(vg, vd)
 
 	for iter := 1; iter <= f.MaxIter; iter++ {
 		if err := ctx.Err(); err != nil {
@@ -229,17 +362,13 @@ func (f *FET) solveBias(ctx context.Context, vg, vd float64, pool *sched.Pool) (
 			break
 		}
 	}
-	// Final current from a denser transmission grid over the bias window,
-	// still sharing the self-energy cache.
+	// Final current from a denser transmission grid over the bias window —
+	// the half lattice, so its even points are served straight from the
+	// SCF iterations' cache entries.
 	for i, a := range s.Atoms {
 		pot[i] = u[a.Layer]
 	}
-	eLo := math.Min(muS, muD) - 12*kT
-	if vb := f.ev + maxOf(u) + 4*kT; eLo < vb {
-		eLo = vb
-	}
-	eHi := math.Max(muS, muD) + 12*kT
-	iGrid := transport.UniformGrid(eLo, eHi, 2*f.NE)
+	iGrid := f.currentGrid(vd, u)
 	h, err := f.Sim.Hamiltonian(pot, 0)
 	if err != nil {
 		return nil, err
@@ -268,6 +397,7 @@ func (f *FET) solveBias(ctx context.Context, vg, vd float64, pool *sched.Pool) (
 // Results come back in ladder order; the first failing gate voltage (by
 // ladder order) cancels the in-flight siblings and is reported.
 func (f *FET) GateSweep(ctx context.Context, vgs []float64, vd float64) ([]IVPoint, error) {
+	f.sweepLattice(vgs, vd)
 	out := make([]IVPoint, len(vgs))
 	pool := f.pool()
 	err := pool.ForEach(ctx, "bias", len(vgs), func(ctx context.Context, i int) error {

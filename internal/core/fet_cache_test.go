@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/negf"
+)
+
+// cacheFET is a small FET for cache-accounting tests: big enough that the
+// SCF loop and final pass do real work, small enough to run in seconds.
+func cacheFET(t *testing.T) *FET {
+	t.Helper()
+	sim := gnrSim(t, 8)
+	fet, err := NewFET(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fet.Lambda = 1.2
+	fet.SourceDoping = 0.1
+	fet.GateStart, fet.GateEnd = 0.3, 0.7
+	fet.NE = 48
+	return fet
+}
+
+// TestGateSweepOneDecimationPerKey is the acceptance criterion of the
+// sweep-scale cache: a 5-point gate sweep at fixed Vd runs the full
+// Sancho-Rubio decimation at most once per (lead, shifted-energy) key —
+// across all gate points, SCF iterations, AND the dense final current
+// grids — because every grid snaps to one shared lattice and the drain
+// lead's keys are bias-shifted onto the source's canonical axis.
+func TestGateSweepOneDecimationPerKey(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-consistent FET sweep in -short mode")
+	}
+	fet := cacheFET(t)
+	vgs := []float64{-0.4, -0.2, 0.0, 0.2, 0.4}
+	const vd = 0.2
+	points, err := fet.GateSweep(context.Background(), vgs, vd)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := fet.Cache.Stats()
+	t.Logf("cache stats after sweep: %+v, entries %d", st, fet.Cache.Len())
+	// Every miss ran exactly one decimation and created exactly one
+	// distinct retained entry: at most one decimation per key, ever.
+	if st.Decimations != st.Misses {
+		t.Fatalf("%d decimations for %d misses — recomputation slipped through", st.Decimations, st.Misses)
+	}
+	if n := int64(fet.Cache.Len()); st.Decimations != n {
+		t.Fatalf("%d decimations for %d distinct keys — some key was decimated twice", st.Decimations, n)
+	}
+	if st.Hits <= st.Misses {
+		t.Fatalf("hits %d ≤ misses %d: the sweep barely reused anything", st.Hits, st.Misses)
+	}
+
+	// Pin the key population exactly: the union of every grid the sweep
+	// evaluated, × 2 leads (the right lead's keys are shifted by +vd onto
+	// the canonical axis — a pure relabeling that cannot create or merge
+	// energies at fixed vd).
+	lattice := make(map[float64]bool)
+	scfOnly := make(map[float64]bool)
+	var finalPts, finalShared int
+	for _, vg := range vgs {
+		for _, e := range fet.chargeGrid(vg, vd) {
+			lattice[e] = true
+			scfOnly[e] = true
+		}
+	}
+	for _, p := range points {
+		for _, e := range fet.currentGrid(vd, p.Potential) {
+			finalPts++
+			if scfOnly[e] {
+				finalShared++
+			}
+			lattice[e] = true
+		}
+	}
+	if want := 2 * len(lattice); fet.Cache.Len() != want {
+		t.Fatalf("cache holds %d keys, want 2×%d lattice energies", fet.Cache.Len(), len(lattice))
+	}
+	// The final dense pass must land a large share of its points on
+	// energies the SCF iterations already paid for — the half-lattice
+	// coincidence this PR's grid snapping exists to produce (odd half-
+	// lattice points and points outside every SCF window are new).
+	if finalShared*3 < finalPts {
+		t.Fatalf("final pass shares only %d of %d points with the SCF lattice", finalShared, finalPts)
+	}
+	t.Logf("lattice energies %d; final pass shares %d/%d points with SCF grids",
+		len(lattice), finalShared, finalPts)
+}
+
+// TestGateSweepCachedMatchesPerBias compares the sweep-wide shared cache
+// against the pre-change behavior — an independent cache per bias point —
+// and requires observables unchanged to 1e-10 (they are in fact expected
+// bitwise equal: misses compute from the family's canonical blocks, which
+// the pinned contacts reproduce identically at every gate point).
+func TestGateSweepCachedMatchesPerBias(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-consistent FET sweeps in -short mode")
+	}
+	vgs := []float64{-0.3, 0.0, 0.3}
+	const vd = 0.15
+
+	shared := cacheFET(t)
+	points, err := shared.GateSweep(context.Background(), vgs, vd)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, vg := range vgs {
+		ref := cacheFET(t) // fresh FET = fresh cache: per-bias-point reuse only
+		// Pin the reference to the sweep's lattice so both runs solve the
+		// exact same grids and only the cache scope differs.
+		ref.EStep = shared.EStep
+		rp, err := ref.SolveBias(context.Background(), vg, vd)
+		if err != nil {
+			t.Fatalf("reference Vg=%g: %v", vg, err)
+		}
+		denom := math.Max(math.Abs(rp.Current), 1e-300)
+		if rel := math.Abs(points[i].Current-rp.Current) / denom; rel > 1e-10 {
+			t.Fatalf("Vg=%g: shared-cache current %g vs per-bias %g (rel %g)",
+				vg, points[i].Current, rp.Current, rel)
+		}
+		if points[i].Iterations != rp.Iterations {
+			t.Fatalf("Vg=%g: iteration counts diverged (%d vs %d)", vg, points[i].Iterations, rp.Iterations)
+		}
+	}
+}
+
+// TestGateSweepSeededRefinement runs the sweep with neighbor seeding
+// enabled: refinement must be attempted, and the currents must stay
+// within 1e-8 of the exact (unseeded) sweep — the relaxed tolerance the
+// drill documents for seeded runs.
+func TestGateSweepSeededRefinement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-consistent FET sweeps in -short mode")
+	}
+	vgs := []float64{-0.3, 0.0, 0.3}
+	const vd = 0.15
+
+	exact := cacheFET(t)
+	want, err := exact.GateSweep(context.Background(), vgs, vd)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seeded := cacheFET(t)
+	seeded.sweepLattice(vgs, vd)
+	seeded.Cache = negf.NewSelfEnergyCacheWith(negf.CacheConfig{SeedDist: 1.1 * seeded.EStep})
+	got, err := seeded.GateSweep(context.Background(), vgs, vd)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := seeded.Cache.Stats()
+	if st.SeededRefinements+st.SeedFallbacks == 0 {
+		t.Fatal("seeding enabled but never attempted")
+	}
+	t.Logf("seeded sweep: %d refinements converged, %d fell back to decimation",
+		st.SeededRefinements, st.SeedFallbacks)
+	for i := range vgs {
+		denom := math.Max(math.Abs(want[i].Current), 1e-300)
+		if rel := math.Abs(got[i].Current-want[i].Current) / denom; rel > 1e-8 {
+			t.Fatalf("Vg=%g: seeded current %g vs exact %g (rel %g)",
+				vgs[i], got[i].Current, want[i].Current, rel)
+		}
+	}
+}

@@ -39,6 +39,12 @@ type Solver struct {
 	// diagonal (eV); MaxIter bounds the iteration.
 	Tol     float64
 	MaxIter int
+	// Cache optionally memoizes the contact self-energies across solves,
+	// through the same sweep-scale cache the ballistic solvers use (the
+	// SCBA iteration changes only the scattering self-energy, never the
+	// contacts, so every energy pays the Sancho-Rubio cost at most once
+	// even across D-strength or occupation scans).
+	Cache *negf.SelfEnergyCache
 }
 
 // NewSolver builds an SCBA solver with flat-band leads continued from the
@@ -77,7 +83,7 @@ type Result struct {
 // occupations fL and fR (dimensionless, typically Fermi factors).
 func (s *Solver) Solve(e, fL, fR float64) (*Result, error) {
 	z := complex(e, s.Eta)
-	sigL, sigR, err := s.Leads.SelfEnergies(z)
+	sigL, sigR, err := negf.CachedSelfEnergies(s.Cache, s.Leads, z)
 	if err != nil {
 		return nil, err
 	}

@@ -166,3 +166,47 @@ func TestDOSPositiveUnderDephasing(t *testing.T) {
 		}
 	}
 }
+
+// TestCachedSelfEnergies: an SCBA solver routed through the shared
+// sweep-scale cache reproduces the uncached solver to 1e-12 and actually
+// exercises the cache (repeat energies hit; the decimation runs once per
+// lead per energy).
+func TestCachedSelfEnergies(t *testing.T) {
+	h := chainH(t, 6, []float64{0, 0, 0.3, 0.3, 0, 0})
+	plain, err := NewSolver(h, 1e-6, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := NewSolver(h, 1e-6, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached.Cache = negf.NewSelfEnergyCache()
+
+	energies := []float64{-0.5, 0.2, 0.9}
+	for pass := 0; pass < 2; pass++ { // second pass re-solves every energy
+		for _, e := range energies {
+			want, err := plain.Solve(e, 1, 0)
+			if err != nil {
+				t.Fatalf("plain E=%g: %v", e, err)
+			}
+			got, err := cached.Solve(e, 1, 0)
+			if err != nil {
+				t.Fatalf("cached E=%g: %v", e, err)
+			}
+			if d := math.Abs(got.TEff - want.TEff); d > 1e-12 {
+				t.Fatalf("E=%g: cached TEff differs by %g", e, d)
+			}
+			if d := math.Abs(got.CurrentL - want.CurrentL); d > 1e-12 {
+				t.Fatalf("E=%g: cached CurrentL differs by %g", e, d)
+			}
+		}
+	}
+	st := cached.Cache.Stats()
+	if want := int64(2 * len(energies)); st.Misses != want || st.Decimations != want {
+		t.Fatalf("stats = %+v; want %d misses and decimations", st, want)
+	}
+	if st.Hits != int64(2*len(energies)) {
+		t.Fatalf("second pass should hit every energy: %+v", st)
+	}
+}

@@ -1,0 +1,558 @@
+package negf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/linalg"
+	"repro/internal/perf"
+)
+
+// cacheShards is the number of independently-locked shards. Entries are
+// distributed by a hash of (family, shifted energy), so the hot path of a
+// parallel energy sweep — many workers hitting distinct energies — takes
+// disjoint locks.
+const cacheShards = 16
+
+// refineMaxIter bounds the neighbor-seeded Dyson fixed-point iteration.
+// The fixed point g ← (z − h00 − α·g·α†)⁻¹ contracts fast for evanescent
+// energies but is only marginally stable inside a band at small η, so the
+// budget is deliberately small: when the seed is good it converges in a
+// handful of iterations, and when it is not, full decimation is cheaper
+// than a long doomed iteration.
+const refineMaxIter = 24
+
+// familyTol bounds how far a lead's blocks may drift from its family's
+// canonical blocks (after removing the declared shift) before the cache
+// refuses to treat them as the same contact. Rounding from applying and
+// removing a bias shift is ~1e-16·|H|; anything near this tolerance means
+// the caller's pinned-contact assumption is broken.
+const familyTol = 1e-8
+
+// CacheConfig tunes a SelfEnergyCache.
+type CacheConfig struct {
+	// Capacity bounds the number of cached self-energies (counting each
+	// lead separately). 0 means unbounded. The bound is approximate: it is
+	// enforced per shard, rounded up, so the cache may hold up to
+	// cacheShards−1 entries more than requested.
+	Capacity int
+	// SeedDist enables neighbor-seeded refinement: a miss whose family has
+	// a cached surface function within this energy distance (eV, along the
+	// real axis at equal broadening) seeds the Dyson fixed point from it
+	// instead of running the full Sancho-Rubio decimation, falling back to
+	// decimation when the iteration fails to reach surfaceTol. 0 disables
+	// seeding — and with it the extra storage of surface functions — which
+	// keeps results bitwise independent of cache history.
+	SeedDist float64
+}
+
+// CacheStats is a consistent-enough view of the cache's event counters
+// (each counter is individually atomic; the struct is not a single cut).
+type CacheStats struct {
+	// Hits and Misses count lookups per lead (one SelfEnergies call is two
+	// lookups). CoalescedWaits counts lookups that found the key already
+	// being computed and waited instead of recomputing.
+	Hits, Misses, CoalescedWaits int64
+	// Evictions counts LRU evictions under a capacity bound.
+	Evictions int64
+	// Decimations counts full Sancho-Rubio runs; SeededRefinements counts
+	// misses served by neighbor-seeded iteration instead, and
+	// SeedFallbacks counts refinement attempts that gave up and decimated
+	// (those count under Decimations too).
+	Decimations, SeededRefinements, SeedFallbacks int64
+}
+
+// sigmaKey identifies one cached self-energy: a lead family at a shifted
+// complex energy. Keying on z − shift is the shift-invariance optimization:
+// a pinned flat-band contact at bias V satisfies Σ(z; V) = Σ(z − qV; 0),
+// so every bias point of a sweep addresses the same canonical entry.
+type sigmaKey struct {
+	fam string
+	z   complex128
+}
+
+// sigmaEntry is one cached result, linked into its shard's LRU list.
+type sigmaEntry struct {
+	key   sigmaKey
+	sigma *linalg.Matrix
+	// g is the surface Green's function the sigma was projected from, kept
+	// only when seeding is enabled (it is dead weight otherwise).
+	g          *linalg.Matrix
+	prev, next *sigmaEntry
+}
+
+// inflightSigma coalesces concurrent misses on one key: the first caller
+// computes, later callers wait on done and share the result.
+type inflightSigma struct {
+	done  chan struct{}
+	sigma *linalg.Matrix
+	err   error
+}
+
+type sigmaShard struct {
+	mu       sync.Mutex
+	entries  map[sigmaKey]*sigmaEntry
+	inflight map[sigmaKey]*inflightSigma
+	// LRU list: head is most recent, tail least.
+	head, tail *sigmaEntry
+}
+
+// leadFamily holds the canonical (zero-shift) blocks every miss of the
+// family is computed from. Computing from the registered canon — never
+// from the requesting caller's own blocks — makes a cached value a pure
+// function of (family, shifted energy), independent of which bias point
+// or which distributed worker happened to compute it first.
+type leadFamily struct {
+	key string
+	// h00 is the principal-layer block with the registering lead's shift
+	// removed from the diagonal; hInto is the coupling one layer deeper
+	// into the lead (L01† on the left, R01 on the right), with which both
+	// sides share one formula: g = SurfaceGF(h00, hInto, z) and
+	// Σ = hInto·g·hInto†.
+	h00, hInto *linalg.Matrix
+	// raw01 keeps the as-registered off-diagonal block for verifying later
+	// leads against the family.
+	raw01 *linalg.Matrix
+	left  bool
+	shift float64 // the registering lead's shift (for verification math)
+
+	// verMu guards the verified-pointer fast path: the blocks last checked
+	// against the canon, so steady-state lookups skip the O(n²) compare.
+	verMu          sync.Mutex
+	verH00, verH01 *linalg.Matrix
+}
+
+// SelfEnergyCache memoizes contact self-energies across an entire sweep:
+// every lead separately, keyed by (lead family, z − qV_lead). Because a
+// pinned flat-band contact's surface physics is invariant under a rigid
+// potential shift, one cache instance spans all gate/drain points, all SCF
+// iterations, and every energy grid of an I-V surface. Concurrent misses
+// on one key are coalesced (exactly one decimation runs; the rest wait),
+// lookups on distinct keys take sharded locks, and an optional LRU bound
+// caps memory. Safe for concurrent use.
+type SelfEnergyCache struct {
+	cfg         CacheConfig
+	perShardCap int
+	shards      [cacheShards]sigmaShard
+
+	famMu sync.Mutex
+	fams  map[string]*leadFamily
+
+	hits, misses, coalesced     atomic.Int64
+	evictions, decimations      atomic.Int64
+	seeded, seedFallbacks       atomic.Int64
+	ctrHits, ctrMisses, ctrCoal *perf.Counter
+	ctrEvict, ctrDecim          *perf.Counter
+	ctrSeeded, ctrSeedFall      *perf.Counter
+}
+
+// NewSelfEnergyCache returns an unbounded cache with seeding disabled —
+// the configuration whose results are bitwise independent of lookup
+// order, which the distributed drill's exactness story relies on.
+func NewSelfEnergyCache() *SelfEnergyCache {
+	return NewSelfEnergyCacheWith(CacheConfig{})
+}
+
+// NewSelfEnergyCacheWith returns a cache tuned by cfg.
+func NewSelfEnergyCacheWith(cfg CacheConfig) *SelfEnergyCache {
+	c := &SelfEnergyCache{
+		cfg:         cfg,
+		fams:        make(map[string]*leadFamily),
+		ctrHits:     perf.GetCounter("sigma-hits"),
+		ctrMisses:   perf.GetCounter("sigma-misses"),
+		ctrCoal:     perf.GetCounter("sigma-coalesced"),
+		ctrEvict:    perf.GetCounter("sigma-evictions"),
+		ctrDecim:    perf.GetCounter("sigma-decimations"),
+		ctrSeeded:   perf.GetCounter("sigma-seeded"),
+		ctrSeedFall: perf.GetCounter("sigma-seed-fallbacks"),
+	}
+	if cfg.Capacity > 0 {
+		c.perShardCap = (cfg.Capacity + cacheShards - 1) / cacheShards
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[sigmaKey]*sigmaEntry)
+		c.shards[i].inflight = make(map[sigmaKey]*inflightSigma)
+	}
+	return c
+}
+
+// CachedSelfEnergies routes through c when non-nil and computes directly
+// from the leads otherwise — the one-liner every solver shares.
+func CachedSelfEnergies(c *SelfEnergyCache, l *Leads, z complex128) (sigL, sigR *linalg.Matrix, err error) {
+	if c != nil {
+		return c.SelfEnergies(l, z)
+	}
+	return l.SelfEnergies(z)
+}
+
+// SelfEnergies returns Σ_L, Σ_R at complex energy z, each served from the
+// per-lead shift-invariant cache. The returned matrices are shared —
+// callers must not modify them.
+func (c *SelfEnergyCache) SelfEnergies(leads *Leads, z complex128) (sigL, sigR *linalg.Matrix, err error) {
+	sigL, err = c.leadSigma(leads.leftSpec(), z)
+	if err != nil {
+		return nil, nil, fmt.Errorf("negf: left lead: %w", err)
+	}
+	sigR, err = c.leadSigma(leads.rightSpec(), z)
+	if err != nil {
+		return nil, nil, fmt.Errorf("negf: right lead: %w", err)
+	}
+	return sigL, sigR, nil
+}
+
+// Stats returns the cache's event counters.
+func (c *SelfEnergyCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:              c.hits.Load(),
+		Misses:            c.misses.Load(),
+		CoalescedWaits:    c.coalesced.Load(),
+		Evictions:         c.evictions.Load(),
+		Decimations:       c.decimations.Load(),
+		SeededRefinements: c.seeded.Load(),
+		SeedFallbacks:     c.seedFallbacks.Load(),
+	}
+}
+
+// Len reports the number of cached self-energies (one per lead per
+// shifted energy).
+func (c *SelfEnergyCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// leadSigma serves one contact's self-energy through the cache.
+func (c *SelfEnergyCache) leadSigma(spec leadSpec, z complex128) (*linalg.Matrix, error) {
+	fam, err := c.family(spec)
+	if err != nil {
+		return nil, err
+	}
+	key := sigmaKey{fam: fam.key, z: z - complex(spec.shift, 0)}
+	sh := &c.shards[shardOf(key)]
+
+	sh.mu.Lock()
+	if e := sh.entries[key]; e != nil {
+		sh.lruTouch(e)
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		c.ctrHits.Add(1)
+		return e.sigma, nil
+	}
+	if call := sh.inflight[key]; call != nil {
+		sh.mu.Unlock()
+		c.coalesced.Add(1)
+		c.ctrCoal.Add(1)
+		<-call.done
+		return call.sigma, call.err
+	}
+	call := &inflightSigma{done: make(chan struct{})}
+	sh.inflight[key] = call
+	sh.mu.Unlock()
+	c.misses.Add(1)
+	c.ctrMisses.Add(1)
+
+	var seed *linalg.Matrix
+	if c.cfg.SeedDist > 0 {
+		seed = c.nearestSurface(fam.key, key.z)
+	}
+	sigma, g, err := c.compute(fam, key.z, seed)
+
+	sh.mu.Lock()
+	delete(sh.inflight, key)
+	if err == nil {
+		c.insert(sh, key, sigma, g)
+	}
+	sh.mu.Unlock()
+	call.sigma, call.err = sigma, err
+	close(call.done)
+	return sigma, err
+}
+
+// compute produces Σ (and the surface function it came from) at the
+// family's canonical, shift-removed energy zc. All block inputs come from
+// the family canon, so the result does not depend on which caller missed.
+func (c *SelfEnergyCache) compute(fam *leadFamily, zc complex128, seed *linalg.Matrix) (sigma, g *linalg.Matrix, err error) {
+	defer perf.StartPhase("self-energy")()
+	if seed != nil {
+		g = refineSurface(fam.h00, fam.hInto, zc, seed)
+		if g != nil {
+			c.seeded.Add(1)
+			c.ctrSeeded.Add(1)
+		} else {
+			c.seedFallbacks.Add(1)
+			c.ctrSeedFall.Add(1)
+		}
+	}
+	if g == nil {
+		g, err = SurfaceGF(fam.h00, fam.hInto, zc)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.decimations.Add(1)
+		c.ctrDecim.Add(1)
+	}
+	ws := linalg.GetWorkspace()
+	defer ws.Release()
+	n := fam.h00.Rows
+	sigma = linalg.New(n, n)
+	linalg.Mul3Into(sigma, fam.hInto, linalg.NoTrans, g, linalg.NoTrans, fam.hInto, linalg.ConjTrans, ws)
+	if c.cfg.SeedDist <= 0 {
+		g = nil // not stored; let it go
+	}
+	return sigma, g, nil
+}
+
+// insert links a fresh entry at the LRU head, evicting the shard's tail
+// beyond capacity. Caller holds sh.mu.
+func (c *SelfEnergyCache) insert(sh *sigmaShard, key sigmaKey, sigma, g *linalg.Matrix) {
+	e := &sigmaEntry{key: key, sigma: sigma, g: g}
+	sh.entries[key] = e
+	sh.lruPush(e)
+	if c.perShardCap > 0 && len(sh.entries) > c.perShardCap {
+		victim := sh.tail
+		sh.lruUnlink(victim)
+		delete(sh.entries, victim.key)
+		c.evictions.Add(1)
+		c.ctrEvict.Add(1)
+	}
+}
+
+// nearestSurface scans for the family's cached surface function closest
+// to zc along the real energy axis, within SeedDist and at the same
+// broadening. The scan walks every shard (entries of one family spread
+// across shards by energy) but runs only on the miss path, where its cost
+// vanishes against the decimation it is trying to avoid.
+func (c *SelfEnergyCache) nearestSurface(fam string, zc complex128) *linalg.Matrix {
+	var best *linalg.Matrix
+	bestDist := c.cfg.SeedDist
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.entries {
+			if e.g == nil || k.fam != fam || imag(k.z) != imag(zc) {
+				continue
+			}
+			if d := math.Abs(real(k.z) - real(zc)); d <= bestDist {
+				best, bestDist = e.g, d
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return best
+}
+
+// refineSurface iterates the Dyson fixed point g ← (z − h00 − α·g·α†)⁻¹
+// from the seed, returning the converged surface function or nil when the
+// iteration stalls, diverges, or hits a singular system — the caller then
+// falls back to full decimation. Convergence requires two consecutive
+// steps below surfaceTol, since a single small step can be a plateau of
+// the marginally-stable in-band iteration rather than the fixed point.
+func refineSurface(h00, hInto *linalg.Matrix, z complex128, seed *linalg.Matrix) *linalg.Matrix {
+	n := h00.Rows
+	ws := linalg.GetWorkspace()
+	defer ws.Release()
+	g := linalg.New(n, n) // escapes into the cache on success
+	g.CopyFrom(seed)
+	prev := ws.Get(n, n)
+	m := ws.Get(n, n)
+	prevDelta := math.Inf(1)
+	worse := 0
+	confirmed := false
+	for iter := 0; iter < refineMaxIter; iter++ {
+		prev.CopyFrom(g)
+		linalg.Mul3Into(m, hInto, linalg.NoTrans, prev, linalg.NoTrans, hInto, linalg.ConjTrans, ws)
+		m.AddInPlace(h00)
+		linalg.ShiftedNegInto(m, m, z)
+		if err := linalg.InverseInto(g, m, ws); err != nil {
+			return nil
+		}
+		delta := maxAbsDiff(g, prev)
+		if delta <= surfaceTol {
+			if confirmed {
+				return g
+			}
+			confirmed = true
+		} else {
+			confirmed = false
+		}
+		// Bail early when the error stops shrinking: in-band at small η the
+		// iteration rotates the error instead of contracting it.
+		if delta >= prevDelta {
+			if worse++; worse >= 2 {
+				return nil
+			}
+		} else {
+			worse = 0
+		}
+		prevDelta = delta
+	}
+	return nil
+}
+
+// maxAbsDiff returns max over elements of max(|Δre|, |Δim|).
+func maxAbsDiff(a, b *linalg.Matrix) float64 {
+	var mx float64
+	for i, v := range a.Data {
+		d := v - b.Data[i]
+		if r := math.Abs(real(d)); r > mx {
+			mx = r
+		}
+		if im := math.Abs(imag(d)); im > mx {
+			mx = im
+		}
+	}
+	return mx
+}
+
+// family resolves (registering on first sight) the canonical blocks for a
+// lead and verifies repeat visitors against them.
+func (c *SelfEnergyCache) family(spec leadSpec) (*leadFamily, error) {
+	n := spec.h00.Rows
+	if spec.h00.Cols != n || spec.h01.Rows != n || spec.h01.Cols != n {
+		return nil, fmt.Errorf("negf: cache: lead blocks must be square and same-sized")
+	}
+	c.famMu.Lock()
+	fam := c.fams[spec.key]
+	if fam == nil {
+		fam = newLeadFamily(spec)
+		c.fams[spec.key] = fam
+		c.famMu.Unlock()
+		return fam, nil
+	}
+	c.famMu.Unlock()
+	return fam, fam.verify(spec)
+}
+
+func newLeadFamily(spec leadSpec) *leadFamily {
+	fam := &leadFamily{
+		key:   spec.key,
+		h00:   spec.h00.Clone(),
+		raw01: spec.h01.Clone(),
+		left:  spec.left,
+		shift: spec.shift,
+	}
+	// Remove the registering lead's shift from the diagonal: the canon is
+	// the zero-bias contact the whole family shares.
+	if s := complex(spec.shift, 0); s != 0 {
+		n := fam.h00.Rows
+		for i := 0; i < n; i++ {
+			fam.h00.Data[i*n+i] -= s
+		}
+	}
+	// Coupling one layer deeper into the lead: the left lead grows toward
+	// −x so its inward coupling is L01†; the right grows toward +x so it
+	// is R01 as stored. With that orientation both sides use one formula.
+	if spec.left {
+		fam.hInto = linalg.New(spec.h01.Cols, spec.h01.Rows)
+		linalg.ConjTransposeInto(fam.hInto, spec.h01)
+	} else {
+		fam.hInto = spec.h01.Clone()
+	}
+	fam.verH00, fam.verH01 = spec.h00, spec.h01
+	return fam
+}
+
+// verify checks that a lead claiming membership matches the family canon:
+// same side, same off-diagonal block, and an on-site block equal to the
+// canon plus the lead's declared rigid shift — all to familyTol. The
+// last-verified block pointers short-circuit the steady-state case where
+// a solver presents the same Leads value every energy.
+func (f *leadFamily) verify(spec leadSpec) error {
+	f.verMu.Lock()
+	if spec.h00 == f.verH00 && spec.h01 == f.verH01 {
+		f.verMu.Unlock()
+		return nil
+	}
+	f.verMu.Unlock()
+	if spec.left != f.left {
+		return fmt.Errorf("negf: cache: lead family %q used for both sides", f.key)
+	}
+	n := f.h00.Rows
+	if spec.h00.Rows != n || spec.h00.Cols != n || spec.h01.Rows != f.raw01.Rows || spec.h01.Cols != f.raw01.Cols {
+		return fmt.Errorf("negf: cache: lead family %q block shapes changed", f.key)
+	}
+	if d := maxAbsDiff(spec.h01, f.raw01); d > familyTol {
+		return fmt.Errorf("negf: cache: lead family %q coupling block drifted by %g (pinned-contact assumption broken)", f.key, d)
+	}
+	var mx float64
+	s := complex(spec.shift, 0)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := f.h00.Data[i*n+j]
+			if i == j {
+				want += s
+			}
+			d := spec.h00.Data[i*n+j] - want
+			if r := math.Abs(real(d)); r > mx {
+				mx = r
+			}
+			if im := math.Abs(imag(d)); im > mx {
+				mx = im
+			}
+		}
+	}
+	if mx > familyTol {
+		return fmt.Errorf("negf: cache: lead family %q on-site block differs from canon+shift by %g (pinned-contact assumption broken)", f.key, mx)
+	}
+	f.verMu.Lock()
+	f.verH00, f.verH01 = spec.h00, spec.h01
+	f.verMu.Unlock()
+	return nil
+}
+
+// shardOf hashes a key onto its shard.
+func shardOf(k sigmaKey) int {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(real(k.z)))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(imag(k.z)))
+	h.Write(b[:])
+	h.Write([]byte(k.fam))
+	return int(h.Sum64() % cacheShards)
+}
+
+// LRU list plumbing; callers hold sh.mu.
+
+func (sh *sigmaShard) lruPush(e *sigmaEntry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *sigmaShard) lruUnlink(e *sigmaEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *sigmaShard) lruTouch(e *sigmaEntry) {
+	if sh.head == e {
+		return
+	}
+	sh.lruUnlink(e)
+	sh.lruPush(e)
+}

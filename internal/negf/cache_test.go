@@ -1,0 +1,309 @@
+package negf
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/linalg"
+	"repro/internal/tb"
+)
+
+// chainLeads builds the leads of a uniform single-band chain whose every
+// site sits at potential energy shift (a rigid contact shift, as a pinned
+// bias produces), declaring the given cache identity.
+func chainLeads(t *testing.T, hop, shift float64, keyL, keyR string) *Leads {
+	t.Helper()
+	s, err := lattice.NewLinearChain(0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pot []float64
+	if shift != 0 {
+		pot = make([]float64, 4)
+		for i := range pot {
+			pot[i] = shift
+		}
+	}
+	h, err := tb.Assemble(s, tb.SingleBandChain(0, hop), tb.Options{Potential: pot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leads, err := LeadsFromDevice(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leads.KeyL, leads.KeyR = keyL, keyR
+	leads.ShiftL, leads.ShiftR = shift, shift
+	return leads
+}
+
+func maxAbsDiffT(t *testing.T, a, b *linalg.Matrix) float64 {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("shape mismatch: %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	return maxAbsDiff(a, b)
+}
+
+// TestShiftInvariantSigma pins the physics the whole cache design rests
+// on: a flat-band contact rigidly shifted by qV satisfies
+// Σ(z; V) = Σ(z − qV; 0) — first directly through the decimation, then
+// through the cache, where the two requests must resolve to one entry.
+func TestShiftInvariantSigma(t *testing.T) {
+	const hop, v = -1.0, 0.35
+	base := chainLeads(t, hop, 0, "chain/L", "chain/R")
+	shifted := chainLeads(t, hop, v, "chain/L", "chain/R")
+
+	for _, e := range []float64{-1.2, 0.0, 0.7, 2.6} {
+		z := complex(e, 1e-6)
+		sLs, sRs, err := shifted.SelfEnergies(z)
+		if err != nil {
+			t.Fatalf("shifted E=%g: %v", e, err)
+		}
+		sL0, sR0, err := base.SelfEnergies(z - complex(v, 0))
+		if err != nil {
+			t.Fatalf("base E=%g: %v", e, err)
+		}
+		if d := maxAbsDiffT(t, sLs, sL0); d > 1e-12 {
+			t.Fatalf("E=%g: |Σ_L(z;V) − Σ_L(z−qV;0)| = %g > 1e-12", e, d)
+		}
+		if d := maxAbsDiffT(t, sRs, sR0); d > 1e-12 {
+			t.Fatalf("E=%g: |Σ_R(z;V) − Σ_R(z−qV;0)| = %g > 1e-12", e, d)
+		}
+	}
+
+	// Through the cache the shifted and unshifted requests share one
+	// entry per lead: the second call must be all hits, returning the
+	// very same matrices.
+	c := NewSelfEnergyCache()
+	z := complex(0.4, 1e-6)
+	s1L, s1R, err := c.SelfEnergies(shifted, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2L, s2R, err := c.SelfEnergies(base, z-complex(v, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1L != s2L || s1R != s2R {
+		t.Fatal("shifted and canonical requests did not share cache entries")
+	}
+	st := c.Stats()
+	if st.Misses != 2 || st.Hits != 2 || st.Decimations != 2 {
+		t.Fatalf("stats = %+v; want 2 misses, 2 hits, 2 decimations", st)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+}
+
+// TestCacheCoalescing hammers one key from many goroutines (run it under
+// -race): exactly one decimation per lead may run, everyone shares its
+// result.
+func TestCacheCoalescing(t *testing.T) {
+	leads := chainLeads(t, -1, 0, "", "")
+	c := NewSelfEnergyCache()
+	z := complex(0.3, 1e-6)
+	const workers = 32
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	sigLs := make([]*linalg.Matrix, workers)
+	sigRs := make([]*linalg.Matrix, workers)
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			sigLs[i], sigRs[i], errs[i] = c.SelfEnergies(leads, z)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if sigLs[i] != sigLs[0] || sigRs[i] != sigRs[0] {
+			t.Fatalf("worker %d got a different matrix than worker 0", i)
+		}
+	}
+	st := c.Stats()
+	if st.Decimations != 2 {
+		t.Fatalf("%d decimations ran, want exactly 2 (one per lead)", st.Decimations)
+	}
+	if st.Misses != 2 {
+		t.Fatalf("%d misses, want 2", st.Misses)
+	}
+	if got := st.Hits + st.CoalescedWaits; got != 2*workers-2 {
+		t.Fatalf("hits+coalesced = %d, want %d", got, 2*workers-2)
+	}
+}
+
+// TestCacheLRUEvictionRecomputeBitwise bounds the cache, floods it past
+// capacity, and checks that recomputing an evicted entry reproduces the
+// evicted Σ bit for bit (seeding disabled, so results cannot depend on
+// cache history).
+func TestCacheLRUEvictionRecomputeBitwise(t *testing.T) {
+	leads := chainLeads(t, -1, 0, "", "")
+	c := NewSelfEnergyCacheWith(CacheConfig{Capacity: 16}) // 1 per shard
+	z0 := complex(0.17, 1e-6)
+
+	firstL, firstR, err := c.SelfEnergies(leads, z0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keepL := firstL.Clone()
+	keepR := firstR.Clone()
+
+	for i := 0; i < 100; i++ {
+		e := 0.3 + 0.013*float64(i)
+		if _, _, err := c.SelfEnergies(leads, complex(e, 1e-6)); err != nil {
+			t.Fatalf("E=%g: %v", e, err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("flooding a capacity-16 cache with 202 entries evicted nothing")
+	}
+	if n := c.Len(); n > 16+cacheShards {
+		t.Fatalf("cache holds %d entries, capacity 16 (+shard slack)", n)
+	}
+
+	preMisses := st.Misses
+	againL, againR, err := c.SelfEnergies(leads, z0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Misses == preMisses {
+		t.Skip("z0 survived the flood (not evicted); nothing to verify")
+	}
+	for i, v := range againL.Data {
+		if v != keepL.Data[i] {
+			t.Fatalf("recomputed Σ_L differs bitwise at %d: %v vs %v", i, v, keepL.Data[i])
+		}
+	}
+	for i, v := range againR.Data {
+		if v != keepR.Data[i] {
+			t.Fatalf("recomputed Σ_R differs bitwise at %d: %v vs %v", i, v, keepR.Data[i])
+		}
+	}
+}
+
+// TestCacheSeededRefinement enables neighbor seeding and checks both
+// paths: a nearby evanescent neighbor converges the Dyson fixed point
+// (a decimation is saved), and whichever path serves the request, the
+// result stays within 1e-10 of the direct computation.
+func TestCacheSeededRefinement(t *testing.T) {
+	leads := chainLeads(t, -1, 0, "", "")
+	c := NewSelfEnergyCacheWith(CacheConfig{SeedDist: 0.01})
+
+	// Outside the band (|E| > 2|t|) the fixed point is strongly
+	// contracting, so the neighbor seed must converge.
+	for _, e := range []float64{2.5, 2.502} {
+		z := complex(e, 1e-6)
+		gotL, gotR, err := c.SelfEnergies(leads, z)
+		if err != nil {
+			t.Fatalf("E=%g: %v", e, err)
+		}
+		wantL, wantR, err := leads.SelfEnergies(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiffT(t, gotL, wantL); d > 1e-10 {
+			t.Fatalf("E=%g: seeded Σ_L off by %g", e, d)
+		}
+		if d := maxAbsDiffT(t, gotR, wantR); d > 1e-10 {
+			t.Fatalf("E=%g: seeded Σ_R off by %g", e, d)
+		}
+	}
+	st := c.Stats()
+	if st.SeededRefinements != 2 {
+		t.Fatalf("evanescent neighbor: %d seeded refinements, want 2 (one per lead)", st.SeededRefinements)
+	}
+	if st.Decimations != 2 {
+		t.Fatalf("%d decimations, want 2 (only the first energy)", st.Decimations)
+	}
+
+	// In-band at tiny η the iteration is marginal: whether it converges
+	// or falls back, the served result must match the direct computation
+	// to 1e-10 and every miss must be accounted as seeded or fallback.
+	for _, e := range []float64{0.5, 0.5004} {
+		z := complex(e, 1e-6)
+		gotL, _, err := c.SelfEnergies(leads, z)
+		if err != nil {
+			t.Fatalf("E=%g: %v", e, err)
+		}
+		wantL, _, err := leads.SelfEnergies(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiffT(t, gotL, wantL); d > 1e-10 {
+			t.Fatalf("E=%g: in-band Σ_L off by %g", e, d)
+		}
+	}
+	st = c.Stats()
+	if st.Misses != st.SeededRefinements+st.Decimations {
+		t.Fatalf("stats don't balance: %+v (misses ≠ seeded + decimations)", st)
+	}
+}
+
+// TestCacheFamilyVerification: two leads claiming one family key with
+// genuinely different blocks (beyond a rigid shift) must be rejected —
+// silently sharing their self-energies would corrupt the physics.
+func TestCacheFamilyVerification(t *testing.T) {
+	a := chainLeads(t, -1.0, 0, "fam/L", "fam/R")
+	b := chainLeads(t, -1.3, 0, "fam/L", "fam/R") // different hopping
+	c := NewSelfEnergyCache()
+	z := complex(0.2, 1e-6)
+	if _, _, err := c.SelfEnergies(a, z); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.SelfEnergies(b, z); err == nil {
+		t.Fatal("mismatched lead accepted into family")
+	}
+
+	// A rigid shift with the matching declaration is not a mismatch.
+	shifted := chainLeads(t, -1.0, 0.25, "fam/L", "fam/R")
+	if _, _, err := c.SelfEnergies(shifted, z); err != nil {
+		t.Fatalf("rigidly shifted lead rejected: %v", err)
+	}
+
+	// Reusing one family key across sides is rejected too.
+	cross := chainLeads(t, -1.0, 0, "fam/R", "fam/L")
+	if _, _, err := c.SelfEnergies(cross, z); err == nil {
+		t.Fatal("left lead accepted into a right-side family")
+	}
+}
+
+// TestFingerprintFallback: identical leads with no declared keys coalesce
+// by raw-bits fingerprint; the two sides never collide.
+func TestFingerprintFallback(t *testing.T) {
+	a := chainLeads(t, -1, 0, "", "")
+	b := chainLeads(t, -1, 0, "", "")
+	c := NewSelfEnergyCache()
+	z := complex(0.6, 1e-6)
+	aL, aR, err := c.SelfEnergies(a, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bL, bR, err := c.SelfEnergies(b, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aL != bL || aR != bR {
+		t.Fatal("bitwise-identical leads did not share fingerprint families")
+	}
+	// For this symmetric chain Σ_L = Σ_R numerically, but the sides must
+	// still be distinct entries (projection formulas differ in general).
+	if aL == aR {
+		t.Fatal("left and right leads collided into one family")
+	}
+	if d := math.Abs(real(aL.At(0, 0)) - real(aR.At(0, 0))); d > 1e-12 {
+		t.Fatalf("symmetric chain: Σ_L and Σ_R differ by %g", d)
+	}
+}

@@ -83,10 +83,7 @@ func (s *Solver) SolveCtx(ctx context.Context, e float64, density bool) (*Result
 
 // selfEnergies routes through the cache when one is attached.
 func (s *Solver) selfEnergies(z complex128) (*linalg.Matrix, *linalg.Matrix, error) {
-	if s.Cache != nil {
-		return s.Cache.SelfEnergies(s.Leads, z)
-	}
-	return s.Leads.SelfEnergies(z)
+	return CachedSelfEnergies(s.Cache, s.Leads, z)
 }
 
 func (s *Solver) solveWithSigma(e float64, z complex128, sigL, sigR *linalg.Matrix, density bool) (*Result, error) {

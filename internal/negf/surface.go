@@ -9,8 +9,11 @@
 package negf
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"math/cmplx"
 	"sync"
 
@@ -98,6 +101,43 @@ func SurfaceGF(h00, hInto *linalg.Matrix, z complex128) (*linalg.Matrix, error) 
 type Leads struct {
 	L00, L01 *linalg.Matrix
 	R00, R01 *linalg.Matrix
+
+	// KeyL and KeyR name each lead's family for the sweep-scale
+	// SelfEnergyCache: two Leads values declaring the same key and
+	// side-specific shift below are asserting their blocks describe the
+	// same physical contact, so their self-energies may be shared. Empty
+	// keys fall back to a fingerprint of the raw block bits, which still
+	// coalesces bitwise-identical leads (e.g. all SCF iterations of one
+	// bias point) but cannot see across a bias shift.
+	KeyL, KeyR string
+	// ShiftL and ShiftR declare the rigid diagonal potential-energy shift
+	// (eV) of each contact relative to its family's canonical band
+	// structure — qV of the pinned flat-band contact. A shifted lead
+	// satisfies Σ(z; V) = Σ(z − qV; 0), which is what lets one cache span
+	// every bias point of an I-V surface.
+	ShiftL, ShiftR float64
+
+	fpOnce   sync.Once
+	fpL, fpR string
+}
+
+// LeadMeta carries the cache-identity declarations of a device's two
+// contacts — family keys and bias shifts — from the driver that knows the
+// electrostatics (core.FET) down to the solvers that build Leads from the
+// assembled Hamiltonian.
+type LeadMeta struct {
+	KeyL, KeyR     string
+	ShiftL, ShiftR float64
+}
+
+// ApplyMeta installs the declarations onto the leads. Call before the
+// first solve (the fingerprint fallback is memoized on first use).
+func (l *Leads) ApplyMeta(m *LeadMeta) {
+	if m == nil {
+		return
+	}
+	l.KeyL, l.KeyR = m.KeyL, m.KeyR
+	l.ShiftL, l.ShiftR = m.ShiftL, m.ShiftR
 }
 
 // LeadsFromDevice derives flat-band contacts from the end layers of a
@@ -180,44 +220,64 @@ func BroadeningInto(dst, sigma *linalg.Matrix) {
 	perf.AddFlops(int64(n) * int64(n) * (perf.FlopsCAdd + perf.FlopsCMul))
 }
 
-// SelfEnergyCache memoizes contact self-energies by complex energy. The
-// expensive Sancho-Rubio decimation depends only on the lead blocks, which
-// stay fixed through a self-consistent loop (the contacts are flat-band
-// and pinned), so production drivers share one cache across all
-// iterations of a bias point. Safe for concurrent use.
-type SelfEnergyCache struct {
-	mu sync.Mutex
-	m  map[complex128][2]*linalg.Matrix
+// leadSpec is one contact viewed through the cache's eyes: the raw blocks
+// as built, which side they sit on (the two sides project Σ differently),
+// and the resolved family identity.
+type leadSpec struct {
+	key   string
+	shift float64
+	h00   *linalg.Matrix // principal-layer block, as built (shift included)
+	h01   *linalg.Matrix // raw off-diagonal block (L01 or R01 orientation)
+	left  bool
 }
 
-// NewSelfEnergyCache returns an empty cache.
-func NewSelfEnergyCache() *SelfEnergyCache {
-	return &SelfEnergyCache{m: make(map[complex128][2]*linalg.Matrix)}
-}
-
-// SelfEnergies returns cached Σ_L, Σ_R for energy z, computing and storing
-// them through leads on a miss. The returned matrices are shared — callers
-// must not modify them.
-func (c *SelfEnergyCache) SelfEnergies(leads *Leads, z complex128) (sigL, sigR *linalg.Matrix, err error) {
-	c.mu.Lock()
-	if pair, ok := c.m[z]; ok {
-		c.mu.Unlock()
-		return pair[0], pair[1], nil
+// leftSpec and rightSpec resolve each contact's family key, falling back
+// to the memoized raw-bits fingerprint when the caller declared none.
+func (l *Leads) leftSpec() leadSpec {
+	key := l.KeyL
+	if key == "" {
+		l.fingerprints()
+		key = l.fpL
 	}
-	c.mu.Unlock()
-	sigL, sigR, err = leads.SelfEnergies(z)
-	if err != nil {
-		return nil, nil, err
-	}
-	c.mu.Lock()
-	c.m[z] = [2]*linalg.Matrix{sigL, sigR}
-	c.mu.Unlock()
-	return sigL, sigR, nil
+	return leadSpec{key: key, shift: l.ShiftL, h00: l.L00, h01: l.L01, left: true}
 }
 
-// Len reports the number of cached energies.
-func (c *SelfEnergyCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
+func (l *Leads) rightSpec() leadSpec {
+	key := l.KeyR
+	if key == "" {
+		l.fingerprints()
+		key = l.fpR
+	}
+	return leadSpec{key: key, shift: l.ShiftR, h00: l.R00, h01: l.R01, left: false}
+}
+
+// fingerprints memoizes the fallback family keys: an FNV-1a hash over the
+// side tag, block dimensions, declared shift, and the raw bits of both
+// blocks. Bitwise-identical leads (the common pinned-contact case) land in
+// the same family without any declaration.
+func (l *Leads) fingerprints() {
+	l.fpOnce.Do(func() {
+		l.fpL = fingerprintLead('L', l.ShiftL, l.L00, l.L01)
+		l.fpR = fingerprintLead('R', l.ShiftR, l.R00, l.R01)
+	})
+}
+
+func fingerprintLead(side byte, shift float64, h00, h01 *linalg.Matrix) string {
+	h := fnv.New64a()
+	var b [8]byte
+	b[0] = side
+	h.Write(b[:1])
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(shift))
+	h.Write(b[:])
+	for _, m := range []*linalg.Matrix{h00, h01} {
+		binary.LittleEndian.PutUint64(b[:], uint64(m.Rows)<<32|uint64(m.Cols))
+		h.Write(b[:])
+		for _, v := range m.Data {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(real(v)))
+			h.Write(b[:])
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(imag(v)))
+			h.Write(b[:])
+		}
+	}
+	return fmt.Sprintf("fp:%016x", h.Sum64())
 }

@@ -14,6 +14,9 @@ type Snapshot struct {
 	// Phases maps phase name to its accumulated (or delta) statistics.
 	// Nil when no phase has been recorded.
 	Phases map[string]PhaseStats `json:"phases,omitempty"`
+	// Counters maps named event counters (cache hits, evictions, …) to
+	// their accumulated (or delta) values. Nil when every counter is zero.
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 // TakeSnapshot captures the current global counters. The capture is not a
@@ -22,7 +25,11 @@ type Snapshot struct {
 // individual Flops/PhaseSnapshot reads; no count is ever lost between two
 // successive snapshots of the same process.
 func TakeSnapshot() Snapshot {
-	return Snapshot{Flops: Flops(), Phases: PhaseSnapshot()}
+	s := Snapshot{Flops: Flops(), Phases: PhaseSnapshot()}
+	if c := CounterSnapshot(); len(c) > 0 {
+		s.Counters = c
+	}
+	return s
 }
 
 // Diff returns the counters accumulated between prev and s (s − prev).
@@ -44,6 +51,16 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 		}
 		d.Phases[name] = st
 	}
+	for name, v := range s.Counters {
+		dv := v - prev.Counters[name]
+		if dv == 0 {
+			continue
+		}
+		if d.Counters == nil {
+			d.Counters = make(map[string]int64)
+		}
+		d.Counters[name] = dv
+	}
 	return d
 }
 
@@ -52,18 +69,25 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 // accumulate worker deltas into one cluster-wide snapshot.
 func (s *Snapshot) Add(o Snapshot) {
 	s.Flops += o.Flops
-	if len(o.Phases) == 0 {
-		return
+	if len(o.Phases) > 0 {
+		if s.Phases == nil {
+			s.Phases = make(map[string]PhaseStats, len(o.Phases))
+		}
+		for name, st := range o.Phases {
+			cur := s.Phases[name]
+			cur.Calls += st.Calls
+			cur.Wall += st.Wall
+			cur.Flops += st.Flops
+			s.Phases[name] = cur
+		}
 	}
-	if s.Phases == nil {
-		s.Phases = make(map[string]PhaseStats, len(o.Phases))
-	}
-	for name, st := range o.Phases {
-		cur := s.Phases[name]
-		cur.Calls += st.Calls
-		cur.Wall += st.Wall
-		cur.Flops += st.Flops
-		s.Phases[name] = cur
+	if len(o.Counters) > 0 {
+		if s.Counters == nil {
+			s.Counters = make(map[string]int64, len(o.Counters))
+		}
+		for name, v := range o.Counters {
+			s.Counters[name] += v
+		}
 	}
 }
 
@@ -80,5 +104,8 @@ func Merge(s Snapshot) {
 		c.calls.Add(st.Calls)
 		c.nanos.Add(int64(st.Wall))
 		c.flops.Add(st.Flops)
+	}
+	for name, v := range s.Counters {
+		GetCounter(name).Add(v)
 	}
 }

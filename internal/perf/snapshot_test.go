@@ -84,3 +84,66 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 		t.Fatalf("round trip: got %+v, want %+v", out, in)
 	}
 }
+
+func TestCounterSnapshotDiffMerge(t *testing.T) {
+	base := TakeSnapshot()
+
+	GetCounter("ctrtest-a").Add(5)
+	s1 := TakeSnapshot()
+	d1 := s1.Diff(base)
+	if d1.Counters["ctrtest-a"] != 5 {
+		t.Fatalf("d1 counter = %v, want 5", d1.Counters)
+	}
+
+	GetCounter("ctrtest-a").Add(2)
+	GetCounter("ctrtest-b").Add(1)
+	s2 := TakeSnapshot()
+	d2 := s2.Diff(s1)
+	if d2.Counters["ctrtest-a"] != 2 || d2.Counters["ctrtest-b"] != 1 {
+		t.Fatalf("d2 counters = %v", d2.Counters)
+	}
+	if _, ok := d1.Counters["ctrtest-b"]; ok {
+		t.Fatal("d1 contains a counter incremented only later")
+	}
+
+	// Unchanged counters must be omitted from deltas so wire payloads
+	// stay small.
+	d3 := TakeSnapshot().Diff(s2)
+	if _, ok := d3.Counters["ctrtest-a"]; ok {
+		t.Fatalf("unchanged counter present in delta: %v", d3.Counters)
+	}
+
+	// Delta sum reproduces the total — the distributed merge invariant.
+	var sum Snapshot
+	sum.Add(d1)
+	sum.Add(d2)
+	total := s2.Diff(base)
+	for name, v := range total.Counters {
+		if sum.Counters[name] != v {
+			t.Fatalf("counter %s: delta sum %d, total %d", name, sum.Counters[name], v)
+		}
+	}
+
+	// Merge folds counters back into the process globals.
+	before := TakeSnapshot()
+	Merge(Snapshot{Counters: map[string]int64{"ctrtest-merge": 9}})
+	dm := TakeSnapshot().Diff(before)
+	if dm.Counters["ctrtest-merge"] != 9 {
+		t.Fatalf("merged counter delta = %v, want 9", dm.Counters)
+	}
+}
+
+func TestCounterJSONRoundTrip(t *testing.T) {
+	in := Snapshot{Flops: 1, Counters: map[string]int64{"c": 4}}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out Snapshot
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.Counters["c"] != 4 {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}

@@ -108,9 +108,14 @@ type Config struct {
 	// creates a private pool of Workers size.
 	Pool *sched.Pool
 	// Cache optionally shares memoized contact self-energies across
-	// engines whose lead blocks are identical (pinned contacts in a
-	// self-consistent loop).
+	// engines — within a self-consistent loop, and (with LeadMeta
+	// declaring the bias shifts) across every bias point of a sweep.
 	Cache *negf.SelfEnergyCache
+	// LeadMeta optionally declares the contacts' cache identity (family
+	// keys and rigid bias shifts) so Cache can key self-energies
+	// shift-invariantly. Nil leaves the fingerprint fallback, which only
+	// coalesces bitwise-identical leads.
+	LeadMeta *negf.LeadMeta
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +158,7 @@ func NewEngine(h *sparse.BlockTridiag, cfg Config) (*Engine, error) {
 			wf.SolveStrategy = splitsolve.Strategy(cfg.Domains, pool)
 		}
 		wf.Cache = cfg.Cache
+		wf.Leads.ApplyMeta(cfg.LeadMeta)
 		solver = wf
 	case NEGFRGF:
 		gf, err := negf.NewSolver(h, cfg.Eta)
@@ -160,6 +166,7 @@ func NewEngine(h *sparse.BlockTridiag, cfg Config) (*Engine, error) {
 			return nil, err
 		}
 		gf.Cache = cfg.Cache
+		gf.Leads.ApplyMeta(cfg.LeadMeta)
 		solver = gf
 	default:
 		return nil, fmt.Errorf("transport: unknown formalism %d", cfg.Formalism)

@@ -66,13 +66,7 @@ func (s *Solver) SolveCtx(ctx context.Context, e float64, density bool) (*negf.R
 		return nil, err
 	}
 	z := complex(e, s.Eta)
-	var sigL, sigR *linalg.Matrix
-	var err error
-	if s.Cache != nil {
-		sigL, sigR, err = s.Cache.SelfEnergies(s.Leads, z)
-	} else {
-		sigL, sigR, err = s.Leads.SelfEnergies(z)
-	}
+	sigL, sigR, err := negf.CachedSelfEnergies(s.Cache, s.Leads, z)
 	if err != nil {
 		return nil, err
 	}
