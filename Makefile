@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build fmt-check vet check test race faults drill-dist bench bench-baseline bench-check ci clean
+.PHONY: build fmt-check vet check spec-check spec-golden test race faults drill-dist bench bench-baseline bench-check ci clean
 
 # The kernel-cost benchmarks gated by the allocation baseline: their
 # allocs/op is deterministic, so a regression means a real change in the
@@ -19,7 +19,23 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-check: fmt-check vet
+check: fmt-check vet spec-check
+
+# The -dump-spec output of both CLIs is pinned to the spec package's
+# golden files: canonical JSON plus all four content hashes. A diff here
+# means the encoding (and with it every content-addressed hash) drifted.
+# Regenerate deliberately with `make spec-golden`.
+spec-check:
+	$(GO) build -o bin/omen ./cmd/omen
+	$(GO) build -o bin/scaling ./cmd/scaling
+	bin/omen -dump-spec | diff internal/spec/testdata/agnr7.golden - \
+		|| { echo "omen -dump-spec drifted from internal/spec/testdata/agnr7.golden"; exit 1; }
+	bin/scaling -dump-spec | diff internal/spec/testdata/study-strong.golden - \
+		|| { echo "scaling -dump-spec drifted from internal/spec/testdata/study-strong.golden"; exit 1; }
+
+# Refresh the golden spec files after a deliberate encoding change.
+spec-golden:
+	$(GO) test ./internal/spec/ -run Golden -update
 
 test:
 	$(GO) test ./...

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -19,27 +20,26 @@ import (
 
 func main() {
 	var (
-		devName = flag.String("device", "agnr7", "device: chain, agnr7, agnr13, zgnr6, sinw, sinw-full, gaasnw, utb")
+		devName = flag.String("device", "agnr7", "device: "+strings.Join(device.Names(), ", "))
 		nk      = flag.Int("nk", 33, "longitudinal k-points")
 		bandLo  = flag.Int("bandlo", 0, "first band column to print")
 		bandHi  = flag.Int("bandhi", -1, "last band column to print (-1: all)")
 	)
 	flag.Parse()
 
-	descs := map[string]device.Description{
-		"chain":     {Name: "chain", Kind: device.Chain, CellsX: 4},
-		"agnr7":     {Name: "AGNR-7", Kind: device.ArmchairGNR, CellsX: 4, CellsY: 7},
-		"agnr13":    {Name: "AGNR-13", Kind: device.ArmchairGNR, CellsX: 4, CellsY: 13},
-		"zgnr6":     {Name: "ZGNR-6", Kind: device.ZigzagGNR, CellsX: 4, CellsY: 6},
-		"sinw":      {Name: "SiNW sp3s*", Kind: device.SiNanowire, CellsX: 3, CellsY: 1, CellsZ: 1},
-		"sinw-full": {Name: "SiNW sp3d5s*", Kind: device.SiNanowire, CellsX: 3, CellsY: 1, CellsZ: 1, FullBand: true},
-		"gaasnw":    {Name: "GaAs NW", Kind: device.GaAsNanowire, CellsX: 3, CellsY: 1, CellsZ: 1},
-		"utb":       {Name: "Si UTB", Kind: device.SiUTB, CellsX: 3, CellsY: 1, CellsZ: 1},
-	}
-	desc, ok := descs[*devName]
+	desc, ok := device.Lookup(*devName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "bands: unknown device %q\n", *devName)
+		fmt.Fprintf(os.Stderr, "bands: unknown device %q (known: %s)\n", *devName, strings.Join(device.Names(), ", "))
 		os.Exit(2)
+	}
+	// Band structure is a property of the lead cell alone; shrink the
+	// registry preset's transport length to the minimum the builders
+	// accept so construction stays cheap.
+	switch desc.Kind {
+	case device.Chain, device.ArmchairGNR, device.ZigzagGNR:
+		desc.CellsX = 4
+	default:
+		desc.CellsX = 3
 	}
 	sim, err := core.New(desc, transport.Config{})
 	if err != nil {

@@ -2,7 +2,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"os"
 	"os/exec"
@@ -11,24 +10,22 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/comms"
-	"repro/internal/core"
 	"repro/internal/distrib"
-	"repro/internal/resilience"
+	"repro/internal/spec"
 )
 
-// serveConfig carries the coordinator-side CLI selections into
-// runServeMode.
-type serveConfig struct {
-	addr         string
-	selfWorkers  int // worker processes to spawn from this binary (0: external workers only)
-	leaseTimeout time.Duration
-	checkpoint   string
-	resume       bool
-	quarantine   bool
-	// childArgs builds the argv (minus argv[0]) a self-spawned worker is
-	// launched with, given the coordinator's dialable address.
-	childArgs func(dialAddr string) []string
-	prog      *progress
+// workerArgs is the argv (minus argv[0]) a self-spawned worker is
+// launched with: the dial address plus the one serialized spec that
+// fully describes its run. No per-flag mirroring — a worker cannot
+// drift from the coordinator because it is launched with the
+// coordinator's own spec (in its worker variant: no journal, width-1
+// pool for exact flop merging; same content hash).
+func workerArgs(s spec.RunSpec, dialAddr string) ([]string, error) {
+	wj, err := s.WorkerVariant().Canonical()
+	if err != nil {
+		return nil, err
+	}
+	return []string{"-worker", dialAddr, "-spec-json", string(wj)}, nil
 }
 
 // runServeMode runs the transmission sweep as the coordinator of a
@@ -36,52 +33,52 @@ type serveConfig struct {
 // with fsync — the coordinator's journal is the cluster's source of
 // truth), and the assembly of worker results into observables. Workers
 // connect over TCP; optionally this process spawns its own.
-func runServeMode(ctx context.Context, sim *core.Simulator, grid []float64, cfg serveConfig) error {
-	plan, err := sim.PlanTransmission(grid, nil)
+func runServeMode(ctx context.Context, b *spec.Built, addr string, prog *progress) error {
+	s := b.Spec
+	plan, err := b.Sim.PlanTransmission(b.Grid, nil)
 	if err != nil {
 		return err
 	}
 	nBias, nK, nE := plan.Dims()
 
 	opts := distrib.Options{
-		LeaseTimeout: cfg.leaseTimeout,
+		LeaseTimeout: s.Exec.LeaseTimeout.Std(),
 		Restore:      plan.Restore,
-		Quarantine:   cfg.quarantine,
-		OnProgress:   cfg.prog.set,
+		Quarantine:   s.Resilience.Quarantine,
+		OnProgress:   prog.set,
+		SpecHash:     s.SpecHash(),
 	}
-	if cfg.checkpoint != "" {
-		if !cfg.resume {
-			if _, err := os.Stat(cfg.checkpoint); err == nil {
-				return fmt.Errorf("journal %s exists; pass -resume to continue it or remove the file", cfg.checkpoint)
-			}
-		}
-		j, err := cluster.OpenFileJournal(cfg.checkpoint, cluster.WithFsync())
-		if err != nil {
-			return err
-		}
-		defer j.Close()
+	j, closeJournal, err := openJournal(s, cluster.WithFsync())
+	if err != nil {
+		return err
+	}
+	if j != nil {
+		defer closeJournal()
 		opts.Journal = j
-	} else if cfg.resume {
-		return errors.New("-resume requires -checkpoint")
 	}
 
-	lis, err := comms.TCP{}.Listen(cfg.addr)
+	lis, err := comms.TCP{}.Listen(addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "omen: coordinating %d tasks on %s\n", nBias*nK*nE, lis.Addr())
 
 	var children sync.WaitGroup
-	if cfg.selfWorkers == 0 {
+	selfWorkers := s.Exec.Workers
+	if selfWorkers == 0 {
 		// In serve mode -workers means self-spawned worker processes, and
 		// zero of them is a legitimate deployment (external workers dial
 		// in) — but without this notice a bare `omen -serve` looks hung.
 		fmt.Fprintf(os.Stderr, "omen: no self-spawned workers (-workers 0); waiting for external `omen -worker %s` processes to connect\n",
 			comms.DialableAddr(lis.Addr()))
 	}
-	if cfg.selfWorkers > 0 {
-		args := cfg.childArgs(comms.DialableAddr(lis.Addr()))
-		for i := 0; i < cfg.selfWorkers; i++ {
+	if selfWorkers > 0 {
+		args, err := workerArgs(s, comms.DialableAddr(lis.Addr()))
+		if err != nil {
+			lis.Close()
+			return err
+		}
+		for i := 0; i < selfWorkers; i++ {
 			cmd := exec.CommandContext(ctx, os.Args[0], args...)
 			cmd.Stderr = os.Stderr
 			if err := cmd.Start(); err != nil {
@@ -122,9 +119,10 @@ func runServeMode(ctx context.Context, sim *core.Simulator, grid []float64, cfg 
 // distributed run: dial the coordinator (with patience — workers often
 // start first), pull task leases, solve them on the local pool, report
 // results. The process exits cleanly when the coordinator declares the
-// sweep done or hangs up.
-func runWorkerMode(ctx context.Context, sim *core.Simulator, grid []float64, addr string, retry resilience.Policy, injector *resilience.Injector) error {
-	plan, err := sim.PlanTransmission(grid, nil)
+// sweep done or hangs up; a coordinator running a different spec
+// rejects this worker at the handshake (and vice versa).
+func runWorkerMode(ctx context.Context, b *spec.Built, addr string) error {
+	plan, err := b.Sim.PlanTransmission(b.Grid, nil)
 	if err != nil {
 		return err
 	}
@@ -137,7 +135,8 @@ func runWorkerMode(ctx context.Context, sim *core.Simulator, grid []float64, add
 	return distrib.RunWorker(ctx, conn, nBias, nK, nE, distrib.WorkerOptions{
 		ID:       fmt.Sprintf("%s-%d", host, os.Getpid()),
 		Pool:     plan.Pool(),
-		Retry:    retry,
-		Injector: injector,
+		Retry:    b.RetryPolicy(),
+		Injector: b.Injector(),
+		SpecHash: b.Spec.SpecHash(),
 	}, plan.Run)
 }

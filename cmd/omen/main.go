@@ -3,6 +3,15 @@
 // self-consistent gate sweep), and prints tab-separated results suitable
 // for plotting.
 //
+// Every run is described by one serializable spec.RunSpec. The flags
+// below are a thin parser for it: they overlay a base spec (the built-in
+// defaults, or a file given with -spec), and -dump-spec prints the fully
+// resolved spec plus its content hashes and exits. Distributed child
+// workers are launched with the serialized spec itself (-spec-json), so
+// no per-flag argv mirroring can drift; the coordinator/worker handshake
+// and the checkpoint journal both carry the spec's content hash, so a
+// mismatched worker or a -resume against a foreign journal fails loudly.
+//
 // Transmission sweeps run on the fault-tolerant sweep engine: per-task
 // retries with backoff (-max-retries, -task-timeout), checkpoint/restart
 // through an append-only journal (-checkpoint, -resume), graceful
@@ -18,6 +27,8 @@
 //	omen -device sinw -mode iv -vd 0.2 -vgmin -0.4 -vgmax 0.6 -nvg 11
 //	omen -device agnr7 -checkpoint sweep.journal -max-retries 3 -fault-rate 0.1
 //	omen -device agnr7 -checkpoint sweep.journal -resume
+//	omen -spec run.json
+//	omen -spec run.json -ne 500 -dump-spec
 //	omen -device sinw-full -mode stats
 package main
 
@@ -30,33 +41,17 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/device"
-	"repro/internal/negf"
 	"repro/internal/perf"
-	"repro/internal/resilience"
 	"repro/internal/sched"
-	"repro/internal/transport"
+	"repro/internal/spec"
 )
-
-// knownDevices maps CLI names to descriptions.
-func knownDevices() map[string]device.Description {
-	return map[string]device.Description{
-		"chain":     {Name: "chain", Kind: device.Chain, CellsX: 20},
-		"agnr7":     {Name: "AGNR-7", Kind: device.ArmchairGNR, CellsX: 20, CellsY: 7},
-		"agnr13":    {Name: "AGNR-13", Kind: device.ArmchairGNR, CellsX: 20, CellsY: 13},
-		"zgnr6":     {Name: "ZGNR-6", Kind: device.ZigzagGNR, CellsX: 20, CellsY: 6},
-		"sinw":      {Name: "SiNW sp3s*", Kind: device.SiNanowire, CellsX: 10, CellsY: 1, CellsZ: 1},
-		"sinw-full": {Name: "SiNW sp3d5s*", Kind: device.SiNanowire, CellsX: 8, CellsY: 1, CellsZ: 1, FullBand: true},
-		"gaasnw":    {Name: "GaAs NW", Kind: device.GaAsNanowire, CellsX: 8, CellsY: 1, CellsZ: 1},
-		"utb":       {Name: "Si UTB", Kind: device.SiUTB, CellsX: 6, CellsY: 1, CellsZ: 1},
-	}
-}
 
 // progress tracks completed/total tasks for the interrupt summary.
 type progress struct {
@@ -69,41 +64,138 @@ func (p *progress) set(done, total int) {
 }
 
 func main() {
+	def := spec.Default()
 	var (
-		devName   = flag.String("device", "agnr7", "device: chain, agnr7, agnr13, zgnr6, sinw, sinw-full, gaasnw, utb")
-		mode      = flag.String("mode", "transmission", "mode: transmission, iv, stats")
-		formalism = flag.String("formalism", "wf", "single-energy solver: wf, negf")
-		domains   = flag.Int("domains", 1, "SplitSolve spatial domains (wf only)")
-		nk        = flag.Int("nk", 1, "transverse momentum points (periodic devices)")
-		emin      = flag.Float64("emin", -3, "spectrum lower bound (eV)")
-		emax      = flag.Float64("emax", 3, "spectrum upper bound (eV)")
-		ne        = flag.Int("ne", 101, "energy points")
-		vd        = flag.Float64("vd", 0.2, "drain bias (V) for iv mode")
-		vgMin     = flag.Float64("vgmin", -0.4, "gate sweep start (V)")
-		vgMax     = flag.Float64("vgmax", 0.6, "gate sweep end (V)")
-		nvg       = flag.Int("nvg", 6, "gate sweep points")
+		specPath = flag.String("spec", "", "load the run spec from this JSON file; flags set on the command line override its fields")
+		specJSON = flag.String("spec-json", "", "inline JSON run spec (how a coordinator launches self-spawned workers); mutually exclusive with -spec")
+		dumpSpec = flag.Bool("dump-spec", false, "print the fully resolved run spec (canonical JSON plus content hashes) and exit")
+
+		devName   = flag.String("device", def.Device.Name, "device: "+strings.Join(device.Names(), ", "))
+		mode      = flag.String("mode", def.Mode, "mode: transmission, iv, stats")
+		formalism = flag.String("formalism", def.Solver.Formalism, "single-energy solver: wf, negf")
+		domains   = flag.Int("domains", def.Solver.Domains, "SplitSolve spatial domains (wf only)")
+		nk        = flag.Int("nk", def.Grid.NK, "transverse momentum points (periodic devices)")
+		emin      = flag.Float64("emin", def.Grid.EMin, "spectrum lower bound (eV)")
+		emax      = flag.Float64("emax", def.Grid.EMax, "spectrum upper bound (eV)")
+		ne        = flag.Int("ne", def.Grid.NE, "energy points")
+		vd        = flag.Float64("vd", def.Grid.VDrain, "drain bias (V) for iv mode")
+		vgMin     = flag.Float64("vgmin", def.Grid.VGMin, "gate sweep start (V)")
+		vgMax     = flag.Float64("vgmax", def.Grid.VGMax, "gate sweep end (V)")
+		nvg       = flag.Int("nvg", def.Grid.NVG, "gate sweep points")
 		cellsX    = flag.Int("cellsx", 0, "override transport cells")
-		workers   = flag.Int("workers", 0, "total worker budget across all parallel levels (0: GOMAXPROCS); with -serve: worker processes to self-spawn (0: wait for external -worker processes)")
+		workers   = flag.Int("workers", def.Exec.Workers, "total worker budget across all parallel levels (0: GOMAXPROCS); with -serve: worker processes to self-spawn (0: wait for external -worker processes)")
 
 		serveAddr    = flag.String("serve", "", "run as distributed-sweep coordinator listening on this TCP address (transmission mode); workers connect with -worker")
 		workerAddr   = flag.String("worker", "", "run as distributed-sweep worker dialing the coordinator at this TCP address (transmission mode)")
-		leaseTimeout = flag.Duration("lease-timeout", 30*time.Second, "coordinator: how long a worker may hold a task lease before it is re-dispatched")
+		leaseTimeout = flag.Duration("lease-timeout", def.Exec.LeaseTimeout.Std(), "coordinator: how long a worker may hold a task lease before it is re-dispatched")
 
-		checkpoint  = flag.String("checkpoint", "", "sweep journal file for checkpoint/restart (transmission mode)")
-		resume      = flag.Bool("resume", false, "resume from an existing -checkpoint journal, rerunning only unfinished tasks")
-		maxRetries  = flag.Int("max-retries", 0, "retries per task after the first attempt (exponential backoff)")
-		taskTimeout = flag.Duration("task-timeout", 0, "per-attempt deadline for one task (0: none)")
-		quarantine  = flag.Bool("quarantine", false, "after retries are exhausted, drop the failed point and renormalize instead of failing the sweep")
-		faultRate   = flag.Float64("fault-rate", 0, "fault-injection drill: fraction of tasks that fail (mixed errors and panics) on their first attempt")
-		faultSeed   = flag.Uint64("fault-seed", 1, "seed for deterministic fault injection and retry jitter")
+		checkpoint  = flag.String("checkpoint", def.Resilience.Checkpoint, "sweep journal file for checkpoint/restart (transmission mode)")
+		resume      = flag.Bool("resume", def.Resilience.Resume, "resume from an existing -checkpoint journal, rerunning only unfinished tasks")
+		maxRetries  = flag.Int("max-retries", def.Resilience.MaxRetries, "retries per task after the first attempt (exponential backoff)")
+		taskTimeout = flag.Duration("task-timeout", def.Resilience.TaskTimeout.Std(), "per-attempt deadline for one task (0: none)")
+		quarantine  = flag.Bool("quarantine", def.Resilience.Quarantine, "after retries are exhausted, drop the failed point and renormalize instead of failing the sweep")
+		faultRate   = flag.Float64("fault-rate", def.Resilience.FaultRate, "fault-injection drill: fraction of tasks that fail (mixed errors and panics) on their first attempt")
+		faultSeed   = flag.Uint64("fault-seed", def.Resilience.FaultSeed, "seed for deterministic fault injection and retry jitter")
 
-		cacheCap   = flag.Int("sigma-cache-cap", 4096, "self-energy cache capacity in entries, one per (lead, shifted energy); 0: unbounded")
-		seedRefine = flag.Float64("seed-refine", 0, "seed the surface-GF fixed point from a cached neighbor within this energy distance (eV) instead of decimating; 0 disables and keeps results bitwise reproducible")
+		cacheCap   = flag.Int("sigma-cache-cap", def.Solver.SigmaCacheCap, "self-energy cache capacity in entries, one per (lead, shifted energy); 0: unbounded")
+		seedRefine = flag.Float64("seed-refine", def.Solver.SeedRefine, "seed the surface-GF fixed point from a cached neighbor within this energy distance (eV) instead of decimating; 0 disables and keeps results bitwise reproducible")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (pprof format) to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (pprof format) to this file on exit")
 	)
 	flag.Parse()
+
+	// Resolve the run spec: base (defaults or -spec file or -spec-json),
+	// then overlay every flag explicitly set on the command line.
+	s := def
+	switch {
+	case *specPath != "" && *specJSON != "":
+		usageErr(errors.New("-spec and -spec-json are mutually exclusive"))
+	case *specPath != "":
+		var err error
+		if s, err = spec.LoadFile(*specPath); err != nil {
+			usageErr(err)
+		}
+	case *specJSON != "":
+		var err error
+		if s, err = spec.Parse([]byte(*specJSON)); err != nil {
+			usageErr(err)
+		}
+	}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "device":
+			s.Device.Name = *devName
+		case "mode":
+			s.Mode = *mode
+		case "formalism":
+			s.Solver.Formalism = *formalism
+		case "domains":
+			s.Solver.Domains = *domains
+		case "nk":
+			s.Grid.NK = *nk
+		case "emin":
+			s.Grid.EMin = *emin
+		case "emax":
+			s.Grid.EMax = *emax
+		case "ne":
+			s.Grid.NE = *ne
+		case "vd":
+			s.Grid.VDrain = *vd
+		case "vgmin":
+			s.Grid.VGMin = *vgMin
+		case "vgmax":
+			s.Grid.VGMax = *vgMax
+		case "nvg":
+			s.Grid.NVG = *nvg
+		case "cellsx":
+			s.Device.CellsX = *cellsX
+		case "workers":
+			s.Exec.Workers = *workers
+		case "lease-timeout":
+			s.Exec.LeaseTimeout = spec.Duration(*leaseTimeout)
+		case "checkpoint":
+			s.Resilience.Checkpoint = *checkpoint
+		case "resume":
+			s.Resilience.Resume = *resume
+		case "max-retries":
+			s.Resilience.MaxRetries = *maxRetries
+		case "task-timeout":
+			s.Resilience.TaskTimeout = spec.Duration(*taskTimeout)
+		case "quarantine":
+			s.Resilience.Quarantine = *quarantine
+		case "fault-rate":
+			s.Resilience.FaultRate = *faultRate
+		case "fault-seed":
+			s.Resilience.FaultSeed = *faultSeed
+		case "sigma-cache-cap":
+			s.Solver.SigmaCacheCap = *cacheCap
+		case "seed-refine":
+			s.Solver.SeedRefine = *seedRefine
+		}
+	})
+
+	if *dumpSpec {
+		if err := s.Validate(); err != nil {
+			usageErr(err)
+		}
+		printSpec(s)
+		return
+	}
+
+	if *serveAddr != "" && *workerAddr != "" {
+		usageErr(errors.New("-serve and -worker are mutually exclusive"))
+	}
+	role := spec.RoleLocal
+	switch {
+	case *serveAddr != "":
+		role = spec.RoleCoordinator
+	case *workerAddr != "":
+		role = spec.RoleWorker
+	}
+	if err := s.ValidateFor(role); err != nil {
+		usageErr(err)
+	}
 
 	if err := startProfiles(*cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "omen:", err)
@@ -117,117 +209,38 @@ func main() {
 	defer stop()
 	var prog progress
 
-	desc, ok := knownDevices()[*devName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "omen: unknown device %q\n", *devName)
-		os.Exit(2)
-	}
-	if *cellsX > 0 {
-		desc.CellsX = *cellsX
-	}
-	pool := sched.New(*workers)
-	cfg := transport.Config{
-		Domains: *domains,
-		Pool:    pool,
-		Cache: negf.NewSelfEnergyCacheWith(negf.CacheConfig{
-			Capacity: *cacheCap,
-			SeedDist: *seedRefine,
-		}),
-	}
-	switch *formalism {
-	case "wf":
-		cfg.Formalism = transport.WaveFunction
-	case "negf":
-		cfg.Formalism = transport.NEGFRGF
-	default:
-		fmt.Fprintf(os.Stderr, "omen: unknown formalism %q\n", *formalism)
-		os.Exit(2)
-	}
-	sim, err := core.New(desc, cfg)
+	b, err := spec.Build(s)
 	if err != nil {
 		fatal(ctx, &prog, err)
 	}
-	sim.NK = *nk
 
-	switch *mode {
-	case "stats":
-		st := sim.Stats()
+	switch s.Mode {
+	case spec.ModeStats:
+		st := b.Sim.Stats()
 		fmt.Printf("device\t%s (%s)\n", st.Name, st.Kind)
 		fmt.Printf("atoms\t%d\nlayers\t%d\norbitals/atom\t%d\n", st.Atoms, st.Layers, st.OrbitalsAtom)
 		fmt.Printf("matrix order\t%d\nlayer block\t%d\nlength\t%.2f nm\n",
 			st.MatrixOrder, st.BlockSize, st.TransportLen)
-	case "transmission":
-		grid := transport.UniformGrid(*emin, *emax, *ne)
-		if *serveAddr != "" && *workerAddr != "" {
-			fatal(ctx, &prog, errors.New("-serve and -worker are mutually exclusive"))
-		}
+	case spec.ModeTransmission:
 		if *workerAddr != "" {
-			if *checkpoint != "" {
-				fatal(ctx, &prog, errors.New("-checkpoint belongs to the coordinator; workers do not journal"))
-			}
-			retry := resilience.Policy{
-				MaxAttempts:    *maxRetries + 1,
-				AttemptTimeout: *taskTimeout,
-				JitterFrac:     0.2,
-				Seed:           *faultSeed,
-			}
-			var injector *resilience.Injector
-			if *faultRate > 0 {
-				injector = &resilience.Injector{Seed: *faultSeed, Rate: *faultRate}
-			}
-			if err := runWorkerMode(ctx, sim, grid, *workerAddr, retry, injector); err != nil {
+			if err := runWorkerMode(ctx, b, *workerAddr); err != nil {
 				fatal(ctx, &prog, err)
 			}
 			return
 		}
 		if *serveAddr != "" {
-			cfg := serveConfig{
-				addr:         *serveAddr,
-				selfWorkers:  *workers,
-				leaseTimeout: *leaseTimeout,
-				checkpoint:   *checkpoint,
-				resume:       *resume,
-				quarantine:   *quarantine,
-				prog:         &prog,
-				childArgs: func(dialAddr string) []string {
-					args := []string{
-						"-worker", dialAddr,
-						"-mode", "transmission",
-						"-device", *devName,
-						"-formalism", *formalism,
-						"-domains", fmt.Sprint(*domains),
-						"-nk", fmt.Sprint(*nk),
-						"-emin", fmt.Sprint(*emin),
-						"-emax", fmt.Sprint(*emax),
-						"-ne", fmt.Sprint(*ne),
-						// One solve at a time per worker process keeps the
-						// merged flop accounting exact (see DESIGN.md §10).
-						"-workers", "1",
-						"-max-retries", fmt.Sprint(*maxRetries),
-						"-task-timeout", taskTimeout.String(),
-						"-fault-rate", fmt.Sprint(*faultRate),
-						"-fault-seed", fmt.Sprint(*faultSeed),
-						"-sigma-cache-cap", fmt.Sprint(*cacheCap),
-						"-seed-refine", fmt.Sprint(*seedRefine),
-					}
-					if *cellsX > 0 {
-						args = append(args, "-cellsx", fmt.Sprint(*cellsX))
-					}
-					return args
-				},
-			}
-			if err := runServeMode(ctx, sim, grid, cfg); err != nil {
+			if err := runServeMode(ctx, b, *serveAddr, &prog); err != nil {
 				fatal(ctx, &prog, err)
 			}
 			return
 		}
-		opts, closeJournal, err := sweepOptions(pool, &prog, *checkpoint, *resume, *maxRetries, *taskTimeout, *quarantine, *faultRate, *faultSeed)
+		opts, closeJournal, err := sweepOptions(b, &prog)
 		if err != nil {
 			fatal(ctx, &prog, err)
 		}
 		defer closeJournal()
 		before := perf.TakeSnapshot()
-		sweep, err := sim.TransmissionResumable(ctx, grid, nil, opts)
+		sweep, err := b.Sim.TransmissionResumable(ctx, b.Grid, nil, opts)
 		if err != nil {
 			fatal(ctx, &prog, err)
 		}
@@ -239,8 +252,8 @@ func main() {
 		for i, e := range sweep.Energies {
 			fmt.Printf("%.6f\t%.8g\n", e, sweep.T[i])
 		}
-	case "iv":
-		fet, err := core.NewFET(sim)
+	case spec.ModeIV:
+		fet, err := core.NewFET(b.Sim)
 		if err != nil {
 			fatal(ctx, &prog, err)
 		}
@@ -250,17 +263,17 @@ func main() {
 		fet.GateStart, fet.GateEnd = 0.3, 0.7
 		// One cache spans the whole sweep: the FET's lead keys and bias
 		// shifts make every gate point address the same entries.
-		fet.Cache = cfg.Cache
-		vgs := transport.UniformGrid(*vgMin, *vgMax, *nvg)
+		fet.Cache = b.Cache
+		vgs := b.GateGrid
 		// Count finished bias points so an interrupt can report progress.
 		prog.set(0, len(vgs))
-		pool.Hook = func(ev sched.TaskEvent) {
+		b.Pool.Hook = func(ev sched.TaskEvent) {
 			if ev.Phase == "bias" && ev.Err == nil {
 				prog.done.Add(1)
 			}
 		}
 		before := perf.TakeSnapshot()
-		points, err := fet.GateSweep(ctx, vgs, *vd)
+		points, err := fet.GateSweep(ctx, vgs, s.Grid.VDrain)
 		if err != nil {
 			fatal(ctx, &prog, err)
 		}
@@ -272,46 +285,55 @@ func main() {
 			fmt.Printf("%.4f\t%.6e\t%d\t%v\n", p.VGate, p.Current, p.Iterations, p.Converged)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "omen: unknown mode %q\n", *mode)
-		os.Exit(2)
+		usageErr(fmt.Errorf("unknown mode %q", s.Mode))
 	}
 }
 
-// sweepOptions assembles the fault-tolerance configuration from the CLI
-// flags. The returned cleanup closes the journal (a no-op without one).
-func sweepOptions(pool *sched.Pool, prog *progress, checkpoint string, resume bool, maxRetries int, taskTimeout time.Duration, quarantine bool, faultRate float64, faultSeed uint64) (cluster.SweepOptions, func(), error) {
-	opts := cluster.SweepOptions{
-		Pool: pool,
-		Retry: resilience.Policy{
-			MaxAttempts:    maxRetries + 1,
-			AttemptTimeout: taskTimeout,
-			JitterFrac:     0.2,
-			Seed:           faultSeed,
-		},
-		Quarantine: quarantine,
-		OnProgress: prog.set,
+// printSpec emits the resolved canonical spec and its content hashes —
+// the -dump-spec output the golden check in `make check` pins.
+func printSpec(s spec.RunSpec) {
+	b, err := s.CanonicalIndent()
+	if err != nil {
+		usageErr(err)
 	}
-	if faultRate > 0 {
-		opts.Injector = &resilience.Injector{Seed: faultSeed, Rate: faultRate}
+	fmt.Printf("%s\n", b)
+	fmt.Printf("# device-hash\t%s\n", s.DeviceHash())
+	fmt.Printf("# grid-hash\t%s\n", s.GridHash())
+	fmt.Printf("# solver-hash\t%s\n", s.SolverHash())
+	fmt.Printf("# spec-hash\t%s\n", s.SpecHash())
+}
+
+// openJournal opens the spec's checkpoint journal through
+// spec.OpenJournal (fresh journals get a spec-hash header; resumed ones
+// are verified against it). Returns a no-op cleanup when the spec has no
+// checkpoint.
+func openJournal(s spec.RunSpec, jopts ...cluster.JournalOption) (*cluster.FileJournal, func(), error) {
+	warn := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "omen: warning: "+format+"\n", args...)
 	}
-	closeJournal := func() {}
-	if checkpoint == "" {
-		if resume {
-			return opts, nil, errors.New("-resume requires -checkpoint")
-		}
-		return opts, closeJournal, nil
+	j, err := spec.OpenJournal(s, warn, jopts...)
+	if err != nil {
+		return nil, nil, err
 	}
-	if !resume {
-		if _, err := os.Stat(checkpoint); err == nil {
-			return opts, nil, fmt.Errorf("journal %s exists; pass -resume to continue it or remove the file", checkpoint)
-		}
+	if j == nil {
+		return nil, func() {}, nil
 	}
-	j, err := cluster.OpenFileJournal(checkpoint)
+	return j, func() { j.Close() }, nil
+}
+
+// sweepOptions assembles the fault-tolerance configuration from the
+// built spec. The returned cleanup closes the journal (a no-op without
+// one).
+func sweepOptions(b *spec.Built, prog *progress) (cluster.SweepOptions, func(), error) {
+	opts := b.SweepOptions()
+	opts.OnProgress = prog.set
+	j, closeJournal, err := openJournal(b.Spec)
 	if err != nil {
 		return opts, nil, err
 	}
-	opts.Journal = j
-	closeJournal = func() { j.Close() }
+	if j != nil {
+		opts.Journal = j
+	}
 	return opts, closeJournal, nil
 }
 
@@ -396,6 +418,13 @@ func startProfiles(cpu, mem string) error {
 		})
 	}
 	return nil
+}
+
+// usageErr reports a configuration error and exits with the
+// conventional usage status.
+func usageErr(err error) {
+	fmt.Fprintln(os.Stderr, "omen:", err)
+	os.Exit(2)
 }
 
 // fatal reports err and exits non-zero. An interrupt gets the

@@ -4,6 +4,12 @@
 // growing device cross-sections, per-level efficiency, and the phase
 // breakdown table.
 //
+// Like omen, every run is described by one serializable spec.RunSpec
+// (mode "study-strong", "study-weak", …); the flags are a thin parser
+// over spec.StudyDefault(), -spec/-dump-spec work the same way, and
+// distributed strong-study workers are launched with the serialized spec
+// itself, handshake-checked by content hash.
+//
 // The strong study runs through the fault-tolerant sweep engine, so long
 // parameter scans can be checkpointed (-checkpoint/-resume), retried
 // (-max-retries, -task-timeout), and drilled with deterministic fault
@@ -28,6 +34,7 @@ import (
 	"os"
 	"os/exec"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +44,7 @@ import (
 	"repro/internal/distrib"
 	"repro/internal/resilience"
 	"repro/internal/sched"
+	"repro/internal/spec"
 )
 
 // flagshipWorkload mirrors the paper's production scenario: a full I-V
@@ -52,6 +60,12 @@ func flagshipWorkload() cluster.Workload {
 	}
 }
 
+// strongCounts are the core counts of the strong-scaling study — the
+// paper's machine sizes from two racks up to the full system. Their
+// number is the study's task-grid NE, which the spec records (and
+// hashes) so distributed workers verifiably agree on the grid.
+var strongCounts = []int{672, 1344, 2688, 5376, 10752, 21504, 43008, 86016, 172032, 221400}
+
 // steps tracks study progress for the interrupt summary.
 type steps struct {
 	done, total atomic.Int64
@@ -63,21 +77,104 @@ func (s *steps) set(done, total int) {
 }
 
 func main() {
+	def := spec.StudyDefault()
 	var (
+		specPath = flag.String("spec", "", "load the run spec from this JSON file; flags set on the command line override its fields")
+		specJSON = flag.String("spec-json", "", "inline JSON run spec (how a coordinator launches self-spawned workers); mutually exclusive with -spec")
+		dumpSpec = flag.Bool("dump-spec", false, "print the fully resolved run spec (canonical JSON plus content hashes) and exit")
+
 		study       = flag.String("study", "strong", "study: strong, weak, levels, phases")
-		checkpoint  = flag.String("checkpoint", "", "journal file for checkpoint/restart (strong study)")
-		resume      = flag.Bool("resume", false, "resume from an existing -checkpoint journal")
-		maxRetries  = flag.Int("max-retries", 0, "retries per study step after the first attempt")
-		taskTimeout = flag.Duration("task-timeout", 0, "per-attempt deadline for one study step (0: none)")
-		faultRate   = flag.Float64("fault-rate", 0, "fault-injection drill: fraction of steps failing their first attempt")
-		faultSeed   = flag.Uint64("fault-seed", 1, "seed for deterministic fault injection and retry jitter")
+		checkpoint  = flag.String("checkpoint", def.Resilience.Checkpoint, "journal file for checkpoint/restart (strong study)")
+		resume      = flag.Bool("resume", def.Resilience.Resume, "resume from an existing -checkpoint journal")
+		maxRetries  = flag.Int("max-retries", def.Resilience.MaxRetries, "retries per study step after the first attempt")
+		taskTimeout = flag.Duration("task-timeout", def.Resilience.TaskTimeout.Std(), "per-attempt deadline for one study step (0: none)")
+		faultRate   = flag.Float64("fault-rate", def.Resilience.FaultRate, "fault-injection drill: fraction of steps failing their first attempt")
+		faultSeed   = flag.Uint64("fault-seed", def.Resilience.FaultSeed, "seed for deterministic fault injection and retry jitter")
 
 		serveAddr    = flag.String("serve", "", "run the strong study as distributed-sweep coordinator on this TCP address")
 		workerAddr   = flag.String("worker", "", "run as distributed-sweep worker dialing the coordinator at this TCP address (strong study)")
-		workersN     = flag.Int("workers", 0, "with -serve: worker processes to self-spawn from this binary (0: wait for external -worker processes)")
-		leaseTimeout = flag.Duration("lease-timeout", 30*time.Second, "coordinator: how long a worker may hold a task lease before it is re-dispatched")
+		workersN     = flag.Int("workers", def.Exec.Workers, "with -serve: worker processes to self-spawn from this binary (0: wait for external -worker processes)")
+		leaseTimeout = flag.Duration("lease-timeout", def.Exec.LeaseTimeout.Std(), "coordinator: how long a worker may hold a task lease before it is re-dispatched")
 	)
 	flag.Parse()
+
+	s := def
+	switch {
+	case *specPath != "" && *specJSON != "":
+		usageErr(errors.New("-spec and -spec-json are mutually exclusive"))
+	case *specPath != "":
+		b, err := os.ReadFile(*specPath)
+		if err != nil {
+			usageErr(err)
+		}
+		if s, err = spec.ParseInto(def, b); err != nil {
+			usageErr(fmt.Errorf("%s: %w", *specPath, err))
+		}
+	case *specJSON != "":
+		var err error
+		if s, err = spec.ParseInto(def, []byte(*specJSON)); err != nil {
+			usageErr(err)
+		}
+	}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "study":
+			s.Mode = "study-" + *study
+		case "checkpoint":
+			s.Resilience.Checkpoint = *checkpoint
+		case "resume":
+			s.Resilience.Resume = *resume
+		case "max-retries":
+			s.Resilience.MaxRetries = *maxRetries
+		case "task-timeout":
+			s.Resilience.TaskTimeout = spec.Duration(*taskTimeout)
+		case "fault-rate":
+			s.Resilience.FaultRate = *faultRate
+		case "fault-seed":
+			s.Resilience.FaultSeed = *faultSeed
+		case "workers":
+			s.Exec.Workers = *workersN
+		case "lease-timeout":
+			s.Exec.LeaseTimeout = spec.Duration(*leaseTimeout)
+		}
+	})
+	// The strong study's task grid is its hardcoded core-count list; pin
+	// the spec's grid to it so the content hash describes the real run
+	// (and a stale grid in a spec file cannot lie about it).
+	if s.Mode == spec.ModeStudyStrong {
+		s.Grid = spec.GridSpec{NE: len(strongCounts), NK: 1}
+	}
+
+	if *dumpSpec {
+		if err := s.Validate(); err != nil {
+			usageErr(err)
+		}
+		b, err := s.CanonicalIndent()
+		if err != nil {
+			usageErr(err)
+		}
+		fmt.Printf("%s\n", b)
+		fmt.Printf("# device-hash\t%s\n", s.DeviceHash())
+		fmt.Printf("# grid-hash\t%s\n", s.GridHash())
+		fmt.Printf("# solver-hash\t%s\n", s.SolverHash())
+		fmt.Printf("# spec-hash\t%s\n", s.SpecHash())
+		return
+	}
+
+	if *serveAddr != "" && *workerAddr != "" {
+		usageErr(errors.New("-serve and -worker are mutually exclusive"))
+	}
+	role := spec.RoleLocal
+	switch {
+	case *serveAddr != "":
+		role = spec.RoleCoordinator
+	case *workerAddr != "":
+		role = spec.RoleWorker
+	}
+	if err := s.ValidateFor(role); err != nil {
+		usageErr(err)
+	}
+
 	m := cluster.Jaguar()
 
 	// An interrupt stops the sweep at the next study step; model
@@ -86,26 +183,29 @@ func main() {
 	defer stop()
 	var prog steps
 
-	switch *study {
-	case "strong":
+	switch s.Mode {
+	case spec.ModeStudyStrong:
 		w := flagshipWorkload()
-		counts := []int{672, 1344, 2688, 5376, 10752, 21504, 43008, 86016, 172032, 221400}
+		counts := strongCounts
 		reports := make([]cluster.Report, len(counts))
 
+		retry := resilience.Policy{
+			MaxAttempts:    s.Resilience.MaxRetries + 1,
+			AttemptTimeout: s.Resilience.TaskTimeout.Std(),
+			JitterFrac:     0.2,
+			Seed:           s.Resilience.FaultSeed,
+		}
+		var injector *resilience.Injector
+		if s.Resilience.FaultRate > 0 {
+			injector = &resilience.Injector{Seed: s.Resilience.FaultSeed, Rate: s.Resilience.FaultRate}
+		}
 		opts := cluster.SweepOptions{
-			Retry: resilience.Policy{
-				MaxAttempts:    *maxRetries + 1,
-				AttemptTimeout: *taskTimeout,
-				JitterFrac:     0.2,
-				Seed:           *faultSeed,
-			},
+			Retry:      retry,
+			Injector:   injector,
 			OnProgress: prog.set,
 			Restore: func(t cluster.Task, payload []byte) error {
 				return json.Unmarshal(payload, &reports[t.E])
 			},
-		}
-		if *faultRate > 0 {
-			opts.Injector = &resilience.Injector{Seed: *faultSeed, Rate: *faultRate}
 		}
 		fn := func(_ context.Context, t cluster.Task) ([]byte, error) {
 			r, err := m.PredictAuto(w, counts[t.E])
@@ -125,8 +225,9 @@ func main() {
 			err = distrib.RunWorker(ctx, conn, 1, 1, len(counts), distrib.WorkerOptions{
 				ID:       fmt.Sprintf("%s-%d", host, os.Getpid()),
 				Pool:     sched.New(1),
-				Retry:    opts.Retry,
-				Injector: opts.Injector,
+				Retry:    retry,
+				Injector: injector,
+				SpecHash: s.SpecHash(),
 			}, fn)
 			if err != nil {
 				fatal(ctx, &prog, err)
@@ -134,26 +235,22 @@ func main() {
 			return
 		}
 
-		if *checkpoint != "" {
-			if !*resume {
-				if _, err := os.Stat(*checkpoint); err == nil {
-					fatal(ctx, &prog, fmt.Errorf("journal %s exists; pass -resume to continue it or remove the file", *checkpoint))
-				}
-			}
-			// The coordinator's journal is the cluster's source of truth,
-			// so it syncs every acknowledged record to stable storage.
-			var jopts []cluster.JournalOption
-			if *serveAddr != "" {
-				jopts = append(jopts, cluster.WithFsync())
-			}
-			j, err := cluster.OpenFileJournal(*checkpoint, jopts...)
-			if err != nil {
-				fatal(ctx, &prog, err)
-			}
+		// The coordinator's journal is the cluster's source of truth, so
+		// it syncs every acknowledged record to stable storage.
+		var jopts []cluster.JournalOption
+		if *serveAddr != "" {
+			jopts = append(jopts, cluster.WithFsync())
+		}
+		warn := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "scaling: warning: "+format+"\n", args...)
+		}
+		j, err := spec.OpenJournal(s, warn, jopts...)
+		if err != nil {
+			fatal(ctx, &prog, err)
+		}
+		if j != nil {
 			defer j.Close()
 			opts.Journal = j
-		} else if *resume {
-			fatal(ctx, &prog, errors.New("-resume requires -checkpoint"))
 		}
 
 		var rep *cluster.SweepReport
@@ -164,18 +261,22 @@ func main() {
 				fatal(ctx, &prog, err)
 			}
 			fmt.Fprintf(os.Stderr, "scaling: coordinating %d steps on %s\n", len(counts), lis.Addr())
-			if *workersN == 0 {
+			if s.Exec.Workers == 0 {
 				fmt.Fprintf(os.Stderr, "scaling: no self-spawned workers (-workers 0); waiting for external `scaling -study strong -worker %s` processes to connect\n",
 					comms.DialableAddr(lis.Addr()))
 			}
+			wj, err := s.WorkerVariant().Canonical()
+			if err != nil {
+				lis.Close()
+				fatal(ctx, &prog, err)
+			}
 			var children sync.WaitGroup
-			for i := 0; i < *workersN; i++ {
+			for i := 0; i < s.Exec.Workers; i++ {
+				// One serialized spec is the whole worker configuration —
+				// no per-flag argv mirroring to drift.
 				cmd := exec.CommandContext(ctx, os.Args[0],
-					"-study", "strong", "-worker", comms.DialableAddr(lis.Addr()),
-					"-max-retries", fmt.Sprint(*maxRetries),
-					"-task-timeout", taskTimeout.String(),
-					"-fault-rate", fmt.Sprint(*faultRate),
-					"-fault-seed", fmt.Sprint(*faultSeed))
+					"-worker", comms.DialableAddr(lis.Addr()),
+					"-spec-json", string(wj))
 				cmd.Stderr = os.Stderr
 				if err := cmd.Start(); err != nil {
 					lis.Close()
@@ -190,10 +291,11 @@ func main() {
 				}(cmd, i)
 			}
 			drep, err := distrib.Serve(ctx, lis, 1, 1, len(counts), distrib.Options{
-				LeaseTimeout: *leaseTimeout,
+				LeaseTimeout: s.Exec.LeaseTimeout.Std(),
 				Journal:      opts.Journal,
 				Restore:      opts.Restore,
 				OnProgress:   prog.set,
+				SpecHash:     s.SpecHash(),
 			})
 			children.Wait()
 			if err != nil {
@@ -238,7 +340,7 @@ func main() {
 		}
 		fmt.Printf("# tuned flagship: %d cores, %s → %.2f PFlop/s sustained (eff %.3f)\n",
 			rT.CoresUsed, rT.Decomposition, rT.SustainedFlops/1e15, rT.Efficiency)
-	case "weak":
+	case spec.ModeStudyWeak:
 		// Cross-section grows with the machine: block size doubles per
 		// step (wire diameter sweep), keeping work per core roughly fixed.
 		fmt.Printf("# weak scaling on %s — device grows with the machine\n", m.Name)
@@ -254,26 +356,26 @@ func main() {
 			{221400, 480, 140},
 		}
 		prog.set(0, len(steps))
-		for i, s := range steps {
+		for i, st := range steps {
 			if err := ctx.Err(); err != nil {
 				fatal(ctx, &prog, err)
 			}
 			w := cluster.Workload{
 				NBias: 16, NK: 21, NE: 1024,
-				NLayers: s.layers, BlockSize: s.block, RHSWidth: s.block,
+				NLayers: st.layers, BlockSize: st.block, RHSWidth: st.block,
 				SelfEnergyIterations: 30, EnergyCostCV: 0.1,
-				CouplingRank: s.block / 4,
+				CouplingRank: st.block / 4,
 			}
-			r, err := m.PredictAuto(w, s.cores)
+			r, err := m.PredictAuto(w, st.cores)
 			if err != nil {
 				fatal(ctx, &prog, err)
 			}
 			fmt.Printf("%d\t%d\t%d\t%.1f\t%.3f\t%.3f\n",
-				r.CoresUsed, s.block, s.layers, r.WallTime,
+				r.CoresUsed, st.block, st.layers, r.WallTime,
 				r.SustainedFlops/1e15, r.Efficiency)
 			prog.set(i+1, len(steps))
 		}
-	case "levels":
+	case spec.ModeStudyLevels:
 		// Each parallelism level exercised in isolation.
 		w := flagshipWorkload()
 		fmt.Printf("# per-level efficiency on %s\n", m.Name)
@@ -314,7 +416,7 @@ func main() {
 			}
 			prog.set(i+1, len(levels))
 		}
-	case "phases":
+	case spec.ModeStudyPhases:
 		w := flagshipWorkload()
 		fmt.Printf("# phase breakdown on %s\n", m.Name)
 		fmt.Println("# cores\tselfE(s)\tsolve(s)\treduced(s)\tcomm(s)\timbalance(s)\ttotal(s)")
@@ -335,9 +437,15 @@ func main() {
 			prog.set(i+1, len(counts))
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "scaling: unknown study %q\n", *study)
-		os.Exit(2)
+		usageErr(fmt.Errorf("unknown study %q", strings.TrimPrefix(s.Mode, "study-")))
 	}
+}
+
+// usageErr reports a configuration error and exits with the
+// conventional usage status.
+func usageErr(err error) {
+	fmt.Fprintln(os.Stderr, "scaling:", err)
+	os.Exit(2)
 }
 
 // fatal reports err and exits non-zero; an interrupt gets the 128+SIGINT

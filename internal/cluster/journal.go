@@ -31,6 +31,34 @@ func digestOf(payload []byte) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// Header is the journal's typed header record: it identifies the run
+// spec that wrote the journal, so a -resume against a journal written
+// by a different spec fails loudly instead of silently merging
+// incompatible results. Journals from before headers existed (PR ≤ 5)
+// simply have none — readers treat that as "unverifiable", not an error.
+type Header struct {
+	// SpecHash is the content hash of the writing run's spec
+	// (spec.RunSpec.SpecHash — the result-determining subset).
+	SpecHash string `json:"specHash"`
+	// Spec optionally embeds the full canonical spec for forensics, so
+	// a journal is self-describing without the original command line.
+	Spec json.RawMessage `json:"spec,omitempty"`
+}
+
+// headerRecord is the on-disk line shape of a Header. The "header"
+// field doubles as a format version and as the discriminator that keeps
+// header lines out of Load's task records. (Old readers skip header
+// lines too, without knowing about them: unmarshaled as a TaskRecord
+// the line has no digest, so Verify rejects it.)
+type headerRecord struct {
+	Header   int             `json:"header"`
+	SpecHash string          `json:"specHash,omitempty"`
+	Spec     json.RawMessage `json:"spec,omitempty"`
+}
+
+// headerVersion is the header format this package writes.
+const headerVersion = 1
+
 // Verify reports whether the record's digest matches its payload.
 func (r TaskRecord) Verify() bool { return r.Digest == digestOf(r.Payload) }
 
@@ -128,7 +156,91 @@ func (j *FileJournal) repairTail() error {
 // Path returns the journal file path.
 func (j *FileJournal) Path() string { return j.path }
 
-// Append implements Checkpointer: one JSON line per record, flushed to the
+// WriteHeader appends the typed header record identifying the run spec
+// this journal belongs to. Call it once, right after creating a fresh
+// journal; resumed journals already carry theirs. Like Append, the
+// record is flushed (and fsync'd when configured) before returning.
+func (j *FileJournal) WriteHeader(h Header) error {
+	line, err := json.Marshal(headerRecord{Header: headerVersion, SpecHash: h.SpecHash, Spec: h.Spec})
+	if err != nil {
+		return fmt.Errorf("cluster: journal header marshal: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("cluster: journal %s is closed", j.path)
+	}
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("cluster: journal header: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("cluster: journal flush: %w", err)
+	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("cluster: journal fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadHeader returns the journal's header record, or nil when the file
+// has none — either an empty fresh journal or one written before
+// headers existed. Malformed lines are skipped the same way Load skips
+// them.
+func (j *FileJournal) ReadHeader() (*Header, error) {
+	f, err := os.Open(j.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("cluster: read journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var hr headerRecord
+		if err := json.Unmarshal(line, &hr); err != nil || hr.Header == 0 {
+			continue
+		}
+		return &Header{SpecHash: hr.SpecHash, Spec: hr.Spec}, nil
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cluster: scan journal: %w", err)
+	}
+	return nil, nil
+}
+
+// CheckHeader verifies that the journal was written by the run spec
+// identified by specHash. A mismatch is an error — resuming would merge
+// results computed under a different device/grid/solver configuration.
+// A journal without a header (written by an older version) cannot be
+// verified; that degrades to a warning through warnf (when non-nil) so
+// pre-header journals keep resuming.
+func (j *FileJournal) CheckHeader(specHash string, warnf func(format string, args ...any)) error {
+	h, err := j.ReadHeader()
+	if err != nil {
+		return err
+	}
+	if h == nil {
+		if warnf != nil {
+			warnf("journal %s has no spec header (written before run specs existed); cannot verify it matches this run", j.path)
+		}
+		return nil
+	}
+	if h.SpecHash != specHash {
+		return fmt.Errorf("cluster: journal %s was written by a different run spec (journal %.16s…, this run %.16s…); resuming would merge incompatible results — remove the journal or rerun with the original spec",
+			j.path, h.SpecHash, specHash)
+	}
+	return nil
+}
+
+// / Append implements Checkpointer: one JSON line per record, flushed to the
 // OS before returning so a process crash cannot lose an acknowledged
 // record (an OS crash can lose the unsynced tail; affected tasks rerun).
 func (j *FileJournal) Append(rec TaskRecord) error {
@@ -177,6 +289,10 @@ func (j *FileJournal) Load() ([]TaskRecord, error) {
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
+		}
+		var hr headerRecord
+		if err := json.Unmarshal(line, &hr); err == nil && hr.Header != 0 {
+			continue // the header is metadata, not a task
 		}
 		var rec TaskRecord
 		if err := json.Unmarshal(line, &rec); err != nil {

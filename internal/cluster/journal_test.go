@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -136,5 +137,126 @@ func TestJournalWithFsync(t *testing.T) {
 		if got[i] != i {
 			t.Fatalf("loaded indices %v, want [0 1 2 3]", got)
 		}
+	}
+}
+
+// TestJournalHeaderRoundTrip: a fresh journal's header survives append
+// traffic, Load skips it, and CheckHeader accepts the matching hash.
+func TestJournalHeaderRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatalf("OpenFileJournal: %v", err)
+	}
+	const hash = "deadbeefcafe0123deadbeefcafe0123deadbeefcafe0123deadbeefcafe0123"
+	if err := j.WriteHeader(Header{SpecHash: hash, Spec: []byte(`{"mode":"transmission"}`)}); err != nil {
+		t.Fatalf("WriteHeader: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := j.Append(TaskRecord{Index: i, Payload: []byte(fmt.Sprintf("p%d", i))}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	j.Close()
+
+	j2, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	h, err := j2.ReadHeader()
+	if err != nil {
+		t.Fatalf("ReadHeader: %v", err)
+	}
+	if h == nil || h.SpecHash != hash {
+		t.Fatalf("ReadHeader = %+v, want SpecHash %s", h, hash)
+	}
+	if string(h.Spec) != `{"mode":"transmission"}` {
+		t.Fatalf("embedded spec = %s", h.Spec)
+	}
+	recs, err := j2.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("Load returned %d records (header must not count), want 4", len(recs))
+	}
+	warned := false
+	if err := j2.CheckHeader(hash, func(string, ...any) { warned = true }); err != nil {
+		t.Fatalf("CheckHeader(matching): %v", err)
+	}
+	if warned {
+		t.Fatal("CheckHeader warned on a matching header")
+	}
+}
+
+// TestJournalHeaderMismatchRejected: resuming a journal written by a
+// different spec must fail loudly.
+func TestJournalHeaderMismatchRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatalf("OpenFileJournal: %v", err)
+	}
+	defer j.Close()
+	if err := j.WriteHeader(Header{SpecHash: "aaaa"}); err != nil {
+		t.Fatalf("WriteHeader: %v", err)
+	}
+	err = j.CheckHeader("bbbb", nil)
+	if err == nil {
+		t.Fatal("CheckHeader accepted a foreign-spec journal")
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("different run spec")) {
+		t.Fatalf("mismatch error %q does not name the cause", err)
+	}
+}
+
+// TestJournalWithoutHeaderStillResumes is the backward-compat shim: a
+// journal written before headers existed (PR ≤ 5 format, task records
+// only) must still load and resume, with a warning rather than a
+// failure — and old-format readers of the same bytes are unaffected.
+func TestJournalWithoutHeaderStillResumes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.journal")
+	appendRecords(t, path, 0, 6) // PR≤5 journals: records from line one
+	j, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatalf("OpenFileJournal: %v", err)
+	}
+	defer j.Close()
+	h, err := j.ReadHeader()
+	if err != nil {
+		t.Fatalf("ReadHeader: %v", err)
+	}
+	if h != nil {
+		t.Fatalf("ReadHeader invented a header: %+v", h)
+	}
+	var warning string
+	if err := j.CheckHeader("whatever", func(f string, a ...any) { warning = fmt.Sprintf(f, a...) }); err != nil {
+		t.Fatalf("CheckHeader on headerless journal: %v", err)
+	}
+	if !bytes.Contains([]byte(warning), []byte("no spec header")) {
+		t.Fatalf("warning %q does not explain the missing header", warning)
+	}
+	recs, err := j.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("Load returned %d records, want 6", len(recs))
+	}
+}
+
+// TestJournalHeaderInvisibleToOldReader pins the forward-compat claim:
+// a header line decoded as a TaskRecord has no digest, so a pre-header
+// Load implementation (digest check only) would skip it — the explicit
+// discriminator is an optimization, not load-bearing for correctness.
+func TestJournalHeaderInvisibleToOldReader(t *testing.T) {
+	line := []byte(`{"header":1,"specHash":"abc"}`)
+	var rec TaskRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		t.Fatalf("unmarshal header as TaskRecord: %v", err)
+	}
+	if rec.Verify() {
+		t.Fatal("header line passes TaskRecord.Verify — old readers would mistake it for a task")
 	}
 }

@@ -1,0 +1,46 @@
+package device
+
+import "sort"
+
+// registry is the single source of the named benchmark devices the CLIs
+// (and the run-spec builder) expose. It used to be duplicated between
+// cmd/omen and cmd/bands, where the two copies drifted independently;
+// any driver that accepts a device name must resolve it here.
+var registry = map[string]Description{
+	"chain":     {Name: "chain", Kind: Chain, CellsX: 20},
+	"agnr7":     {Name: "AGNR-7", Kind: ArmchairGNR, CellsX: 20, CellsY: 7},
+	"agnr13":    {Name: "AGNR-13", Kind: ArmchairGNR, CellsX: 20, CellsY: 13},
+	"zgnr6":     {Name: "ZGNR-6", Kind: ZigzagGNR, CellsX: 20, CellsY: 6},
+	"sinw":      {Name: "SiNW sp3s*", Kind: SiNanowire, CellsX: 10, CellsY: 1, CellsZ: 1},
+	"sinw-full": {Name: "SiNW sp3d5s*", Kind: SiNanowire, CellsX: 8, CellsY: 1, CellsZ: 1, FullBand: true},
+	"gaasnw":    {Name: "GaAs NW", Kind: GaAsNanowire, CellsX: 8, CellsY: 1, CellsZ: 1},
+	"utb":       {Name: "Si UTB", Kind: SiUTB, CellsX: 6, CellsY: 1, CellsZ: 1},
+}
+
+// Lookup resolves a registry name to its device preset. The returned
+// Description is a copy: callers may override fields (cell counts, spin)
+// without affecting the registry.
+func Lookup(name string) (Description, bool) {
+	d, ok := registry[name]
+	return d, ok
+}
+
+// Names returns the registry names in sorted order, for help text and
+// error messages.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Registry returns a copy of the full name → preset table.
+func Registry() map[string]Description {
+	out := make(map[string]Description, len(registry))
+	for n, d := range registry {
+		out[n] = d
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package device
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestLookupKnownAndUnknown(t *testing.T) {
+	d, ok := Lookup("agnr7")
+	if !ok {
+		t.Fatal("agnr7 missing from registry")
+	}
+	if d.Kind != ArmchairGNR || d.CellsY != 7 {
+		t.Fatalf("agnr7 preset = %+v", d)
+	}
+	if _, ok := Lookup("no-such-device"); ok {
+		t.Fatal("Lookup invented a device")
+	}
+}
+
+// TestLookupReturnsCopy: overriding a looked-up preset must not leak
+// into later lookups (the CLI -cellsx override path).
+func TestLookupReturnsCopy(t *testing.T) {
+	d, _ := Lookup("agnr7")
+	d.CellsX = 999
+	again, _ := Lookup("agnr7")
+	if again.CellsX == 999 {
+		t.Fatal("Lookup returned a shared Description")
+	}
+	reg := Registry()
+	reg["agnr7"] = Description{Name: "clobbered"}
+	if fresh, _ := Lookup("agnr7"); fresh.Name == "clobbered" {
+		t.Fatal("Registry returned the live map")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names not sorted: %v", names)
+	}
+	if len(names) != len(Registry()) {
+		t.Fatalf("Names has %d entries, registry %d", len(names), len(Registry()))
+	}
+	for _, want := range []string{"chain", "agnr7", "sinw", "sinw-full", "utb"} {
+		if _, ok := Lookup(want); !ok {
+			t.Fatalf("registry lost %q", want)
+		}
+	}
+}
+
+// TestRegistryPresetsAreBuildable: every named preset must satisfy the
+// structural minimums Build enforces, without actually building the
+// larger devices (that is the CLIs' job and the T1 experiment's).
+func TestRegistryPresetsAreBuildable(t *testing.T) {
+	for name, d := range Registry() {
+		if d.CellsX < 2 {
+			t.Errorf("%s: CellsX = %d < 2", name, d.CellsX)
+		}
+		switch d.Kind {
+		case SiNanowire, SiUTB, GaAsNanowire, GeNanowire, InAsNanowire:
+			if d.CellsY < 1 || d.CellsZ < 1 {
+				t.Errorf("%s: flat cross-section %dx%d", name, d.CellsY, d.CellsZ)
+			}
+		}
+		if d.Name == "" {
+			t.Errorf("%s: empty display name", name)
+		}
+	}
+}

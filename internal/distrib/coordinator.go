@@ -44,6 +44,14 @@ type Options struct {
 	// OnProgress observes completion (restored + completed + quarantined,
 	// total). Must be cheap and thread-safe.
 	OnProgress func(done, total int)
+	// SpecHash, when non-empty, is the content hash of the run spec this
+	// coordinator executes (spec.RunSpec.SpecHash). A worker whose hello
+	// carries a different hash is rejected at handshake — the grid-dims
+	// check below only catches size mismatches, while the spec hash
+	// covers the device, energy window, formalism, and solver knobs that
+	// actually determine results. Empty disables the check (callers
+	// driving the protocol without a spec).
+	SpecHash string
 }
 
 func (o Options) withDefaults() Options {
@@ -308,6 +316,12 @@ func (c *coordinator) handle(ctx context.Context, conn net.Conn) {
 			hello.NBias, hello.NK, hello.NE, c.nBias, c.nK, c.nE)})
 		return
 	}
+	if c.opts.SpecHash != "" && hello.SpecHash != c.opts.SpecHash {
+		cd.Send(msgError, errorMsg{Reason: fmt.Sprintf(
+			"run-spec mismatch: worker spec %.16s…, coordinator %.16s… — the worker was launched with a different device/grid/solver configuration and its results would not belong to this sweep",
+			hello.SpecHash, c.opts.SpecHash)})
+		return
+	}
 
 	w := c.register(cd, hello.ID)
 	if w == nil {
@@ -317,6 +331,7 @@ func (c *coordinator) handle(ctx context.Context, conn net.Conn) {
 	defer c.unregister(w)
 	if err := cd.Send(msgWelcome, welcomeMsg{
 		NBias: c.nBias, NK: c.nK, NE: c.nE,
+		SpecHash:       c.opts.SpecHash,
 		HeartbeatEvery: c.opts.HeartbeatEvery,
 		LeaseTimeout:   c.opts.LeaseTimeout,
 	}); err != nil {

@@ -737,3 +737,84 @@ func TestLateWorkerGetsDone(t *testing.T) {
 	}
 	checkValues(t, res2, nil)
 }
+
+// TestRejectSpecMismatch: a worker whose run-spec hash disagrees with
+// the coordinator's is rejected at handshake with a reason naming the
+// spec — even though its grid dimensions match exactly (the case the
+// dims-only check could never catch). A matching worker then finishes
+// the sweep untouched.
+func TestRejectSpecMismatch(t *testing.T) {
+	const nBias, nK, nE = 1, 2, 3
+	lb := comms.NewLoopback()
+	lis, err := lb.Listen("coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := newResults(nBias, nK, nE)
+	ch := serveAsync(context.Background(), lis, nBias, nK, nE, Options{
+		Restore:  res.restore,
+		SpecHash: "coordinator-spec-hash",
+	})
+
+	badConn := dial(t, lb, "coord")
+	err = RunWorker(context.Background(), badConn, nBias, nK, nE, WorkerOptions{
+		Pool:     sched.New(1),
+		SpecHash: "perturbed-spec-hash",
+	}, workerFn(nK, nE, nil, nil))
+	if err == nil {
+		t.Fatal("mismatched worker was admitted")
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("spec")) {
+		t.Fatalf("rejection %q does not mention the spec", err)
+	}
+
+	goodConn := dial(t, lb, "coord")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := RunWorker(context.Background(), goodConn, nBias, nK, nE, WorkerOptions{
+			Pool:     sched.New(1),
+			SpecHash: "coordinator-spec-hash",
+		}, workerFn(nK, nE, nil, nil)); err != nil {
+			t.Errorf("matching worker: %v", err)
+		}
+	}()
+	waitServe(t, ch)
+	wg.Wait()
+	checkValues(t, res, nil)
+}
+
+// TestSpecHashUncheckedWhenAbsent pins backward compatibility inside
+// the protocol: a coordinator without a spec hash admits any worker,
+// and a worker without one accepts any welcome — callers that drive
+// distrib without specs (these tests, mostly) keep working.
+func TestSpecHashUncheckedWhenAbsent(t *testing.T) {
+	const nBias, nK, nE = 1, 1, 4
+	lb := comms.NewLoopback()
+	lis, err := lb.Listen("coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := newResults(nBias, nK, nE)
+	ch := serveAsync(context.Background(), lis, nBias, nK, nE, Options{Restore: res.restore})
+
+	conn := dial(t, lb, "coord")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// The worker declares a hash; the spec-less coordinator must not
+		// reject it (it has nothing to compare against), and the worker
+		// must tolerate the hashless welcome.
+		if err := RunWorker(context.Background(), conn, nBias, nK, nE, WorkerOptions{
+			Pool:     sched.New(1),
+			SpecHash: "only-side-with-a-spec",
+		}, workerFn(nK, nE, nil, nil)); err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+	waitServe(t, ch)
+	wg.Wait()
+	checkValues(t, res, nil)
+}

@@ -35,8 +35,8 @@ import (
 
 // ProtoVersion is the distrib message-schema version, checked in the
 // hello exchange (the comms frame layer has its own, lower-level version
-// byte).
-const ProtoVersion = 1
+// byte). Version 2 added the run-spec hash to the handshake.
+const ProtoVersion = 2
 
 // Frame types of the coordinator/worker protocol.
 const (
@@ -51,24 +51,32 @@ const (
 )
 
 // helloMsg is the worker's opening frame: its identity, protocol version,
-// and the task grid it was configured for. The coordinator rejects a
-// worker whose grid disagrees with its own — the usual cause is a flag
-// mismatch between the two processes, which would otherwise silently
-// corrupt the sweep.
+// the task grid it was configured for, and the content hash of its run
+// spec. The coordinator rejects a worker whose grid disagrees with its
+// own, and — stronger — one whose spec hash differs: the grid dims catch
+// only size mismatches, while the spec hash covers everything that
+// determines results (device, energy window, formalism, solver knobs).
+// Either mismatch usually means a flag drift between the two processes,
+// which would otherwise silently corrupt the sweep.
 type helloMsg struct {
 	ID    string `json:"id"`
 	Proto int    `json:"proto"`
 	NBias int    `json:"nBias"`
 	NK    int    `json:"nK"`
 	NE    int    `json:"nE"`
+	// SpecHash is the worker's spec.RunSpec.SpecHash ("" when the caller
+	// runs the protocol without a spec, e.g. protocol-level tests; the
+	// check is then skipped on that side).
+	SpecHash string `json:"specHash,omitempty"`
 }
 
-// welcomeMsg is the coordinator's accept: the authoritative grid plus the
-// liveness parameters the worker must honor.
+// welcomeMsg is the coordinator's accept: the authoritative grid and
+// spec hash plus the liveness parameters the worker must honor.
 type welcomeMsg struct {
 	NBias          int           `json:"nBias"`
 	NK             int           `json:"nK"`
 	NE             int           `json:"nE"`
+	SpecHash       string        `json:"specHash,omitempty"`
 	HeartbeatEvery time.Duration `json:"heartbeatEvery"`
 	LeaseTimeout   time.Duration `json:"leaseTimeout"`
 }

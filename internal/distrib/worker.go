@@ -49,6 +49,11 @@ type WorkerOptions struct {
 	// correct when the worker is its own process; in-process tests with
 	// several workers inject per-worker counters here).
 	PerfNow func() perf.Snapshot
+	// SpecHash is the content hash of the run spec this worker was built
+	// from, announced in the hello so a coordinator running a different
+	// spec rejects the worker outright. The worker symmetrically refuses
+	// a welcome whose hash differs from its own. "" skips both checks.
+	SpecHash string
 }
 
 // RunWorker speaks the worker side of the protocol over conn until the
@@ -77,7 +82,7 @@ func RunWorker(ctx context.Context, conn net.Conn, nBias, nK, nE int, opts Worke
 		perfNow = perf.TakeSnapshot
 	}
 
-	if err := cd.Send(msgHello, helloMsg{ID: opts.ID, Proto: ProtoVersion, NBias: nBias, NK: nK, NE: nE}); err != nil {
+	if err := cd.Send(msgHello, helloMsg{ID: opts.ID, Proto: ProtoVersion, NBias: nBias, NK: nK, NE: nE, SpecHash: opts.SpecHash}); err != nil {
 		return fmt.Errorf("distrib: hello: %w", err)
 	}
 	cd.SetReadDeadline(time.Now().Add(30 * time.Second))
@@ -91,6 +96,10 @@ func RunWorker(ctx context.Context, conn net.Conn, nBias, nK, nE int, opts Worke
 	case msgWelcome:
 		if err := decode(t, payload, &welcome); err != nil {
 			return err
+		}
+		if opts.SpecHash != "" && welcome.SpecHash != "" && welcome.SpecHash != opts.SpecHash {
+			return fmt.Errorf("distrib: coordinator runs a different spec (%.16s… vs this worker's %.16s…); refusing to pull its leases",
+				welcome.SpecHash, opts.SpecHash)
 		}
 	case msgError:
 		var e errorMsg

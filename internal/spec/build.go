@@ -1,0 +1,128 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/negf"
+	"repro/internal/resilience"
+	"repro/internal/sched"
+	"repro/internal/transport"
+)
+
+// Built is the runnable realization of a RunSpec: the constructed
+// simulator (device modes only), the shared scheduler pool, the sampling
+// grids, and accessors for the resilience machinery — everything the
+// CLIs used to assemble by hand from flags.
+type Built struct {
+	// Spec is the validated spec this was built from.
+	Spec RunSpec
+	// Sim is the device simulator (nil for the scaling-study modes,
+	// which drive the calibrated machine model instead).
+	Sim *core.Simulator
+	// Cache is the contact self-energy cache shared by every engine of
+	// the run (nil for study modes).
+	Cache *negf.SelfEnergyCache
+	// Pool is the worker pool every parallel level draws from.
+	Pool *sched.Pool
+	// Grid is the transmission energy grid (transmission mode).
+	Grid []float64
+	// GateGrid is the gate-voltage grid (iv mode).
+	GateGrid []float64
+}
+
+// Build validates the spec and constructs its runnable pieces. It does
+// not open journals or sockets — those are per-invocation concerns the
+// caller wires from the spec's Resilience/Exec sections (fsync policy
+// and resume gating differ between serial and coordinator runs).
+func Build(s RunSpec) (*Built, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Built{Spec: s, Pool: sched.New(s.Exec.Workers)}
+	if !deviceModes[s.Mode] {
+		return b, nil
+	}
+
+	desc, ok := device.Lookup(s.Device.Name)
+	if !ok {
+		// Validate already vouched for the name; a miss here is a bug.
+		return nil, fmt.Errorf("spec: unknown device %q", s.Device.Name)
+	}
+	if s.Device.CellsX > 0 {
+		desc.CellsX = s.Device.CellsX
+	}
+	if s.Device.CellsY > 0 {
+		desc.CellsY = s.Device.CellsY
+	}
+	if s.Device.CellsZ > 0 {
+		desc.CellsZ = s.Device.CellsZ
+	}
+
+	b.Cache = negf.NewSelfEnergyCacheWith(negf.CacheConfig{
+		Capacity: s.Solver.SigmaCacheCap,
+		SeedDist: s.Solver.SeedRefine,
+	})
+	cfg := transport.Config{
+		Domains: s.Solver.Domains,
+		Pool:    b.Pool,
+		Cache:   b.Cache,
+	}
+	switch s.Solver.Formalism {
+	case "wf":
+		cfg.Formalism = transport.WaveFunction
+	case "negf":
+		cfg.Formalism = transport.NEGFRGF
+	}
+	sim, err := core.New(desc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sim.NK = s.Grid.NK
+	b.Sim = sim
+
+	switch s.Mode {
+	case ModeTransmission:
+		b.Grid = transport.UniformGrid(s.Grid.EMin, s.Grid.EMax, s.Grid.NE)
+	case ModeIV:
+		b.GateGrid = transport.UniformGrid(s.Grid.VGMin, s.Grid.VGMax, s.Grid.NVG)
+	}
+	return b, nil
+}
+
+// RetryPolicy assembles the per-task retry policy of the spec.
+func (b *Built) RetryPolicy() resilience.Policy {
+	return resilience.Policy{
+		MaxAttempts:    b.Spec.Resilience.MaxRetries + 1,
+		AttemptTimeout: b.Spec.Resilience.TaskTimeout.Std(),
+		JitterFrac:     0.2,
+		Seed:           b.Spec.Resilience.FaultSeed,
+	}
+}
+
+// Injector returns the deterministic fault injector of the spec's
+// drill settings, or nil when no drill is configured.
+func (b *Built) Injector() *resilience.Injector {
+	if b.Spec.Resilience.FaultRate <= 0 {
+		return nil
+	}
+	return &resilience.Injector{
+		Seed: b.Spec.Resilience.FaultSeed,
+		Rate: b.Spec.Resilience.FaultRate,
+	}
+}
+
+// SweepOptions assembles the sweep-engine options of the spec: pool,
+// retry policy, injector, and quarantine. The journal and progress
+// observer stay with the caller (journals carry fsync and header
+// decisions Build deliberately does not make).
+func (b *Built) SweepOptions() cluster.SweepOptions {
+	return cluster.SweepOptions{
+		Pool:       b.Pool,
+		Retry:      b.RetryPolicy(),
+		Injector:   b.Injector(),
+		Quarantine: b.Spec.Resilience.Quarantine,
+	}
+}

@@ -1,0 +1,50 @@
+package spec
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+)
+
+// OpenJournal opens the spec's checkpoint journal under the header
+// contract shared by every entry point: a fresh journal is stamped with
+// the spec's content hash (plus the full canonical spec, for forensics);
+// a resumed journal must carry a matching hash — one written by a
+// different spec fails loudly, and one from before headers existed (the
+// PR ≤ 5 format) resumes with a warning through warnf. A journal that
+// already exists without Resume set is refused, so a mistyped path can't
+// silently fork a sweep. Returns (nil, nil) when the spec has no
+// checkpoint; the caller owns Close on a non-nil journal.
+func OpenJournal(s RunSpec, warnf func(format string, args ...any), jopts ...cluster.JournalOption) (*cluster.FileJournal, error) {
+	r := s.Resilience
+	if r.Checkpoint == "" {
+		return nil, nil
+	}
+	if !r.Resume {
+		if _, err := os.Stat(r.Checkpoint); err == nil {
+			return nil, fmt.Errorf("journal %s exists; pass -resume to continue it or remove the file", r.Checkpoint)
+		}
+	}
+	j, err := cluster.OpenFileJournal(r.Checkpoint, jopts...)
+	if err != nil {
+		return nil, err
+	}
+	if r.Resume {
+		if err := j.CheckHeader(s.SpecHash(), warnf); err != nil {
+			j.Close()
+			return nil, err
+		}
+		return j, nil
+	}
+	canon, err := s.Canonical()
+	if err != nil {
+		j.Close()
+		return nil, err
+	}
+	if err := j.WriteHeader(cluster.Header{SpecHash: s.SpecHash(), Spec: canon}); err != nil {
+		j.Close()
+		return nil, err
+	}
+	return j, nil
+}

@@ -1,0 +1,336 @@
+package spec
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden spec files")
+
+// dumpString renders a spec exactly the way the CLIs' -dump-spec does:
+// canonical indented JSON followed by the four content hashes. The
+// golden files pin this format — `omen -dump-spec` output is checked
+// against one of them in `make check`.
+func dumpString(t *testing.T, s RunSpec) string {
+	t.Helper()
+	b, err := s.CanonicalIndent()
+	if err != nil {
+		t.Fatalf("CanonicalIndent: %v", err)
+	}
+	return fmt.Sprintf("%s\n# device-hash\t%s\n# grid-hash\t%s\n# solver-hash\t%s\n# spec-hash\t%s\n",
+		b, s.DeviceHash(), s.GridHash(), s.SolverHash(), s.SpecHash())
+}
+
+// TestGoldenSpecs pins the canonical encoding and all four content
+// hashes of the default spec for every built-in device preset, plus the
+// scaling CLI's strong-study base spec. Any drift in field order, JSON
+// tags, defaults, or hash inputs shows up as a golden diff — which is
+// the point: a silent encoding change would silently re-key every
+// content-addressed artifact. Regenerate deliberately with
+// `go test ./internal/spec -run Golden -update`.
+func TestGoldenSpecs(t *testing.T) {
+	cases := make(map[string]RunSpec)
+	for _, name := range device.Names() {
+		s := Default()
+		s.Device.Name = name
+		cases[name] = s
+	}
+	study := StudyDefault()
+	study.Grid = GridSpec{NE: 10, NK: 1} // as cmd/scaling pins it for study-strong
+	cases["study-strong"] = study
+
+	for name, s := range cases {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("golden spec invalid: %v", err)
+			}
+			got := dumpString(t, s)
+			path := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatalf("update golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("spec for %s drifted from golden %s:\n got:\n%s\nwant:\n%s", name, path, got, want)
+			}
+		})
+	}
+}
+
+// fullyNonDefault returns a spec with every leaf field away from its
+// default, so a round-trip dropping any one of them cannot pass.
+func fullyNonDefault() RunSpec {
+	return RunSpec{
+		Version: Version,
+		Mode:    ModeIV,
+		Device:  DeviceSpec{Name: "sinw-full", CellsX: 12, CellsY: 2, CellsZ: 3},
+		Grid: GridSpec{
+			EMin: -1.5, EMax: 2.5, NE: 77, NK: 5,
+			VDrain: 0.3, VGMin: -0.2, VGMax: 0.8, NVG: 9,
+		},
+		Solver: SolverSpec{Formalism: "negf", Domains: 4, SigmaCacheCap: 128, SeedRefine: 0.01},
+		Resilience: ResilienceSpec{
+			Checkpoint: "x.journal", Resume: true, MaxRetries: 3,
+			TaskTimeout: Duration(45 * time.Second), Quarantine: true,
+			FaultRate: 0.25, FaultSeed: 99,
+		},
+		Exec: ExecSpec{Workers: 7, LeaseTimeout: Duration(90 * time.Second)},
+	}
+}
+
+// TestRoundTrip is the encode/decode property: Parse(Canonical(s)) == s,
+// for the defaults, a fully non-default spec, and every device preset.
+// RunSpec is a comparable value type, so == is exact field equality.
+func TestRoundTrip(t *testing.T) {
+	specs := []RunSpec{Default(), StudyDefault(), fullyNonDefault()}
+	for _, name := range device.Names() {
+		s := Default()
+		s.Device.Name = name
+		specs = append(specs, s)
+	}
+	for _, s := range specs {
+		b, err := s.Canonical()
+		if err != nil {
+			t.Fatalf("Canonical: %v", err)
+		}
+		got, err := Parse(b)
+		if err != nil {
+			t.Fatalf("Parse(Canonical(%s)): %v", b, err)
+		}
+		if got != s {
+			t.Errorf("round trip changed the spec:\n in: %+v\nout: %+v", s, got)
+		}
+		// The indented form must parse back identically too (-dump-spec
+		// output is advertised as a valid -spec input).
+		bi, err := s.CanonicalIndent()
+		if err != nil {
+			t.Fatalf("CanonicalIndent: %v", err)
+		}
+		got, err = Parse(bi)
+		if err != nil {
+			t.Fatalf("Parse(CanonicalIndent): %v", err)
+		}
+		if got != s {
+			t.Errorf("indented round trip changed the spec:\n in: %+v\nout: %+v", s, got)
+		}
+	}
+}
+
+// TestParseLayersOverDefaults: a partial spec file inherits every
+// unmentioned default, and unknown keys are rejected loudly.
+func TestParseLayersOverDefaults(t *testing.T) {
+	s, err := Parse([]byte(`{"device":{"name":"sinw"},"grid":{"nE":333}}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Device.Name != "sinw" || s.Grid.NE != 333 {
+		t.Errorf("explicit fields lost: %+v", s)
+	}
+	want := Default()
+	want.Device.Name = "sinw"
+	want.Grid.NE = 333
+	if s != want {
+		t.Errorf("defaults not inherited:\n got %+v\nwant %+v", s, want)
+	}
+
+	if _, err := Parse([]byte(`{"devcie":{"name":"sinw"}}`)); err == nil {
+		t.Error("Parse accepted a typoed key — silent flag drift is back")
+	}
+}
+
+// TestHashSensitivity perturbs every leaf field of RunSpec and checks
+// the hash contract: result-determining fields (version, mode, device,
+// grid, solver) change SpecHash and exactly their own section hash;
+// resilience and exec fields change no hash at all (the engine's
+// determinism makes observables independent of them).
+func TestHashSensitivity(t *testing.T) {
+	base := fullyNonDefault()
+	muts := []struct {
+		field   string
+		section string // "device", "grid", "solver", or "" (top-level / unhashed)
+		hashed  bool
+		mut     func(*RunSpec)
+	}{
+		{"Version", "", true, func(s *RunSpec) { s.Version++ }},
+		{"Mode", "", true, func(s *RunSpec) { s.Mode = ModeStats }},
+
+		{"Device.Name", "device", true, func(s *RunSpec) { s.Device.Name = "chain" }},
+		{"Device.CellsX", "device", true, func(s *RunSpec) { s.Device.CellsX++ }},
+		{"Device.CellsY", "device", true, func(s *RunSpec) { s.Device.CellsY++ }},
+		{"Device.CellsZ", "device", true, func(s *RunSpec) { s.Device.CellsZ++ }},
+
+		{"Grid.EMin", "grid", true, func(s *RunSpec) { s.Grid.EMin -= 0.1 }},
+		{"Grid.EMax", "grid", true, func(s *RunSpec) { s.Grid.EMax += 0.1 }},
+		{"Grid.NE", "grid", true, func(s *RunSpec) { s.Grid.NE++ }},
+		{"Grid.NK", "grid", true, func(s *RunSpec) { s.Grid.NK++ }},
+		{"Grid.VDrain", "grid", true, func(s *RunSpec) { s.Grid.VDrain += 0.1 }},
+		{"Grid.VGMin", "grid", true, func(s *RunSpec) { s.Grid.VGMin -= 0.1 }},
+		{"Grid.VGMax", "grid", true, func(s *RunSpec) { s.Grid.VGMax += 0.1 }},
+		{"Grid.NVG", "grid", true, func(s *RunSpec) { s.Grid.NVG++ }},
+
+		{"Solver.Formalism", "solver", true, func(s *RunSpec) { s.Solver.Formalism = "wf" }},
+		{"Solver.Domains", "solver", true, func(s *RunSpec) { s.Solver.Domains++ }},
+		{"Solver.SigmaCacheCap", "solver", true, func(s *RunSpec) { s.Solver.SigmaCacheCap++ }},
+		{"Solver.SeedRefine", "solver", true, func(s *RunSpec) { s.Solver.SeedRefine += 0.01 }},
+
+		{"Resilience.Checkpoint", "", false, func(s *RunSpec) { s.Resilience.Checkpoint = "y.journal" }},
+		{"Resilience.Resume", "", false, func(s *RunSpec) { s.Resilience.Resume = !s.Resilience.Resume }},
+		{"Resilience.MaxRetries", "", false, func(s *RunSpec) { s.Resilience.MaxRetries++ }},
+		{"Resilience.TaskTimeout", "", false, func(s *RunSpec) { s.Resilience.TaskTimeout += Duration(time.Second) }},
+		{"Resilience.Quarantine", "", false, func(s *RunSpec) { s.Resilience.Quarantine = !s.Resilience.Quarantine }},
+		{"Resilience.FaultRate", "", false, func(s *RunSpec) { s.Resilience.FaultRate += 0.1 }},
+		{"Resilience.FaultSeed", "", false, func(s *RunSpec) { s.Resilience.FaultSeed++ }},
+
+		{"Exec.Workers", "", false, func(s *RunSpec) { s.Exec.Workers++ }},
+		{"Exec.LeaseTimeout", "", false, func(s *RunSpec) { s.Exec.LeaseTimeout += Duration(time.Second) }},
+	}
+
+	for _, m := range muts {
+		t.Run(m.field, func(t *testing.T) {
+			s := base
+			m.mut(&s)
+			if s == base {
+				t.Fatal("mutation did not change the spec — the table entry tests nothing")
+			}
+			if changed := s.SpecHash() != base.SpecHash(); changed != m.hashed {
+				t.Errorf("SpecHash changed=%v, want %v", changed, m.hashed)
+			}
+			if changed := s.DeviceHash() != base.DeviceHash(); changed != (m.section == "device") {
+				t.Errorf("DeviceHash changed=%v, want %v", changed, m.section == "device")
+			}
+			if changed := s.GridHash() != base.GridHash(); changed != (m.section == "grid") {
+				t.Errorf("GridHash changed=%v, want %v", changed, m.section == "grid")
+			}
+			if changed := s.SolverHash() != base.SolverHash(); changed != (m.section == "solver") {
+				t.Errorf("SolverHash changed=%v, want %v", changed, m.section == "solver")
+			}
+		})
+	}
+}
+
+// TestWorkerVariant: the worker variant strips exactly the coordinator-
+// only fields and — critically for the handshake — keeps the SpecHash.
+func TestWorkerVariant(t *testing.T) {
+	s := fullyNonDefault()
+	s.Mode = ModeTransmission
+	w := s.WorkerVariant()
+	if w.Resilience.Checkpoint != "" || w.Resilience.Resume || w.Resilience.Quarantine {
+		t.Errorf("worker variant kept coordinator-only resilience fields: %+v", w.Resilience)
+	}
+	if w.Exec.Workers != 1 {
+		t.Errorf("worker variant pool width = %d, want 1 (exact flop merging)", w.Exec.Workers)
+	}
+	if w.Resilience.MaxRetries != s.Resilience.MaxRetries || w.Resilience.FaultRate != s.Resilience.FaultRate {
+		t.Errorf("worker variant lost retry/drill policy: %+v", w.Resilience)
+	}
+	if w.SpecHash() != s.SpecHash() {
+		t.Error("worker variant changed SpecHash — the handshake would reject the coordinator's own children")
+	}
+	if err := w.ValidateFor(RoleWorker); err != nil {
+		t.Errorf("worker variant invalid for RoleWorker: %v", err)
+	}
+}
+
+// TestValidateRejections: the cross-field combinations that used to be
+// silently ignored must now fail, naming the flag and the mode.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*RunSpec)
+		role Role
+		want []string // substrings of the error
+	}{
+		{"resume without checkpoint", func(s *RunSpec) { s.Resilience.Resume = true }, RoleLocal,
+			[]string{"-resume", "-checkpoint"}},
+		{"checkpoint in iv mode", func(s *RunSpec) { s.Mode = ModeIV; s.Resilience.Checkpoint = "x" }, RoleLocal,
+			[]string{"-checkpoint", `"iv"`}},
+		{"quarantine in stats mode", func(s *RunSpec) { s.Mode = ModeStats; s.Resilience.Quarantine = true }, RoleLocal,
+			[]string{"-quarantine", `"stats"`}},
+		{"fault drill in iv mode", func(s *RunSpec) { s.Mode = ModeIV; s.Resilience.FaultRate = 0.5 }, RoleLocal,
+			[]string{"-fault-rate", `"iv"`}},
+		{"retries in stats mode", func(s *RunSpec) { s.Mode = ModeStats; s.Resilience.MaxRetries = 2 }, RoleLocal,
+			[]string{"-max-retries", `"stats"`}},
+		{"task timeout in iv mode", func(s *RunSpec) { s.Mode = ModeIV; s.Resilience.TaskTimeout = Duration(time.Second) }, RoleLocal,
+			[]string{"-task-timeout", `"iv"`}},
+		{"worker with checkpoint", func(s *RunSpec) { s.Resilience.Checkpoint = "x" }, RoleWorker,
+			[]string{"-checkpoint", "coordinator"}},
+		{"worker with resume", func(s *RunSpec) { s.Resilience.Checkpoint = "x"; s.Resilience.Resume = true }, RoleWorker,
+			[]string{"-resume", "coordinator"}},
+		{"distributed iv", func(s *RunSpec) { s.Mode = ModeIV }, RoleCoordinator,
+			[]string{`"iv"`, "distributed"}},
+		{"unknown device", func(s *RunSpec) { s.Device.Name = "nanotube" }, RoleLocal,
+			[]string{"nanotube", "agnr7"}},
+		{"unknown mode", func(s *RunSpec) { s.Mode = "bands" }, RoleLocal,
+			[]string{`"bands"`}},
+		{"unknown formalism", func(s *RunSpec) { s.Solver.Formalism = "dft" }, RoleLocal,
+			[]string{`"dft"`}},
+		{"wrong version", func(s *RunSpec) { s.Version = 99 }, RoleLocal,
+			[]string{"version 99"}},
+		{"empty energy window", func(s *RunSpec) { s.Grid.EMin, s.Grid.EMax = 1, -1 }, RoleLocal,
+			[]string{"energy window"}},
+		{"device in study mode", func(s *RunSpec) { s.Mode = ModeStudyWeak }, RoleLocal,
+			[]string{"-device", `"study-weak"`}},
+		{"fault rate out of range", func(s *RunSpec) { s.Resilience.FaultRate = 1.5 }, RoleLocal,
+			[]string{"-fault-rate"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Default()
+			tc.mut(&s)
+			err := s.ValidateFor(tc.role)
+			if err == nil {
+				t.Fatalf("ValidateFor(%v) accepted %+v", tc.role, s)
+			}
+			for _, sub := range tc.want {
+				if !strings.Contains(err.Error(), sub) {
+					t.Errorf("error %q does not mention %q", err, sub)
+				}
+			}
+		})
+	}
+
+	// And the specs every CLI starts from must of course be valid.
+	if err := Default().Validate(); err != nil {
+		t.Errorf("Default() invalid: %v", err)
+	}
+	if err := StudyDefault().Validate(); err != nil {
+		t.Errorf("StudyDefault() invalid: %v", err)
+	}
+}
+
+// TestDurationJSON: durations encode as human strings and decode from
+// both strings and nanosecond counts.
+func TestDurationJSON(t *testing.T) {
+	s := Default()
+	s.Resilience.TaskTimeout = Duration(90 * time.Second)
+	b, err := s.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	if !strings.Contains(string(b), `"taskTimeout":"1m30s"`) {
+		t.Errorf("duration not human-readable in %s", b)
+	}
+	got, err := Parse([]byte(`{"resilience":{"taskTimeout":1500000000}}`))
+	if err != nil {
+		t.Fatalf("Parse ns count: %v", err)
+	}
+	if got.Resilience.TaskTimeout.Std() != 1500*time.Millisecond {
+		t.Errorf("ns decode = %v", got.Resilience.TaskTimeout.Std())
+	}
+	if _, err := Parse([]byte(`{"exec":{"leaseTimeout":"soon"}}`)); err == nil {
+		t.Error("Parse accepted a malformed duration")
+	}
+}

@@ -8,6 +8,12 @@
 # despite losing a worker, produces byte-identical observables AND the
 # exact same merged flop count as the serial run.
 #
+# Two negative drills ride along, exercising the run-spec content hash:
+# a worker launched with a perturbed spec (same grid dimensions, so only
+# the hash can catch it) must be rejected at the handshake, and a
+# -resume against a journal written by a different spec must exit
+# non-zero.
+#
 # Usage: scripts/drill_dist.sh [path-to-omen-binary]
 set -eu
 
@@ -40,6 +46,23 @@ sleep 0.8
 echo "drill-dist: SIGKILL worker pid $VICTIM"
 kill -9 "$VICTIM" 2>/dev/null || true
 
+# Negative drill, while the coordinator is still up: a worker whose spec
+# was perturbed by one flag (-emin -2.4 instead of -2.5 — same task-grid
+# dimensions, so the pre-spec dims check cannot catch it) must be turned
+# away at the handshake with a spec-mismatch error.
+echo "drill-dist: launching spec-mismatched worker (must be rejected)"
+# shellcheck disable=SC2086
+if "$OMEN" $ARGS $FAULTS -emin -2.4 -worker "127.0.0.1:$PORT" -workers 1 \
+	> /dev/null 2> "$WORKDIR/mismatch.err"; then
+	echo "drill-dist: FAIL — spec-mismatched worker was accepted" >&2
+	exit 1
+fi
+if ! grep -qi 'spec' "$WORKDIR/mismatch.err"; then
+	echo "drill-dist: FAIL — mismatched worker died without naming the spec mismatch:" >&2
+	cat "$WORKDIR/mismatch.err" >&2
+	exit 1
+fi
+
 if ! wait "$COORD"; then
 	echo "drill-dist: FAIL — coordinator exited non-zero" >&2
 	cat "$WORKDIR/dist.err" >&2
@@ -64,3 +87,30 @@ fi
 
 grep '^# cluster' "$WORKDIR/dist.txt"
 echo "drill-dist: PASS — observables byte-identical, $SERIAL_FLOPS exact across the kill"
+
+# Negative drill: resuming a checkpoint journal with a different spec
+# must fail loudly; resuming with the same spec must succeed.
+SMALL="-device agnr7 -cellsx 6 -ne 64 -emin -1 -emax 1"
+JOURNAL="$WORKDIR/resume.journal"
+echo "drill-dist: foreign-spec resume drill"
+# shellcheck disable=SC2086
+"$OMEN" $SMALL -checkpoint "$JOURNAL" > /dev/null
+# shellcheck disable=SC2086
+if "$OMEN" $SMALL -emin -1.1 -checkpoint "$JOURNAL" -resume \
+	> /dev/null 2> "$WORKDIR/resume.err"; then
+	echo "drill-dist: FAIL — resume with a foreign spec was accepted" >&2
+	exit 1
+fi
+if ! grep -q 'different run spec' "$WORKDIR/resume.err"; then
+	echo "drill-dist: FAIL — foreign-spec resume died for the wrong reason:" >&2
+	cat "$WORKDIR/resume.err" >&2
+	exit 1
+fi
+# shellcheck disable=SC2086
+"$OMEN" $SMALL -checkpoint "$JOURNAL" -resume > "$WORKDIR/resume.txt"
+if ! grep -q '^# resumed: 64/64' "$WORKDIR/resume.txt"; then
+	echo "drill-dist: FAIL — same-spec resume did not restore all tasks" >&2
+	grep '^#' "$WORKDIR/resume.txt" >&2
+	exit 1
+fi
+echo "drill-dist: PASS — mismatched worker rejected at handshake, foreign-spec resume refused, same-spec resume restored 64/64"
