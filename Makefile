@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build fmt-check vet check spec-check spec-golden test race faults drill-dist bench bench-baseline bench-check ci clean
+.PHONY: build fmt-check vet check spec-check spec-golden test race faults drill-dist drill-failover bench bench-baseline bench-check ci clean
 
 # The kernel-cost benchmarks gated by the allocation baseline: their
 # allocs/op is deterministic, so a regression means a real change in the
@@ -55,6 +55,16 @@ faults:
 drill-dist:
 	$(GO) build -o bin/omen ./cmd/omen
 	sh scripts/drill_dist.sh bin/omen
+
+# The coordinator-failover drill: the coordinator is SIGKILLed mid-sweep
+# and restarted with -resume on the same port; rejoin-capable workers
+# must survive it. Passes only if observables and the merged flop count
+# stay byte-identical to a serial run and the journal holds exactly one
+# record per task at epoch >= 2.
+drill-failover:
+	$(GO) build -o bin/omen ./cmd/omen
+	$(GO) build -o bin/journalcheck ./cmd/journalcheck
+	sh scripts/drill_failover.sh bin/omen bin/journalcheck
 
 bench:
 	$(GO) test -bench . -benchtime 0.5s -run '^$$' ./internal/...

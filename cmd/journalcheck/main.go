@@ -1,0 +1,114 @@
+// Command journalcheck audits a sweep checkpoint journal after a
+// failover drill: with epoch fencing working, a sweep that survived a
+// coordinator crash (or a graceful drain plus resume) ends with exactly
+// one digest-valid record per task — no holes (a task nobody finished)
+// and no duplicates (a stale-epoch result the fence should have
+// discarded). It is the machine check behind `make drill-failover`'s
+// "exactly once" guarantee.
+//
+// Usage:
+//
+//	journalcheck -journal sweep.journal -total 192 [-min-epoch 2]
+//
+// Exits 0 and prints a one-line summary when the journal holds exactly
+// -total records, one per task index in [0, total); exits 1 with a
+// description of every violation class otherwise. -min-epoch
+// additionally requires the journal's latest recorded coordinator
+// incarnation to be at least that value — proof a restart actually
+// happened during the drill.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		path     = flag.String("journal", "", "journal file to audit")
+		total    = flag.Int("total", 0, "expected task count: the journal must hold exactly one record per index in [0, total)")
+		minEpoch = flag.Uint64("min-epoch", 0, "require the journal's latest epoch to be at least this (0: don't check)")
+	)
+	flag.Parse()
+	if *path == "" || *total < 1 {
+		fmt.Fprintln(os.Stderr, "journalcheck: -journal and a positive -total are required")
+		os.Exit(2)
+	}
+	if _, err := os.Stat(*path); err != nil {
+		fail("%v", err)
+	}
+	j, err := cluster.OpenFileJournal(*path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer j.Close()
+
+	recs, err := j.Load()
+	if err != nil {
+		fail("%v", err)
+	}
+	counts := make([]int, *total)
+	bad := 0
+	var outOfRange []int
+	for _, rec := range recs {
+		if rec.Index < 0 || rec.Index >= *total {
+			outOfRange = append(outOfRange, rec.Index)
+			continue
+		}
+		counts[rec.Index]++
+	}
+	var missing, dup []int
+	for i, n := range counts {
+		switch {
+		case n == 0:
+			missing = append(missing, i)
+		case n > 1:
+			dup = append(dup, i)
+		}
+	}
+	if len(outOfRange) > 0 {
+		bad++
+		fmt.Fprintf(os.Stderr, "journalcheck: %d records outside [0,%d): %v\n",
+			len(outOfRange), *total, clip(outOfRange))
+	}
+	if len(missing) > 0 {
+		bad++
+		fmt.Fprintf(os.Stderr, "journalcheck: %d tasks have no record: %v\n",
+			len(missing), clip(missing))
+	}
+	if len(dup) > 0 {
+		bad++
+		fmt.Fprintf(os.Stderr, "journalcheck: %d tasks recorded more than once (epoch fence breach): %v\n",
+			len(dup), clip(dup))
+	}
+	epoch, err := j.LatestEpoch()
+	if err != nil {
+		fail("%v", err)
+	}
+	if *minEpoch > 0 && epoch < *minEpoch {
+		bad++
+		fmt.Fprintf(os.Stderr, "journalcheck: latest epoch %d < required %d — no coordinator restart recorded\n",
+			epoch, *minEpoch)
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("journalcheck: OK — %d records, exactly one per task, latest epoch %d\n",
+		len(recs), epoch)
+}
+
+// clip bounds a violation list so a badly broken journal stays readable.
+func clip(idx []int) []int {
+	if len(idx) > 10 {
+		return idx[:10]
+	}
+	return idx
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "journalcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -2,15 +2,20 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"net"
 	"os"
 	"os/exec"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/comms"
 	"repro/internal/distrib"
+	"repro/internal/resilience"
 	"repro/internal/spec"
 )
 
@@ -33,6 +38,12 @@ func workerArgs(s spec.RunSpec, dialAddr string) ([]string, error) {
 // with fsync — the coordinator's journal is the cluster's source of
 // truth), and the assembly of worker results into observables. Workers
 // connect over TCP; optionally this process spawns its own.
+//
+// With a journal the coordinator is crash-recoverable: a panic or an
+// unexpected serve failure restarts it in place on the same address
+// under a bumped epoch (see superviseServe), and a SIGTERM drains it
+// gracefully — no new leases, in-flight results accepted for
+// -drain-timeout, then a resumable exit with status 143.
 func runServeMode(ctx context.Context, b *spec.Built, addr string, prog *progress) error {
 	s := b.Spec
 	plan, err := b.Sim.PlanTransmission(b.Grid, nil)
@@ -43,6 +54,7 @@ func runServeMode(ctx context.Context, b *spec.Built, addr string, prog *progres
 
 	opts := distrib.Options{
 		LeaseTimeout: s.Exec.LeaseTimeout.Std(),
+		DrainTimeout: s.Exec.DrainTimeout.Std(),
 		Restore:      plan.Restore,
 		Quarantine:   s.Resilience.Quarantine,
 		OnProgress:   prog.set,
@@ -55,12 +67,49 @@ func runServeMode(ctx context.Context, b *spec.Built, addr string, prog *progres
 	if j != nil {
 		defer closeJournal()
 		opts.Journal = j
+		// The failover fencing identity lives in the journal: the RunID
+		// pins rejoining workers to this run instance, the epoch fences
+		// out results produced under a previous coordinator incarnation.
+		// A resumed journal bumps the epoch — the incarnation it replaces
+		// is dead by definition, and anything still in flight from it must
+		// not be double-counted.
+		if h, herr := j.ReadHeader(); herr == nil && h != nil {
+			opts.RunID = h.RunID
+		}
+		epoch, eerr := j.LatestEpoch()
+		if s.Resilience.Resume {
+			epoch, eerr = j.BumpEpoch()
+		}
+		if eerr != nil {
+			return eerr
+		}
+		opts.Epoch = epoch
+		fmt.Fprintf(os.Stderr, "omen: run %s epoch %d\n", opts.RunID, opts.Epoch)
 	}
+
+	// SIGTERM is the graceful-drain signal (SIGINT stays the hard
+	// cooperative cancel): stop granting leases, keep accepting results
+	// already in flight, fsync the journal, exit resumable.
+	drain := make(chan struct{})
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, syscall.SIGTERM)
+	defer signal.Stop(sigC)
+	go func() {
+		<-sigC
+		fmt.Fprintf(os.Stderr, "omen: SIGTERM — draining (accepting in-flight results for up to %v)\n",
+			opts.DrainTimeout)
+		close(drain)
+	}()
+	opts.Drain = drain
 
 	lis, err := comms.TCP{}.Listen(addr)
 	if err != nil {
 		return err
 	}
+	// The concrete dialable address is captured once: a restarted
+	// incarnation must come back on the same address the workers' rejoin
+	// loops are re-dialing ("addr" may carry port 0).
+	liveAddr := comms.DialableAddr(lis.Addr())
 	fmt.Fprintf(os.Stderr, "omen: coordinating %d tasks on %s\n", nBias*nK*nE, lis.Addr())
 
 	var children sync.WaitGroup
@@ -70,10 +119,10 @@ func runServeMode(ctx context.Context, b *spec.Built, addr string, prog *progres
 		// zero of them is a legitimate deployment (external workers dial
 		// in) — but without this notice a bare `omen -serve` looks hung.
 		fmt.Fprintf(os.Stderr, "omen: no self-spawned workers (-workers 0); waiting for external `omen -worker %s` processes to connect\n",
-			comms.DialableAddr(lis.Addr()))
+			liveAddr)
 	}
 	if selfWorkers > 0 {
-		args, err := workerArgs(s, comms.DialableAddr(lis.Addr()))
+		args, err := workerArgs(s, liveAddr)
 		if err != nil {
 			lis.Close()
 			return err
@@ -97,8 +146,19 @@ func runServeMode(ctx context.Context, b *spec.Built, addr string, prog *progres
 		}
 	}
 
-	rep, err := distrib.Serve(ctx, lis, nBias, nK, nE, opts)
+	rep, err := superviseServe(ctx, lis, liveAddr, nBias, nK, nE, j, opts)
 	children.Wait()
+	if errors.Is(err, distrib.ErrDrained) {
+		// Deliberately resumable: every committed result is journaled, and
+		// 143 (128+SIGTERM) tells the supervisor upstream this was the
+		// graceful path, not a crash. os.Exit skips the deferred cleanups,
+		// so flush them here.
+		stopProfiles()
+		closeJournal()
+		fmt.Fprintf(os.Stderr, "omen: drained — completed %d/%d tasks; rerun with -resume to finish\n",
+			prog.done.Load(), prog.total.Load())
+		os.Exit(143)
+	}
 	if err != nil {
 		return err
 	}
@@ -115,12 +175,63 @@ func runServeMode(ctx context.Context, b *spec.Built, addr string, prog *progres
 	return nil
 }
 
+// superviseServe runs distrib.Serve under a crash supervisor. With a
+// journal on disk a coordinator failure — a panic in the serve path or
+// an unexpected error — is survivable: every committed result is already
+// journaled, so the coordinator restarts in place (same address, bumped
+// epoch) and the sweep continues with whatever workers rejoin. Context
+// cancellation, graceful drains, and journal-less runs pass straight
+// through: without a journal a restart would silently redo work.
+func superviseServe(ctx context.Context, lis net.Listener, liveAddr string, nBias, nK, nE int, j *cluster.FileJournal, opts distrib.Options) (*distrib.Report, error) {
+	const maxRestarts = 3
+	for attempt := 0; ; attempt++ {
+		var rep *distrib.Report
+		err := resilience.Call(ctx, func(ctx context.Context) error {
+			var serr error
+			rep, serr = distrib.Serve(ctx, lis, nBias, nK, nE, opts)
+			return serr
+		})
+		switch {
+		case err == nil:
+			return rep, nil
+		case errors.Is(err, distrib.ErrDrained):
+			return rep, err
+		case ctx.Err() != nil || j == nil || attempt >= maxRestarts:
+			return rep, err
+		}
+		fmt.Fprintf(os.Stderr, "omen: coordinator failed (%v); restarting in place (%d/%d)\n",
+			err, attempt+1, maxRestarts)
+		// Serve closed the listener on its way down; reopen the captured
+		// address so the workers' rejoin dials land on the incarnation
+		// replacing the one that died, and bump the epoch so any result
+		// still in flight from the dead incarnation is fenced out instead
+		// of double-counted. The restarted Serve re-seeds its done set
+		// (and re-sums the flop deltas) from the journal.
+		lis.Close()
+		nl, lerr := comms.TCP{}.Listen(liveAddr)
+		if lerr != nil {
+			return rep, fmt.Errorf("restart after %v: %w", err, lerr)
+		}
+		lis = nl
+		epoch, eerr := j.BumpEpoch()
+		if eerr != nil {
+			lis.Close()
+			return rep, fmt.Errorf("restart after %v: %w", err, eerr)
+		}
+		opts.Epoch = epoch
+	}
+}
+
 // runWorkerMode runs the transmission sweep as one worker of a
 // distributed run: dial the coordinator (with patience — workers often
 // start first), pull task leases, solve them on the local pool, report
-// results. The process exits cleanly when the coordinator declares the
-// sweep done or hangs up; a coordinator running a different spec
-// rejects this worker at the handshake (and vice versa).
+// results. The process exits cleanly only when the coordinator dismisses
+// it with an explicit done; a hangup before that means the coordinator
+// crashed, and with -rejoin-window set the worker re-dials the same
+// address (jittered backoff), re-handshakes under the pinned run ID, and
+// resumes pulling leases under the replacement's epoch. A coordinator
+// running a different spec rejects this worker at the handshake (and
+// vice versa).
 func runWorkerMode(ctx context.Context, b *spec.Built, addr string) error {
 	plan, err := b.Sim.PlanTransmission(b.Grid, nil)
 	if err != nil {
@@ -132,11 +243,25 @@ func runWorkerMode(ctx context.Context, b *spec.Built, addr string) error {
 		return err
 	}
 	host, _ := os.Hostname()
+	rejoin := b.Spec.Exec.RejoinWindow.Std()
 	return distrib.RunWorker(ctx, conn, nBias, nK, nE, distrib.WorkerOptions{
-		ID:       fmt.Sprintf("%s-%d", host, os.Getpid()),
-		Pool:     plan.Pool(),
-		Retry:    b.RetryPolicy(),
-		Injector: b.Injector(),
-		SpecHash: b.Spec.SpecHash(),
+		ID:           fmt.Sprintf("%s-%d", host, os.Getpid()),
+		Pool:         plan.Pool(),
+		Retry:        b.RetryPolicy(),
+		Injector:     b.Injector(),
+		SpecHash:     b.Spec.SpecHash(),
+		RejoinWindow: rejoin,
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			return comms.DialRetry(ctx, comms.TCP{}, addr, rejoin)
+		},
+		OnRejoin: func() {
+			// Everything computed under the dead epoch is fenced out by the
+			// new coordinator, and a warm σ-cache would let the re-dispatched
+			// twins of that work skip the decimation flops the serial run
+			// counts — reset so the merged flop total stays exact.
+			if b.Cache != nil {
+				b.Cache.Reset()
+			}
+		},
 	}, plan.Run)
 }

@@ -88,6 +88,8 @@ func main() {
 		serveAddr    = flag.String("serve", "", "run as distributed-sweep coordinator listening on this TCP address (transmission mode); workers connect with -worker")
 		workerAddr   = flag.String("worker", "", "run as distributed-sweep worker dialing the coordinator at this TCP address (transmission mode)")
 		leaseTimeout = flag.Duration("lease-timeout", def.Exec.LeaseTimeout.Std(), "coordinator: how long a worker may hold a task lease before it is re-dispatched")
+		rejoinWindow = flag.Duration("rejoin-window", def.Exec.RejoinWindow.Std(), "worker: keep re-dialing for this long after losing the coordinator mid-sweep before giving up (0: a coordinator crash ends the worker)")
+		drainTimeout = flag.Duration("drain-timeout", def.Exec.DrainTimeout.Std(), "coordinator: on SIGTERM, stop granting leases and accept in-flight results for up to this long before exiting with a resumable journal")
 
 		checkpoint  = flag.String("checkpoint", def.Resilience.Checkpoint, "sweep journal file for checkpoint/restart (transmission mode)")
 		resume      = flag.Bool("resume", def.Resilience.Resume, "resume from an existing -checkpoint journal, rerunning only unfinished tasks")
@@ -154,6 +156,10 @@ func main() {
 			s.Exec.Workers = *workers
 		case "lease-timeout":
 			s.Exec.LeaseTimeout = spec.Duration(*leaseTimeout)
+		case "rejoin-window":
+			s.Exec.RejoinWindow = spec.Duration(*rejoinWindow)
+		case "drain-timeout":
+			s.Exec.DrainTimeout = spec.Duration(*drainTimeout)
 		case "checkpoint":
 			s.Resilience.Checkpoint = *checkpoint
 		case "resume":

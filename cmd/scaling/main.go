@@ -31,12 +31,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"os/signal"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/cluster"
@@ -95,6 +97,8 @@ func main() {
 		workerAddr   = flag.String("worker", "", "run as distributed-sweep worker dialing the coordinator at this TCP address (strong study)")
 		workersN     = flag.Int("workers", def.Exec.Workers, "with -serve: worker processes to self-spawn from this binary (0: wait for external -worker processes)")
 		leaseTimeout = flag.Duration("lease-timeout", def.Exec.LeaseTimeout.Std(), "coordinator: how long a worker may hold a task lease before it is re-dispatched")
+		rejoinWindow = flag.Duration("rejoin-window", def.Exec.RejoinWindow.Std(), "worker: keep re-dialing for this long after losing the coordinator mid-study before giving up (0: a coordinator crash ends the worker)")
+		drainTimeout = flag.Duration("drain-timeout", def.Exec.DrainTimeout.Std(), "coordinator: on SIGTERM, stop granting leases and accept in-flight results for up to this long before exiting with a resumable journal")
 	)
 	flag.Parse()
 
@@ -136,6 +140,10 @@ func main() {
 			s.Exec.Workers = *workersN
 		case "lease-timeout":
 			s.Exec.LeaseTimeout = spec.Duration(*leaseTimeout)
+		case "rejoin-window":
+			s.Exec.RejoinWindow = spec.Duration(*rejoinWindow)
+		case "drain-timeout":
+			s.Exec.DrainTimeout = spec.Duration(*drainTimeout)
 		}
 	})
 	// The strong study's task grid is its hardcoded core-count list; pin
@@ -222,12 +230,17 @@ func main() {
 				fatal(ctx, &prog, err)
 			}
 			host, _ := os.Hostname()
+			rejoin := s.Exec.RejoinWindow.Std()
 			err = distrib.RunWorker(ctx, conn, 1, 1, len(counts), distrib.WorkerOptions{
-				ID:       fmt.Sprintf("%s-%d", host, os.Getpid()),
-				Pool:     sched.New(1),
-				Retry:    retry,
-				Injector: injector,
-				SpecHash: s.SpecHash(),
+				ID:           fmt.Sprintf("%s-%d", host, os.Getpid()),
+				Pool:         sched.New(1),
+				Retry:        retry,
+				Injector:     injector,
+				SpecHash:     s.SpecHash(),
+				RejoinWindow: rejoin,
+				Dial: func(ctx context.Context) (net.Conn, error) {
+					return comms.DialRetry(ctx, comms.TCP{}, *workerAddr, rejoin)
+				},
 			}, fn)
 			if err != nil {
 				fatal(ctx, &prog, err)
@@ -290,14 +303,54 @@ func main() {
 					}
 				}(cmd, i)
 			}
-			drep, err := distrib.Serve(ctx, lis, 1, 1, len(counts), distrib.Options{
+			dopts := distrib.Options{
 				LeaseTimeout: s.Exec.LeaseTimeout.Std(),
+				DrainTimeout: s.Exec.DrainTimeout.Std(),
 				Journal:      opts.Journal,
 				Restore:      opts.Restore,
 				OnProgress:   prog.set,
 				SpecHash:     s.SpecHash(),
-			})
+			}
+			if j != nil {
+				// Same failover fencing identity as omen's serve mode: the
+				// RunID pins rejoining workers to this run instance, a
+				// resumed journal bumps the epoch to fence out results from
+				// the incarnation it replaces.
+				if h, herr := j.ReadHeader(); herr == nil && h != nil {
+					dopts.RunID = h.RunID
+				}
+				epoch, eerr := j.LatestEpoch()
+				if s.Resilience.Resume {
+					epoch, eerr = j.BumpEpoch()
+				}
+				if eerr != nil {
+					fatal(ctx, &prog, eerr)
+				}
+				dopts.Epoch = epoch
+			}
+			// SIGTERM drains gracefully: no new leases, in-flight results
+			// accepted for -drain-timeout, resumable exit with 143.
+			drain := make(chan struct{})
+			sigC := make(chan os.Signal, 1)
+			signal.Notify(sigC, syscall.SIGTERM)
+			go func() {
+				<-sigC
+				fmt.Fprintf(os.Stderr, "scaling: SIGTERM — draining (accepting in-flight results for up to %v)\n",
+					dopts.DrainTimeout)
+				close(drain)
+			}()
+			dopts.Drain = drain
+			drep, err := distrib.Serve(ctx, lis, 1, 1, len(counts), dopts)
+			signal.Stop(sigC)
 			children.Wait()
+			if errors.Is(err, distrib.ErrDrained) {
+				if j != nil {
+					j.Close()
+				}
+				fmt.Fprintf(os.Stderr, "scaling: drained — completed %d/%d steps; rerun with -resume to finish\n",
+					prog.done.Load(), prog.total.Load())
+				os.Exit(143)
+			}
 			if err != nil {
 				fatal(ctx, &prog, err)
 			}

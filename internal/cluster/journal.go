@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"repro/internal/perf"
 )
 
 // TaskRecord is one completed task in the sweep journal: its flat index,
@@ -23,6 +25,13 @@ type TaskRecord struct {
 	Payload []byte `json:"payload,omitempty"`
 	// Digest is the lowercase hex SHA-256 of Payload.
 	Digest string `json:"sha,omitempty"`
+	// Perf optionally records the perf delta the task's execution cost
+	// (distributed coordinators persist it so a restarted coordinator's
+	// merged flop total stays exactly equal to the serial run's; serial
+	// journals leave it nil). It rides outside Digest, which keeps old
+	// journals valid — a damaged Perf at worst skews counters, never
+	// observables.
+	Perf *perf.Snapshot `json:"perf,omitempty"`
 }
 
 // digestOf returns the canonical payload digest.
@@ -40,6 +49,13 @@ type Header struct {
 	// SpecHash is the content hash of the writing run's spec
 	// (spec.RunSpec.SpecHash — the result-determining subset).
 	SpecHash string `json:"specHash"`
+	// RunID names this run instance (spec hash prefix + random suffix).
+	// It outlives coordinator incarnations: a restarted coordinator
+	// serves the same RunID at a higher epoch, which is how rejoining
+	// workers tell "my coordinator came back" from "a different run
+	// reused the address". Empty for journals written before failover
+	// existed — fencing is skipped, exactly like a missing header.
+	RunID string `json:"runID,omitempty"`
 	// Spec optionally embeds the full canonical spec for forensics, so
 	// a journal is self-describing without the original command line.
 	Spec json.RawMessage `json:"spec,omitempty"`
@@ -53,11 +69,20 @@ type Header struct {
 type headerRecord struct {
 	Header   int             `json:"header"`
 	SpecHash string          `json:"specHash,omitempty"`
+	RunID    string          `json:"runID,omitempty"`
 	Spec     json.RawMessage `json:"spec,omitempty"`
 }
 
 // headerVersion is the header format this package writes.
 const headerVersion = 1
+
+// epochRecord marks the start of a coordinator incarnation in the
+// journal. Like the header, it is invisible to task-record readers (no
+// digest → Verify rejects it as a TaskRecord) and to pre-failover
+// versions of this package, so journals stay fully backward-compatible.
+type epochRecord struct {
+	Epoch uint64 `json:"epoch"`
+}
 
 // Verify reports whether the record's digest matches its payload.
 func (r TaskRecord) Verify() bool { return r.Digest == digestOf(r.Payload) }
@@ -161,17 +186,23 @@ func (j *FileJournal) Path() string { return j.path }
 // journal; resumed journals already carry theirs. Like Append, the
 // record is flushed (and fsync'd when configured) before returning.
 func (j *FileJournal) WriteHeader(h Header) error {
-	line, err := json.Marshal(headerRecord{Header: headerVersion, SpecHash: h.SpecHash, Spec: h.Spec})
+	line, err := json.Marshal(headerRecord{Header: headerVersion, SpecHash: h.SpecHash, RunID: h.RunID, Spec: h.Spec})
 	if err != nil {
 		return fmt.Errorf("cluster: journal header marshal: %w", err)
 	}
+	return j.appendLine(line, "header")
+}
+
+// appendLine writes one pre-marshaled metadata line under the journal
+// lock with the same flush/fsync discipline as Append.
+func (j *FileJournal) appendLine(line []byte, what string) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
 		return fmt.Errorf("cluster: journal %s is closed", j.path)
 	}
 	if _, err := j.w.Write(append(line, '\n')); err != nil {
-		return fmt.Errorf("cluster: journal header: %w", err)
+		return fmt.Errorf("cluster: journal %s: %w", what, err)
 	}
 	if err := j.w.Flush(); err != nil {
 		return fmt.Errorf("cluster: journal flush: %w", err)
@@ -182,6 +213,58 @@ func (j *FileJournal) WriteHeader(h Header) error {
 		}
 	}
 	return nil
+}
+
+// LatestEpoch returns the highest coordinator-incarnation epoch recorded
+// in the journal, or 1 when none is — a journal with no epoch records
+// was written by a single (first) incarnation.
+func (j *FileJournal) LatestEpoch() (uint64, error) {
+	f, err := os.Open(j.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 1, nil
+		}
+		return 0, fmt.Errorf("cluster: read journal: %w", err)
+	}
+	defer f.Close()
+	latest := uint64(1)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var er epochRecord
+		if err := json.Unmarshal(line, &er); err == nil && er.Epoch > latest {
+			latest = er.Epoch
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("cluster: scan journal: %w", err)
+	}
+	return latest, nil
+}
+
+// BumpEpoch persists the start of a new coordinator incarnation and
+// returns its epoch number (latest recorded + 1; the first bump on a
+// fresh journal therefore returns 2 — epoch 1 is the implicit first
+// incarnation). The record is fsync'd under WithFsync, so a worker can
+// never be welcomed into an epoch the journal might forget.
+func (j *FileJournal) BumpEpoch() (uint64, error) {
+	latest, err := j.LatestEpoch()
+	if err != nil {
+		return 0, err
+	}
+	next := latest + 1
+	line, err := json.Marshal(epochRecord{Epoch: next})
+	if err != nil {
+		return 0, fmt.Errorf("cluster: journal epoch marshal: %w", err)
+	}
+	if err := j.appendLine(line, "epoch"); err != nil {
+		return 0, err
+	}
+	return next, nil
 }
 
 // ReadHeader returns the journal's header record, or nil when the file
@@ -208,7 +291,7 @@ func (j *FileJournal) ReadHeader() (*Header, error) {
 		if err := json.Unmarshal(line, &hr); err != nil || hr.Header == 0 {
 			continue
 		}
-		return &Header{SpecHash: hr.SpecHash, Spec: hr.Spec}, nil
+		return &Header{SpecHash: hr.SpecHash, RunID: hr.RunID, Spec: hr.Spec}, nil
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("cluster: scan journal: %w", err)

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/perf"
 )
 
 // appendRecords writes n records with recognizable payloads through a
@@ -258,5 +260,112 @@ func TestJournalHeaderInvisibleToOldReader(t *testing.T) {
 	}
 	if rec.Verify() {
 		t.Fatal("header line passes TaskRecord.Verify — old readers would mistake it for a task")
+	}
+}
+
+// TestJournalEpochLifecycle: a fresh journal is implicitly at epoch 1;
+// each BumpEpoch persists and returns the next incarnation number, which
+// survives reopen; epoch records are invisible to Load and to readers
+// from before epochs existed.
+func TestJournalEpochLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatalf("OpenFileJournal: %v", err)
+	}
+	if e, err := j.LatestEpoch(); err != nil || e != 1 {
+		t.Fatalf("fresh LatestEpoch = %d, %v; want 1", e, err)
+	}
+	if e, err := j.BumpEpoch(); err != nil || e != 2 {
+		t.Fatalf("first BumpEpoch = %d, %v; want 2", e, err)
+	}
+	if err := j.Append(TaskRecord{Index: 0, Payload: []byte("p0")}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if e, err := j.BumpEpoch(); err != nil || e != 3 {
+		t.Fatalf("second BumpEpoch = %d, %v; want 3", e, err)
+	}
+	j.Close()
+
+	j2, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if e, err := j2.LatestEpoch(); err != nil || e != 3 {
+		t.Fatalf("reopened LatestEpoch = %d, %v; want 3", e, err)
+	}
+	recs, err := j2.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Index != 0 {
+		t.Fatalf("Load sees %d records (want 1 task, epochs invisible)", len(recs))
+	}
+	// Old readers: an epoch line parsed as a TaskRecord must fail Verify.
+	var rec TaskRecord
+	if err := json.Unmarshal([]byte(`{"epoch":3}`), &rec); err != nil {
+		t.Fatalf("unmarshal epoch as TaskRecord: %v", err)
+	}
+	if rec.Verify() {
+		t.Fatal("epoch line passes TaskRecord.Verify — old readers would mistake it for a task")
+	}
+}
+
+// TestJournalRunIDRoundTrip: the header's run ID survives reopen and is
+// absent (not invented) on journals written without one.
+func TestJournalRunIDRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatalf("OpenFileJournal: %v", err)
+	}
+	if err := j.WriteHeader(Header{SpecHash: "abc", RunID: "abc-0011"}); err != nil {
+		t.Fatalf("WriteHeader: %v", err)
+	}
+	j.Close()
+	j2, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	h, err := j2.ReadHeader()
+	if err != nil || h == nil {
+		t.Fatalf("ReadHeader: %+v, %v", h, err)
+	}
+	if h.RunID != "abc-0011" {
+		t.Fatalf("RunID = %q, want abc-0011", h.RunID)
+	}
+}
+
+// TestJournalTaskPerfRoundTrip: a record's perf delta survives the disk
+// round trip and its absence leaves old-style records untouched.
+func TestJournalTaskPerfRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatalf("OpenFileJournal: %v", err)
+	}
+	if err := j.Append(TaskRecord{Index: 4, Payload: []byte("p4"), Perf: &perf.Snapshot{Flops: 12345}}); err != nil {
+		t.Fatalf("Append with perf: %v", err)
+	}
+	if err := j.Append(TaskRecord{Index: 5, Payload: []byte("p5")}); err != nil {
+		t.Fatalf("Append without perf: %v", err)
+	}
+	j.Close()
+	j2, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	recs, err := j2.Load()
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("Load: %d recs, %v", len(recs), err)
+	}
+	if recs[0].Perf == nil || recs[0].Perf.Flops != 12345 {
+		t.Fatalf("record 0 perf = %+v, want Flops 12345", recs[0].Perf)
+	}
+	if recs[1].Perf != nil {
+		t.Fatalf("record 1 perf = %+v, want nil", recs[1].Perf)
 	}
 }

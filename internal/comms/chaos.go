@@ -1,0 +1,198 @@
+package comms
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosConfig parameterizes deterministic network-fault injection. All
+// fault draws are pure functions of (Seed, operation index), so a chaos
+// drill replays the same kill/delay/corruption schedule on every run —
+// the same property the resilience fault injector gives task execution,
+// applied to the wire.
+type ChaosConfig struct {
+	// Seed feeds the deterministic fault schedule. Two conns with the
+	// same seed misbehave identically against identical traffic.
+	Seed uint64
+	// CutRate is the per-operation probability that the connection is
+	// killed: the underlying conn is closed and the op fails with an
+	// error that classifies as a hangup (io.ErrClosedPipe).
+	CutRate float64
+	// DelayRate is the per-operation probability of an injected stall of
+	// up to MaxDelay (drawn deterministically).
+	DelayRate float64
+	// MaxDelay bounds injected stalls (default 5ms when DelayRate > 0).
+	MaxDelay time.Duration
+	// CorruptRate is the per-operation probability that exactly one bit
+	// of the transferred bytes is flipped. Frame CRC-32C turns this into
+	// a detected *BadChecksumError on the reader, never silent damage.
+	CorruptRate float64
+}
+
+// enabled reports whether any fault class is active.
+func (c ChaosConfig) enabled() bool {
+	return c.CutRate > 0 || c.DelayRate > 0 || c.CorruptRate > 0
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed hash used
+// to derive independent per-operation fault draws from (seed, counter).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// chaosUnit maps a draw to [0,1).
+func chaosUnit(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// ChaosConn wraps a net.Conn with deterministic fault injection per
+// ChaosConfig. It is used by distrib tests and failover drills to prove
+// the protocol survives a hostile network: cut connections exercise the
+// worker rejoin loop and coordinator re-dispatch, corruption exercises
+// the frame checksum, delays exercise deadlines and lease expiry.
+type ChaosConn struct {
+	net.Conn
+	cfg ChaosConfig
+	ops atomic.Uint64
+	cut atomic.Bool
+}
+
+// Chaos wraps conn with the given fault schedule. A zeroed config is a
+// transparent pass-through.
+func Chaos(conn net.Conn, cfg ChaosConfig) *ChaosConn {
+	return &ChaosConn{Conn: conn, cfg: cfg}
+}
+
+// fault draws this operation's fault decisions. kind salts the draw so
+// reads and writes at the same index decorrelate.
+func (c *ChaosConn) fault(kind uint64) (cut bool, delay time.Duration, corrupt uint64, doCorrupt bool) {
+	n := c.ops.Add(1)
+	base := splitmix64(c.cfg.Seed ^ splitmix64(n^kind))
+	if c.cfg.CutRate > 0 && chaosUnit(splitmix64(base^0x1)) < c.cfg.CutRate {
+		cut = true
+		return
+	}
+	if c.cfg.DelayRate > 0 && chaosUnit(splitmix64(base^0x2)) < c.cfg.DelayRate {
+		max := c.cfg.MaxDelay
+		if max <= 0 {
+			max = 5 * time.Millisecond
+		}
+		delay = time.Duration(chaosUnit(splitmix64(base^0x3)) * float64(max))
+	}
+	if c.cfg.CorruptRate > 0 && chaosUnit(splitmix64(base^0x4)) < c.cfg.CorruptRate {
+		doCorrupt, corrupt = true, splitmix64(base^0x5)
+	}
+	return
+}
+
+// kill closes the underlying conn and returns a hangup-classified error.
+func (c *ChaosConn) kill(op string) error {
+	c.cut.Store(true)
+	c.Conn.Close()
+	return fmt.Errorf("comms: chaos cut during %s: %w", op, io.ErrClosedPipe)
+}
+
+// Read implements net.Conn with fault injection. Corruption flips one
+// bit of the bytes actually read.
+func (c *ChaosConn) Read(p []byte) (int, error) {
+	if c.cut.Load() {
+		return 0, io.ErrClosedPipe
+	}
+	if !c.cfg.enabled() {
+		return c.Conn.Read(p)
+	}
+	cut, delay, draw, doCorrupt := c.fault(0x52)
+	if cut {
+		return 0, c.kill("read")
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	n, err := c.Conn.Read(p)
+	if doCorrupt && n > 0 {
+		i := draw % uint64(n)
+		p[i] ^= 1 << (splitmix64(draw) % 8)
+	}
+	return n, err
+}
+
+// Write implements net.Conn with fault injection. Corruption flips one
+// bit in a private copy, never in the caller's buffer.
+func (c *ChaosConn) Write(p []byte) (int, error) {
+	if c.cut.Load() {
+		return 0, io.ErrClosedPipe
+	}
+	if !c.cfg.enabled() {
+		return c.Conn.Write(p)
+	}
+	cut, delay, draw, doCorrupt := c.fault(0x57)
+	if cut {
+		return 0, c.kill("write")
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if doCorrupt && len(p) > 0 {
+		q := make([]byte, len(p))
+		copy(q, p)
+		i := draw % uint64(len(q))
+		q[i] ^= 1 << (splitmix64(draw) % 8)
+		p = q
+	}
+	return c.Conn.Write(p)
+}
+
+// ChaosTransport wraps a Transport so every connection it produces —
+// dialed or accepted — runs through a ChaosConn. Each connection derives
+// its own seed from (Seed, connection index), so faults decorrelate
+// across conns while the whole schedule stays reproducible.
+type ChaosTransport struct {
+	Inner Transport
+	Cfg   ChaosConfig
+	conns atomic.Uint64
+}
+
+// wrap derives a per-conn config and wraps c.
+func (t *ChaosTransport) wrap(c net.Conn) net.Conn {
+	cfg := t.Cfg
+	cfg.Seed = splitmix64(cfg.Seed ^ splitmix64(t.conns.Add(1)))
+	return Chaos(c, cfg)
+}
+
+// Dial implements Transport.
+func (t *ChaosTransport) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	c, err := t.Inner.Dial(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return t.wrap(c), nil
+}
+
+// Listen implements Transport.
+func (t *ChaosTransport) Listen(addr string) (net.Listener, error) {
+	lis, err := t.Inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosListener{Listener: lis, t: t}, nil
+}
+
+// chaosListener wraps accepted conns.
+type chaosListener struct {
+	net.Listener
+	t *ChaosTransport
+}
+
+// Accept implements net.Listener.
+func (l *chaosListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.t.wrap(c), nil
+}

@@ -1,0 +1,168 @@
+package comms
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chaosPipe builds a pipe whose server→client direction runs through a
+// ChaosConn, and pumps nFrames frames of payload through it, returning
+// per-frame outcomes ("ok", "checksum", "hangup", "other").
+func chaosPipe(t *testing.T, cfg ChaosConfig, nFrames int, payload []byte) []string {
+	t.Helper()
+	client, server := net.Pipe()
+	chaotic := Chaos(server, cfg)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer chaotic.Close()
+		for i := 0; i < nFrames; i++ {
+			if err := WriteFrame(chaotic, 3, payload); err != nil {
+				return
+			}
+		}
+	}()
+	outcomes := make([]string, 0, nFrames)
+	for i := 0; i < nFrames; i++ {
+		client.SetReadDeadline(time.Now().Add(2 * time.Second))
+		_, got, err := ReadFrame(client)
+		switch {
+		case err == nil && bytes.Equal(got, payload):
+			outcomes = append(outcomes, "ok")
+			continue
+		case err == nil:
+			outcomes = append(outcomes, "silent-corruption")
+		default:
+			var cs *BadChecksumError
+			switch {
+			case errors.As(err, &cs):
+				outcomes = append(outcomes, "checksum")
+			case err == io.EOF || errors.Is(err, ErrTruncated) || errors.Is(err, io.ErrClosedPipe):
+				outcomes = append(outcomes, "hangup")
+			default:
+				outcomes = append(outcomes, "other:"+err.Error())
+			}
+		}
+		break // stream is untrustworthy after the first failure
+	}
+	client.Close()
+	wg.Wait()
+	return outcomes
+}
+
+func TestChaosConnPassThrough(t *testing.T) {
+	// A zeroed config must be fully transparent.
+	got := chaosPipe(t, ChaosConfig{}, 50, []byte("payload bytes"))
+	if len(got) != 50 {
+		t.Fatalf("got %d outcomes, want 50", len(got))
+	}
+	for i, o := range got {
+		if o != "ok" {
+			t.Fatalf("frame %d: outcome %q, want ok", i, o)
+		}
+	}
+}
+
+func TestChaosConnCorruptionIsDetected(t *testing.T) {
+	// With corruption on, damaged frames must surface as checksum errors —
+	// never as silently wrong payloads.
+	cfg := ChaosConfig{Seed: 7, CorruptRate: 0.05}
+	sawChecksum := false
+	for seed := uint64(1); seed <= 8 && !sawChecksum; seed++ {
+		cfg.Seed = seed
+		for _, o := range chaosPipe(t, cfg, 200, bytes.Repeat([]byte("x"), 256)) {
+			if o == "silent-corruption" {
+				t.Fatal("corrupted frame decoded as valid with wrong payload")
+			}
+			if o == "checksum" {
+				sawChecksum = true
+			}
+		}
+	}
+	if !sawChecksum {
+		t.Fatal("no corruption observed across 8 seeds at 5% rate")
+	}
+}
+
+func TestChaosConnCutLooksLikeHangup(t *testing.T) {
+	cfg := ChaosConfig{Seed: 3, CutRate: 0.05}
+	sawHangup := false
+	for seed := uint64(1); seed <= 8 && !sawHangup; seed++ {
+		cfg.Seed = seed
+		for _, o := range chaosPipe(t, cfg, 200, []byte("abc")) {
+			if o == "hangup" {
+				sawHangup = true
+			}
+			if len(o) > 6 && o[:6] == "other:" {
+				t.Fatalf("cut produced a non-hangup error: %s", o)
+			}
+		}
+	}
+	if !sawHangup {
+		t.Fatal("no connection cut observed across 8 seeds at 5% rate")
+	}
+	// After a cut, the wrapped conn stays dead.
+	client, server := net.Pipe()
+	defer client.Close()
+	cc := Chaos(server, ChaosConfig{Seed: 1, CutRate: 1})
+	if _, err := cc.Write([]byte("x")); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("write on cut conn: err = %v, want ErrClosedPipe", err)
+	}
+	if _, err := cc.Write([]byte("x")); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("second write on cut conn: err = %v, want ErrClosedPipe", err)
+	}
+}
+
+func TestChaosScheduleDeterministic(t *testing.T) {
+	cfg := ChaosConfig{Seed: 42, CorruptRate: 0.03, CutRate: 0.01}
+	a := chaosPipe(t, cfg, 300, bytes.Repeat([]byte("frame"), 40))
+	b := chaosPipe(t, cfg, 300, bytes.Repeat([]byte("frame"), 40))
+	if len(a) != len(b) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestChaosTransportWrapsBothSides(t *testing.T) {
+	lb := NewLoopback()
+	ct := &ChaosTransport{Inner: lb} // zero rates: transparent but wrapped
+	lis, err := ct.Listen("chaos")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer lis.Close()
+	var accepted net.Conn
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		accepted, _ = lis.Accept()
+	}()
+	dialed, err := ct.Dial(context.Background(), "chaos")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	<-done
+	if _, ok := dialed.(*ChaosConn); !ok {
+		t.Fatalf("dialed conn is %T, want *ChaosConn", dialed)
+	}
+	if _, ok := accepted.(*ChaosConn); !ok {
+		t.Fatalf("accepted conn is %T, want *ChaosConn", accepted)
+	}
+	// Distinct conns must derive distinct seeds from one transport seed.
+	if dialed.(*ChaosConn).cfg.Seed == accepted.(*ChaosConn).cfg.Seed {
+		t.Fatal("per-conn chaos seeds did not decorrelate")
+	}
+	dialed.Close()
+	accepted.Close()
+}

@@ -5,18 +5,21 @@
 // production and an in-memory loopback network for deterministic tests.
 //
 // The frame format is deliberately minimal (it plays the role MPI's
-// envelope played for the SC11 runs): an 8-byte header of magic, version,
-// message type, and big-endian payload length, followed by the payload
-// bytes. Every decoding failure is a typed error — bad magic, unsupported
-// version, oversized length, truncated header or payload — and the
+// envelope played for the SC11 runs): a 12-byte header of magic, version,
+// message type, big-endian payload length, and a CRC-32C checksum of the
+// type byte plus payload, followed by the payload bytes. Every decoding
+// failure is a typed error — bad magic, unsupported version, oversized
+// length, corrupted checksum, truncated header or payload — and the
 // decoder never panics on hostile input (fuzz-tested), so a confused or
-// malicious peer can at worst get its connection dropped.
+// malicious peer (or a chaos-injected flipped bit) can at worst get its
+// connection dropped.
 package comms
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -27,14 +30,31 @@ const (
 	// Version is the wire-format version this build speaks. A frame
 	// tagged with any other version is rejected with *BadVersionError,
 	// so protocol evolution fails loudly instead of misparsing.
-	Version byte = 1
+	// Version 2 added the CRC-32C trailer to the header; a version-1
+	// peer is rejected here rather than misread.
+	Version byte = 2
 	// MaxPayload bounds a frame's payload so a corrupt or hostile length
 	// prefix cannot make the reader allocate unbounded memory.
 	MaxPayload = 64 << 20
 
-	// headerLen is magic(2) + version(1) + type(1) + length(4).
-	headerLen = 8
+	// headerLen is magic(2) + version(1) + type(1) + length(4) + crc(4).
+	headerLen = 12
 )
+
+// crcTable is the Castagnoli polynomial table; CRC-32C has hardware
+// support on amd64/arm64, so the checksum is nearly free next to the JSON
+// encode it guards.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameCRC is the integrity checksum carried in the header: CRC-32C over
+// the type byte followed by the payload. Covering the type byte means a
+// flipped bit anywhere in (type, payload) is detected; magic, version,
+// and length corruption are caught by their own checks (a corrupted
+// length misaligns the payload, which then fails this checksum).
+func frameCRC(t MsgType, payload []byte) uint32 {
+	crc := crc32.Update(0, crcTable, []byte{byte(t)})
+	return crc32.Update(crc, crcTable, payload)
+}
 
 // MsgType tags a frame's payload with its message kind. The values are
 // defined by the protocol built on top (internal/distrib); comms only
@@ -77,6 +97,21 @@ func (e *OversizedError) Error() string {
 	return fmt.Sprintf("comms: frame payload %d bytes exceeds limit %d", e.Size, MaxPayload)
 }
 
+// BadChecksumError reports a frame whose payload failed its CRC-32C
+// check — a bit was flipped somewhere between the peers. The connection
+// should be dropped (and, for workers, rejoined): the stream offset can
+// no longer be trusted.
+type BadChecksumError struct {
+	// Want is the checksum the header declared; Got what the received
+	// bytes hash to.
+	Want, Got uint32
+}
+
+// Error implements error.
+func (e *BadChecksumError) Error() string {
+	return fmt.Sprintf("comms: frame checksum mismatch (header %#08x, payload %#08x)", e.Want, e.Got)
+}
+
 // ErrTruncated is wrapped by read errors reporting a frame cut off
 // mid-header or mid-payload (the connection died inside a frame).
 var ErrTruncated = errors.New("comms: truncated frame")
@@ -93,6 +128,7 @@ func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	h[2] = Version
 	h[3] = byte(t)
 	binary.BigEndian.PutUint32(h[4:8], uint32(len(payload)))
+	binary.BigEndian.PutUint32(h[8:12], frameCRC(t, payload))
 	if _, err := w.Write(h[:]); err != nil {
 		return fmt.Errorf("comms: write frame header: %w", err)
 	}
@@ -130,15 +166,20 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 	if n > MaxPayload {
 		return 0, nil, &OversizedError{Size: uint64(n)}
 	}
-	if n == 0 {
-		return MsgType(h[3]), nil, nil
-	}
-	payload := make([]byte, n)
-	if k, err := io.ReadFull(r, payload); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) || err == io.EOF {
-			return 0, nil, fmt.Errorf("%w: stream ended %d bytes into a %d-byte payload", ErrTruncated, k, n)
+	want := binary.BigEndian.Uint32(h[8:12])
+	t := MsgType(h[3])
+	var payload []byte
+	if n > 0 {
+		payload = make([]byte, n)
+		if k, err := io.ReadFull(r, payload); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) || err == io.EOF {
+				return 0, nil, fmt.Errorf("%w: stream ended %d bytes into a %d-byte payload", ErrTruncated, k, n)
+			}
+			return 0, nil, fmt.Errorf("comms: read frame payload: %w", err)
 		}
-		return 0, nil, fmt.Errorf("comms: read frame payload: %w", err)
 	}
-	return MsgType(h[3]), payload, nil
+	if got := frameCRC(t, payload); got != want {
+		return 0, nil, &BadChecksumError{Want: want, Got: got}
+	}
+	return t, payload, nil
 }

@@ -8,13 +8,16 @@ import (
 	"testing"
 )
 
-// frameBytes hand-assembles a frame with arbitrary header fields.
+// frameBytes hand-assembles a frame with arbitrary header fields. The
+// checksum is computed honestly over (type, payload), so malformed
+// headers exercise their own checks rather than tripping the CRC first.
 func frameBytes(magic uint16, version byte, t MsgType, length uint32, payload []byte) []byte {
 	var h [headerLen]byte
 	binary.BigEndian.PutUint16(h[0:2], magic)
 	h[2] = version
 	h[3] = byte(t)
 	binary.BigEndian.PutUint32(h[4:8], length)
+	binary.BigEndian.PutUint32(h[8:12], frameCRC(t, payload))
 	return append(h[:], payload...)
 }
 
@@ -64,6 +67,14 @@ func TestReadFrameErrors(t *testing.T) {
 			var oe *OversizedError
 			return errors.As(e, &oe) && oe.Size == MaxPayload+1
 		}},
+		{"flipped payload bit", flipBit(good, headerLen+1, 3), func(e error) bool {
+			var ce *BadChecksumError
+			return errors.As(e, &ce) && ce.Want != ce.Got
+		}},
+		{"flipped type byte", flipBit(good, 3, 0), func(e error) bool {
+			var ce *BadChecksumError
+			return errors.As(e, &ce)
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -75,6 +86,33 @@ func TestReadFrameErrors(t *testing.T) {
 				t.Fatalf("wrong error: %v", err)
 			}
 		})
+	}
+}
+
+// flipBit returns a copy of b with bit `bit` of byte `i` inverted.
+func flipBit(b []byte, i int, bit uint) []byte {
+	c := append([]byte(nil), b...)
+	c[i] ^= 1 << bit
+	return c
+}
+
+// TestFrameChecksumCatchesEveryBit flips every bit of an encoded frame
+// in turn and asserts the decoder rejects all of them: magic and version
+// flips hit their own checks, and every flip in type, length, checksum,
+// or payload lands on the CRC (a length flip misaligns the payload the
+// CRC was computed over).
+func TestFrameChecksumCatchesEveryBit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 5, []byte("checksummed payload")); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	orig := buf.Bytes()
+	for i := range orig {
+		for bit := uint(0); bit < 8; bit++ {
+			if _, _, err := ReadFrame(bytes.NewReader(flipBit(orig, i, bit))); err == nil {
+				t.Fatalf("byte %d bit %d: damaged frame decoded without error", i, bit)
+			}
+		}
 	}
 }
 
@@ -105,12 +143,14 @@ func FuzzReadFrame(f *testing.F) {
 			var bm *BadMagicError
 			var bv *BadVersionError
 			var ov *OversizedError
+			var cs *BadChecksumError
 			switch {
 			case err == io.EOF,
 				errors.Is(err, ErrTruncated),
 				errors.As(err, &bm),
 				errors.As(err, &bv),
-				errors.As(err, &ov):
+				errors.As(err, &ov),
+				errors.As(err, &cs):
 			default:
 				t.Fatalf("untyped decode error: %v", err)
 			}

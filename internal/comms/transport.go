@@ -3,9 +3,12 @@ package comms
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/resilience"
 )
 
 // Transport abstracts how coordinator and workers reach each other: real
@@ -33,33 +36,64 @@ func (TCP) Dial(ctx context.Context, addr string) (net.Conn, error) {
 
 // DialRetry dials addr through t, retrying on failure until ctx expires
 // or the per-call patience window closes — workers routinely start before
-// their coordinator is listening, and a few hundred milliseconds of
-// patience makes launch ordering irrelevant.
+// their coordinator is listening (or outlive one that is restarting), and
+// patience makes launch ordering irrelevant. Retries back off
+// exponentially with deterministic jitter seeded from addr, so a fleet of
+// rejoining workers spreads out instead of thundering-herding a
+// coordinator that is coming back up, and a rerun of the same drill
+// sleeps the same schedule. The returned error always carries the last
+// dial failure, even when ctx expired first.
 func DialRetry(ctx context.Context, t Transport, addr string, patience time.Duration) (net.Conn, error) {
 	if patience <= 0 {
 		patience = 10 * time.Second
 	}
+	backoff := dialBackoffPolicy(fnvAddrSeed(addr))
 	deadline := time.Now().Add(patience)
 	var lastErr error
-	for {
+	for attempt := 0; ; attempt++ {
 		conn, err := t.Dial(ctx, addr)
 		if err == nil {
 			return conn, nil
 		}
 		lastErr = err
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("comms: dial %s: %w (gave up: %v)", addr, lastErr, cerr)
 		}
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("comms: dial %s: %w", addr, lastErr)
+			return nil, fmt.Errorf("comms: dial %s: %w (gave up after %v)", addr, lastErr, patience)
 		}
-		t := time.NewTimer(100 * time.Millisecond)
+		wait := backoff.Backoff(attempt)
+		if remain := time.Until(deadline); wait > remain {
+			wait = remain
+		}
+		tm := time.NewTimer(wait)
 		select {
 		case <-ctx.Done():
-			t.Stop()
-			return nil, ctx.Err()
-		case <-t.C:
+			tm.Stop()
+			return nil, fmt.Errorf("comms: dial %s: %w (gave up: %v)", addr, lastErr, ctx.Err())
+		case <-tm.C:
 		}
+	}
+}
+
+// fnvAddrSeed hashes an address into a jitter seed, so every worker
+// dialing the same coordinator gets the same (reproducible) schedule
+// shape while distinct targets decorrelate.
+func fnvAddrSeed(addr string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	return h.Sum64()
+}
+
+// dialBackoffPolicy is DialRetry's retry schedule: exponential from 25ms
+// to 1s with ±25% deterministic jitter.
+func dialBackoffPolicy(seed uint64) resilience.Policy {
+	return resilience.Policy{
+		BaseDelay:  25 * time.Millisecond,
+		MaxDelay:   time.Second,
+		Multiplier: 2,
+		JitterFrac: 0.25,
+		Seed:       seed,
 	}
 }
 

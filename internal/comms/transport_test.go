@@ -3,7 +3,9 @@ package comms
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -149,10 +151,59 @@ func TestDialRetryWaitsForListener(t *testing.T) {
 func TestDialRetryGivesUp(t *testing.T) {
 	lb := NewLoopback()
 	start := time.Now()
-	if _, err := DialRetry(context.Background(), lb, "never", 50*time.Millisecond); err == nil {
+	_, err := DialRetry(context.Background(), lb, "never", 50*time.Millisecond)
+	if err == nil {
 		t.Fatal("DialRetry to a dead address succeeded")
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("DialRetry took %v, patience was 50ms", elapsed)
+	}
+	// The give-up error names the address and the underlying failure, not
+	// just the patience window.
+	if !strings.Contains(err.Error(), "never") || !strings.Contains(err.Error(), "refused") {
+		t.Fatalf("give-up error hides the dial failure: %v", err)
+	}
+}
+
+func TestDialRetrySurfacesLastErrorOnContextExpiry(t *testing.T) {
+	lb := NewLoopback()
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel()
+	_, err := DialRetry(ctx, lb, "never", 10*time.Second)
+	if err == nil {
+		t.Fatal("DialRetry with expired context succeeded")
+	}
+	// Before, an expired ctx returned a bare ctx.Err() and the operator
+	// never learned why the dials were failing.
+	if !strings.Contains(err.Error(), "refused") {
+		t.Fatalf("ctx-expiry error hides the last dial failure: %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) && !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("ctx-expiry error hides the context cause: %v", err)
+	}
+}
+
+func TestDialRetryBackoffGrows(t *testing.T) {
+	// The retry schedule is deterministic in the address and must grow:
+	// a fixed interval would thundering-herd a restarting coordinator.
+	h := fnvAddrSeed("coord:1234")
+	p := dialBackoffPolicy(h)
+	prev := time.Duration(-1)
+	grew := false
+	for a := 0; a < 6; a++ {
+		d := p.Backoff(a)
+		if d <= 0 {
+			t.Fatalf("backoff(%d) = %v, want > 0", a, d)
+		}
+		if d != p.Backoff(a) {
+			t.Fatalf("backoff(%d) not deterministic", a)
+		}
+		if d > prev {
+			grew = d > 2*time.Duration(25*time.Millisecond) || grew
+		}
+		prev = d
+	}
+	if p.Backoff(5) <= p.Backoff(0) {
+		t.Fatalf("backoff does not grow: first %v, sixth %v", p.Backoff(0), p.Backoff(5))
 	}
 }

@@ -2,6 +2,7 @@ package distrib
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -12,6 +13,12 @@ import (
 	"repro/internal/comms"
 	"repro/internal/perf"
 )
+
+// ErrDrained is returned by Serve when a graceful drain (Options.Drain)
+// dismissed the workers before the sweep completed. The report still
+// carries the completed/restored accounting, every accepted result is in
+// the journal, and a later -resume finishes the remainder.
+var ErrDrained = errors.New("distrib: sweep drained before completion")
 
 // Options configures Serve. The zero value is usable: 30 s leases,
 // heartbeats at a quarter of that, no journal, fail on the first
@@ -52,6 +59,26 @@ type Options struct {
 	// actually determine results. Empty disables the check (callers
 	// driving the protocol without a spec).
 	SpecHash string
+	// RunID names the run instance across coordinator incarnations (the
+	// journal header's RunID). Rejoining workers pin it: a changed RunID
+	// means a different run reused the address. Empty disables fencing.
+	RunID string
+	// Epoch is this coordinator incarnation's number within the run (1
+	// for a first start, bumped by the supervisor on every restart —
+	// cluster.FileJournal.BumpEpoch persists it). Results tagged with an
+	// older epoch are discarded: their tasks were already re-dispatched
+	// from the journal-seeded lease table. Zero disables fencing.
+	Epoch uint64
+	// Drain, when non-nil, triggers a graceful drain when it becomes
+	// receivable (close it): the coordinator stops granting leases,
+	// dismisses workers with done as they ask for more work, keeps
+	// accepting and journaling in-flight results until none are
+	// outstanding or DrainTimeout passes, then returns ErrDrained with
+	// the partial accounting. This is the SIGTERM path of `omen -serve`.
+	Drain <-chan struct{}
+	// DrainTimeout bounds how long a drain waits for outstanding leases
+	// to resolve (default 10s).
+	DrainTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -69,6 +96,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = 50 * time.Millisecond
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 10 * time.Second
 	}
 	return o
 }
@@ -94,7 +124,17 @@ type Report struct {
 	// together, and discarding a duplicate's delta also discards flops
 	// that belong to winning tasks — the total then undercounts whenever
 	// a lease was re-dispatched, and is approximate in general.
+	//
+	// Across coordinator restarts exactness additionally relies on the
+	// journal persisting each record's perf delta (TaskRecord.Perf,
+	// re-summed at seed time) and on rejoining workers resetting their
+	// perf baseline and σ-cache, so work discarded with a dead epoch
+	// neither leaks into nor is shaved off later deltas.
 	Perf perf.Snapshot
+	// StaleEpoch counts results discarded by the epoch fence — reported
+	// by a worker that computed them under a previous coordinator
+	// incarnation.
+	StaleEpoch int
 }
 
 // task lease states.
@@ -145,8 +185,11 @@ type coordinator struct {
 	workersSeen  int
 	workers      map[string]*workerState
 	perf         perf.Snapshot
+	staleEpoch   int
 	failure      error
 	finished     bool
+	draining     bool // drain requested: grant nothing, dismiss on request
+	drained      bool // drain completed the shutdown before the sweep finished
 	done         chan struct{}
 }
 
@@ -190,6 +233,12 @@ func Serve(ctx context.Context, lis net.Listener, nBias, nK, nE int, opts Option
 					return rep, fmt.Errorf("distrib: restore task %d: %w", rec.Index, err)
 				}
 			}
+			if rec.Perf != nil {
+				// Re-sum the persisted per-task perf deltas so a restarted
+				// coordinator's merged flop total stays exactly the serial
+				// count (see Report.Perf).
+				c.perf.Add(*rec.Perf)
+			}
 			c.st[rec.Index].phase = stateDone
 			c.restored++
 		}
@@ -220,6 +269,13 @@ func Serve(ctx context.Context, lis net.Listener, nBias, nK, nE int, opts Option
 		defer wg.Done()
 		c.reap(ctx2)
 	}()
+	if opts.Drain != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.drainWatch(ctx2)
+		}()
+	}
 
 	select {
 	case <-c.done:
@@ -228,13 +284,98 @@ func Serve(ctx context.Context, lis net.Listener, nBias, nK, nE int, opts Option
 	}
 	cancel()
 	lis.Close()
+	// On a clean finish (drain included), give connected workers a moment
+	// to pick up their explicit done dismissal and sign off — without it,
+	// a worker whose lease request races the teardown sees a hangup,
+	// which since protocol v3 means "coordinator crashed" and would send
+	// it into its rejoin loop for nothing.
+	if c.cleanSoFar() {
+		c.awaitGoodbyes(2 * time.Second)
+	}
 	c.closeConns()
 	wg.Wait()
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.fill(rep)
+	if c.failure == nil && c.drained && c.remaining > 0 {
+		return rep, ErrDrained
+	}
 	return rep, c.failure
+}
+
+// cleanSoFar reports whether no fatal error has been recorded.
+func (c *coordinator) cleanSoFar() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failure == nil
+}
+
+// awaitGoodbyes waits (bounded by grace) for every connected worker to
+// receive its done dismissal and disconnect.
+func (c *coordinator) awaitGoodbyes(grace time.Duration) {
+	deadline := time.Now().Add(grace)
+	for {
+		c.mu.Lock()
+		n := len(c.workers)
+		c.mu.Unlock()
+		if n == 0 || time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// drainWatch arms the graceful-drain path: when Options.Drain fires, stop
+// granting, let in-flight leases resolve (results are still accepted and
+// journaled), and force the shutdown when DrainTimeout passes first.
+func (c *coordinator) drainWatch(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+		return
+	case <-c.done:
+		return
+	case <-c.opts.Drain:
+	}
+	c.mu.Lock()
+	c.draining = true
+	c.maybeFinishDrainLocked()
+	c.mu.Unlock()
+	timer := time.NewTimer(c.opts.DrainTimeout)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+	case <-c.done:
+	case <-timer.C:
+		c.mu.Lock()
+		c.finishDrainLocked()
+		c.mu.Unlock()
+	}
+}
+
+// maybeFinishDrainLocked completes a drain once no lease is outstanding:
+// every task is pending (safely re-dispatchable from the journal on
+// resume), committing results have landed, and nothing more will arrive.
+func (c *coordinator) maybeFinishDrainLocked() {
+	if !c.draining || c.finished {
+		return
+	}
+	for i := range c.st {
+		if p := c.st[i].phase; p == stateLeased || p == stateCommitting {
+			return
+		}
+	}
+	c.finishDrainLocked()
+}
+
+// finishDrainLocked ends the run as drained (idempotent).
+func (c *coordinator) finishDrainLocked() {
+	if c.finished {
+		return
+	}
+	c.finished = true
+	c.drained = true
+	close(c.done)
 }
 
 // quarantineBudget mirrors cluster.RunTasksResumable's budget arithmetic.
@@ -270,6 +411,7 @@ func (c *coordinator) fill(rep *Report) {
 	rep.Workers = c.workersSeen
 	rep.Redispatched = c.redispatched
 	rep.Perf = c.perf
+	rep.StaleEpoch = c.staleEpoch
 }
 
 // acceptLoop admits workers until the listener closes.
@@ -325,13 +467,17 @@ func (c *coordinator) handle(ctx context.Context, conn net.Conn) {
 
 	w := c.register(cd, hello.ID)
 	if w == nil {
-		cd.Send(msgLease, leaseMsg{Done: true})
+		// The run is over (or draining): dismiss explicitly so the late
+		// worker exits cleanly instead of reading the close as a crash.
+		cd.Send(msgDone, doneMsg{Epoch: c.opts.Epoch})
 		return
 	}
 	defer c.unregister(w)
 	if err := cd.Send(msgWelcome, welcomeMsg{
 		NBias: c.nBias, NK: c.nK, NE: c.nE,
 		SpecHash:       c.opts.SpecHash,
+		RunID:          c.opts.RunID,
+		Epoch:          c.opts.Epoch,
 		HeartbeatEvery: c.opts.HeartbeatEvery,
 		LeaseTimeout:   c.opts.LeaseTimeout,
 	}); err != nil {
@@ -354,7 +500,14 @@ func (c *coordinator) handle(ctx context.Context, conn net.Conn) {
 			if decode(t, payload, &req) != nil {
 				return
 			}
-			if err := cd.Send(msgLease, c.grant(w, req.Capacity)); err != nil {
+			lease, over := c.grant(w, req.Capacity)
+			if over {
+				if err := cd.Send(msgDone, doneMsg{Epoch: c.opts.Epoch}); err != nil {
+					return
+				}
+				continue // the worker answers with a bye
+			}
+			if err := cd.Send(msgLease, lease); err != nil {
 				return
 			}
 		case msgResult:
@@ -377,11 +530,11 @@ func (c *coordinator) handle(ctx context.Context, conn net.Conn) {
 }
 
 // register admits a worker under a unique id, or returns nil when the run
-// is already over.
+// is already over or draining.
 func (c *coordinator) register(cd *comms.Codec, id string) *workerState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.finished || c.failure != nil {
+	if c.finished || c.failure != nil || c.draining {
 		return nil
 	}
 	c.workersSeen++
@@ -411,17 +564,22 @@ func (c *coordinator) unregister(w *workerState) {
 			c.redispatched++
 		}
 	}
+	c.maybeFinishDrainLocked()
 }
 
-// grant answers one lease request.
-func (c *coordinator) grant(w *workerState, capacity int) leaseMsg {
+// grant answers one lease request; over=true means the worker should be
+// dismissed with done — the sweep is complete, failed, or draining (a
+// draining coordinator grants nothing new; a dismissed worker has by
+// construction no results in flight, since it only asks after finishing
+// its previous batch).
+func (c *coordinator) grant(w *workerState, capacity int) (lease leaseMsg, over bool) {
 	if capacity < 1 {
 		capacity = 1
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.finished || c.failure != nil || c.remaining == 0 {
-		return leaseMsg{Done: true}
+	if c.finished || c.failure != nil || c.remaining == 0 || c.draining {
+		return leaseMsg{}, true
 	}
 	tasks := c.popPendingLocked(capacity)
 	if len(tasks) == 0 {
@@ -431,14 +589,14 @@ func (c *coordinator) grant(w *workerState, capacity int) leaseMsg {
 		tasks = c.popPendingLocked(capacity)
 	}
 	if len(tasks) == 0 {
-		return leaseMsg{RetryAfter: c.opts.RetryAfter}
+		return leaseMsg{RetryAfter: c.opts.RetryAfter}, false
 	}
 	deadline := time.Now().Add(c.opts.LeaseTimeout)
 	for _, idx := range tasks {
 		c.st[idx] = taskState{phase: stateLeased, worker: w.id, deadline: deadline}
 		w.leased[idx] = true
 	}
-	return leaseMsg{Tasks: tasks, TTL: c.opts.LeaseTimeout}
+	return leaseMsg{Tasks: tasks, TTL: c.opts.LeaseTimeout}, false
 }
 
 // popPendingLocked removes up to n indices from the head of the queue,
@@ -501,6 +659,9 @@ func (c *coordinator) reap(ctx context.Context) {
 			c.mu.Lock()
 			if !c.finished && c.failure == nil {
 				c.reclaimExpiredLocked(now)
+				// During a drain, an expired lease resolves it: the task is
+				// safely pending again and will be re-dispatched on resume.
+				c.maybeFinishDrainLocked()
 			}
 			c.mu.Unlock()
 		}
@@ -522,6 +683,15 @@ func (c *coordinator) applyResult(w *workerState, res resultMsg) error {
 	if res.Task < 0 || res.Task >= c.total {
 		c.mu.Unlock()
 		return fmt.Errorf("distrib: worker %s reported task %d outside the %d-task grid", w.id, res.Task, c.total)
+	}
+	if res.Epoch != 0 && c.opts.Epoch != 0 && res.Epoch != c.opts.Epoch {
+		// Epoch fence: the worker computed this under a previous
+		// coordinator incarnation. The restarted coordinator re-seeded its
+		// lease table from the journal, so the task is either already done
+		// or owned by a fresh lease — either way this result is stale.
+		c.staleEpoch++
+		c.mu.Unlock()
+		return nil
 	}
 	delete(w.leased, res.Task)
 	s := &c.st[res.Task]
@@ -548,6 +718,7 @@ func (c *coordinator) applyResult(w *workerState, res resultMsg) error {
 		c.quarantined = append(c.quarantined, res.Task)
 		c.perf.Add(res.Perf)
 		c.noteDoneLocked()
+		c.maybeFinishDrainLocked()
 		c.mu.Unlock()
 		c.progress()
 		return nil
@@ -563,7 +734,10 @@ func (c *coordinator) applyResult(w *workerState, res resultMsg) error {
 
 	c.commitMu.Lock()
 	if c.opts.Journal != nil {
-		if err := c.opts.Journal.Append(cluster.TaskRecord{Index: res.Task, Payload: res.Payload}); err != nil {
+		// Persist the perf delta alongside the payload so a restarted
+		// coordinator can re-sum exactly what this incarnation counted.
+		delta := res.Perf
+		if err := c.opts.Journal.Append(cluster.TaskRecord{Index: res.Task, Payload: res.Payload, Perf: &delta}); err != nil {
 			c.commitMu.Unlock()
 			return fmt.Errorf("distrib: journal: %w", err)
 		}
@@ -581,6 +755,7 @@ func (c *coordinator) applyResult(w *workerState, res resultMsg) error {
 	c.completed++
 	c.perf.Add(res.Perf)
 	c.noteDoneLocked()
+	c.maybeFinishDrainLocked()
 	c.mu.Unlock()
 	c.progress()
 	return nil

@@ -280,8 +280,11 @@ func TestWorkerCrashRedispatch(t *testing.T) {
 		err := RunWorker(context.Background(), victimConn, nBias, nK, nE, WorkerOptions{
 			ID: "victim", Pool: sched.New(1), Capacity: 6, PerfNow: victimMeter.now,
 		}, workerFn(nK, nE, victimMeter, victimHook))
-		if err != nil {
-			t.Errorf("victim worker: %v", err)
+		// Since protocol v3 a hang-up before the explicit done message is a
+		// crash, not a clean exit: the victim must come back with an error
+		// (its own severed connection), never nil.
+		if err == nil {
+			t.Error("victim worker exited cleanly despite dying mid-lease")
 		}
 	}()
 	<-leased // make sure the victim holds a lease before the survivor drains the queue
@@ -408,7 +411,10 @@ func TestStaleQueueEntryNotRegranted(t *testing.T) {
 	c.workers[straggler.id] = straggler
 	c.workers[fresh.id] = fresh
 
-	lease := c.grant(straggler, 2)
+	lease, over := c.grant(straggler, 2)
+	if over {
+		t.Fatal("grant dismissed the straggler with tasks still pending")
+	}
 	if len(lease.Tasks) != 2 {
 		t.Fatalf("granted %v, want 2 tasks", lease.Tasks)
 	}
@@ -422,7 +428,10 @@ func TestStaleQueueEntryNotRegranted(t *testing.T) {
 	}
 	// A fresh worker asks for everything: it must get tasks 2 and 1, never
 	// the finished task 0 whose queue entry is now stale.
-	lease = c.grant(fresh, total)
+	lease, over = c.grant(fresh, total)
+	if over {
+		t.Fatal("grant dismissed the fresh worker with tasks still pending")
+	}
 	for _, idx := range lease.Tasks {
 		if idx == 0 {
 			t.Fatalf("grant re-leased finished task 0 (lease %v)", lease.Tasks)

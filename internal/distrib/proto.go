@@ -35,8 +35,12 @@ import (
 
 // ProtoVersion is the distrib message-schema version, checked in the
 // hello exchange (the comms frame layer has its own, lower-level version
-// byte). Version 2 added the run-spec hash to the handshake.
-const ProtoVersion = 2
+// byte). Version 2 added the run-spec hash to the handshake. Version 3
+// added epoch fencing (run ID + incarnation epoch in the welcome, epoch
+// tags on results) and made sweep completion an explicit done message —
+// before, "coordinator hung up" was the completion signal, which made a
+// coordinator crash indistinguishable from a finished sweep.
+const ProtoVersion = 3
 
 // Frame types of the coordinator/worker protocol.
 const (
@@ -48,6 +52,7 @@ const (
 	msgResult
 	msgHeartbeat
 	msgBye
+	msgDone
 )
 
 // helloMsg is the worker's opening frame: its identity, protocol version,
@@ -71,12 +76,20 @@ type helloMsg struct {
 }
 
 // welcomeMsg is the coordinator's accept: the authoritative grid and
-// spec hash plus the liveness parameters the worker must honor.
+// spec hash plus the liveness parameters the worker must honor. RunID
+// and Epoch fence coordinator incarnations: a worker that rejoins after
+// a coordinator crash pins the RunID from its first welcome (a changed
+// RunID means a different run reused the address — fatal) and adopts the
+// new Epoch, discarding any in-flight results computed under the old
+// one. Both are empty/zero when the caller runs without a journal-backed
+// run identity (e.g. protocol tests), which disables fencing.
 type welcomeMsg struct {
 	NBias          int           `json:"nBias"`
 	NK             int           `json:"nK"`
 	NE             int           `json:"nE"`
 	SpecHash       string        `json:"specHash,omitempty"`
+	RunID          string        `json:"runID,omitempty"`
+	Epoch          uint64        `json:"epoch,omitempty"`
 	HeartbeatEvery time.Duration `json:"heartbeatEvery"`
 	LeaseTimeout   time.Duration `json:"leaseTimeout"`
 }
@@ -92,15 +105,22 @@ type leaseRequestMsg struct {
 	Capacity int `json:"capacity"`
 }
 
-// leaseMsg answers a lease request. Exactly one of three shapes: a batch
-// of tasks with a TTL; an empty batch with a RetryAfter back-off (tasks
-// exist but are all leased elsewhere); or Done (the sweep is complete —
-// send a bye and disconnect).
+// leaseMsg answers a lease request. Either a batch of tasks with a TTL,
+// or an empty batch with a RetryAfter back-off (tasks exist but are all
+// leased elsewhere). Sweep completion is not a leaseMsg shape: it is the
+// explicit msgDone frame, so "no tasks for you" and "the run is over"
+// can never be confused with each other or with a dead coordinator.
 type leaseMsg struct {
 	Tasks      []int         `json:"tasks,omitempty"`
 	TTL        time.Duration `json:"ttl,omitempty"`
 	RetryAfter time.Duration `json:"retryAfter,omitempty"`
-	Done       bool          `json:"done,omitempty"`
+}
+
+// doneMsg dismisses a worker: the sweep is complete (or the coordinator
+// is draining and granting nothing further) — send a bye and disconnect
+// cleanly. Carrying the epoch makes the dismissal attributable in logs.
+type doneMsg struct {
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // resultMsg reports one finished task: its payload on success, the final
@@ -114,6 +134,11 @@ type resultMsg struct {
 	Failed  bool          `json:"failed,omitempty"`
 	Error   string        `json:"error,omitempty"`
 	Perf    perf.Snapshot `json:"perf"`
+	// Epoch is the coordinator incarnation the worker was welcomed into
+	// when it executed the task. A coordinator at a newer epoch discards
+	// results tagged with an older one (they were already re-dispatched
+	// from the journal-seeded lease table). Zero disables the fence.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // heartbeatMsg is the worker's periodic liveness beacon, carrying the

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -20,7 +21,8 @@ import (
 
 // WorkerOptions configures RunWorker. The zero value is usable: anonymous
 // identity, a private GOMAXPROCS pool, lease capacity equal to the pool
-// width, single-attempt execution, no fault injection.
+// width, single-attempt execution, no fault injection, no rejoin (a
+// coordinator crash is surfaced as an error).
 type WorkerOptions struct {
 	// ID names the worker in coordinator-side diagnostics ("" lets the
 	// coordinator assign one).
@@ -54,21 +56,47 @@ type WorkerOptions struct {
 	// spec rejects the worker outright. The worker symmetrically refuses
 	// a welcome whose hash differs from its own. "" skips both checks.
 	SpecHash string
+	// HandshakeTimeout bounds the wait for the coordinator's welcome
+	// after sending hello (default 30s).
+	HandshakeTimeout time.Duration
+	// RejoinWindow is how long the worker keeps re-dialing after losing
+	// its coordinator mid-run before giving up (0: rejoin disabled — a
+	// pre-done hangup is then an error, never a silent clean exit). The
+	// window restarts at each connection loss, so a worker survives any
+	// number of coordinator restarts as long as each one comes back
+	// within the window. Requires Dial.
+	RejoinWindow time.Duration
+	// Dial re-establishes the coordinator connection during a rejoin.
+	// Typically a comms.DialRetry closure; its jittered exponential
+	// backoff is what keeps a rejoining fleet from thundering-herding
+	// the restarting coordinator.
+	Dial func(ctx context.Context) (net.Conn, error)
+	// OnRejoin, when non-nil, runs after a connection loss before the
+	// re-handshake. CLIs use it to reset the worker's self-energy cache:
+	// work executed under the dead epoch is discarded by the fence, and
+	// a warm cache would otherwise let its re-dispatched twin skip the
+	// decimation flops the serial run counts, breaking exact accounting.
+	OnRejoin func()
+	// Logf reports worker lifecycle events — connection loss, rejoin
+	// attempts, epoch changes (default: standard error). Set to a no-op
+	// to silence.
+	Logf func(format string, args ...any)
 }
 
-// RunWorker speaks the worker side of the protocol over conn until the
-// coordinator declares the sweep done (returns nil), the connection drops
-// (a hang-up after the handshake also returns nil — the coordinator only
-// hangs up when the run is over, and if it ended in failure the
-// coordinator process is the one reporting it), or ctx is canceled.
+// RunWorker speaks the worker side of the protocol until the coordinator
+// dismisses it with an explicit done message (returns nil) or ctx is
+// canceled. Since protocol v3 a hangup is never a clean exit: losing the
+// connection before done means the coordinator crashed. With a
+// RejoinWindow the worker then re-dials (jittered backoff via Dial),
+// re-handshakes, verifies it rejoined the same run (pinned RunID),
+// adopts the new epoch, and resumes pulling leases; without one the
+// crash is surfaced as an error.
 //
 // Each leased task runs under the retry policy and fault injector with
 // exactly the attempt semantics of cluster.RunTasksResumable; a task that
 // exhausts its budget is reported to the coordinator as failed rather
 // than ending the worker, so quarantine decisions stay centralized.
 func RunWorker(ctx context.Context, conn net.Conn, nBias, nK, nE int, opts WorkerOptions, fn cluster.SweepFunc) error {
-	cd := comms.NewCodec(conn)
-	defer cd.Close()
 	pool := opts.Pool
 	if pool == nil {
 		pool = sched.New(0)
@@ -81,11 +109,109 @@ func RunWorker(ctx context.Context, conn net.Conn, nBias, nK, nE int, opts Worke
 	if perfNow == nil {
 		perfNow = perf.TakeSnapshot
 	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "distrib: "+format+"\n", args...)
+		}
+	}
 
-	if err := cd.Send(msgHello, helloMsg{ID: opts.ID, Proto: ProtoVersion, NBias: nBias, NK: nK, NE: nE, SpecHash: opts.SpecHash}); err != nil {
+	w := &worker{
+		pool: pool, capacity: capacity,
+		nBias: nBias, nK: nK, nE: nE,
+		retry: opts.Retry, injector: opts.Injector,
+		perfNow: perfNow, fn: fn,
+		opts: opts, logf: logf,
+	}
+
+	for {
+		err := w.session(ctx, conn)
+		conn = nil // each further session dials its own connection
+		if err == nil {
+			return nil // dismissed with done: the sweep is over for us
+		}
+		if resilience.Classify(err) == resilience.Permanent || ctx.Err() != nil {
+			return err
+		}
+		// The coordinator vanished mid-run. Without a rejoin window that
+		// is a crash to surface — the silent status-0 exit this error
+		// path replaced would strand the sweep with nobody noticing.
+		if opts.RejoinWindow <= 0 || opts.Dial == nil {
+			return fmt.Errorf("distrib: lost coordinator before the sweep was done: %w", err)
+		}
+		logf("worker %s: lost coordinator (%v); rejoining for up to %v", w.name(), err, opts.RejoinWindow)
+		if opts.OnRejoin != nil {
+			opts.OnRejoin()
+		}
+		rejoinCtx, cancel := context.WithTimeout(ctx, opts.RejoinWindow)
+		nc, derr := opts.Dial(rejoinCtx)
+		cancel()
+		if derr != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("distrib: rejoin after losing coordinator (%v) failed: %w", err, derr)
+		}
+		conn = nc
+	}
+}
+
+// worker is the state of one RunWorker invocation, spanning sessions.
+type worker struct {
+	pool          *sched.Pool
+	capacity      int
+	nBias, nK, nE int
+	retry         resilience.Policy
+	injector      *resilience.Injector
+	fn            cluster.SweepFunc
+	opts          WorkerOptions
+	logf          func(format string, args ...any)
+	running       atomic.Int64
+
+	perfNow func() perf.Snapshot
+	perfMu  sync.Mutex
+	last    perf.Snapshot
+
+	// runID pins the run across sessions; epoch tracks the coordinator
+	// incarnation the current session was welcomed into.
+	runID string
+	epoch uint64
+}
+
+// name identifies the worker in log lines.
+func (w *worker) name() string {
+	if w.opts.ID != "" {
+		return w.opts.ID
+	}
+	return "(anonymous)"
+}
+
+// session runs one connection's worth of protocol: handshake, then the
+// lease/result loop until dismissal or failure. A nil error means the
+// coordinator sent done. Errors classify via resilience.Classify:
+// Permanent ends RunWorker (rejections, run mismatches, caller
+// cancellation), Transient sends it to the rejoin path (hangups,
+// timeouts, corrupted frames).
+func (w *worker) session(ctx context.Context, conn net.Conn) error {
+	cd := comms.NewCodec(conn)
+	defer cd.Close()
+
+	// A session-local context lets the heartbeat goroutine abort the
+	// lease loop when its sends start failing — a one-way wedge (worker
+	// can read but not write) would otherwise only surface once the
+	// coordinator reaps our silent leases.
+	sctx, scancel := context.WithCancel(ctx)
+	defer scancel()
+	var hbFailed atomic.Bool
+
+	if err := cd.Send(msgHello, helloMsg{ID: w.opts.ID, Proto: ProtoVersion, NBias: w.nBias, NK: w.nK, NE: w.nE, SpecHash: w.opts.SpecHash}); err != nil {
 		return fmt.Errorf("distrib: hello: %w", err)
 	}
-	cd.SetReadDeadline(time.Now().Add(30 * time.Second))
+	hsTimeout := w.opts.HandshakeTimeout
+	if hsTimeout <= 0 {
+		hsTimeout = 30 * time.Second
+	}
+	cd.SetReadDeadline(time.Now().Add(hsTimeout))
 	t, payload, err := cd.Recv()
 	cd.SetReadDeadline(time.Time{})
 	if err != nil {
@@ -97,96 +223,120 @@ func RunWorker(ctx context.Context, conn net.Conn, nBias, nK, nE int, opts Worke
 		if err := decode(t, payload, &welcome); err != nil {
 			return err
 		}
-		if opts.SpecHash != "" && welcome.SpecHash != "" && welcome.SpecHash != opts.SpecHash {
-			return fmt.Errorf("distrib: coordinator runs a different spec (%.16s… vs this worker's %.16s…); refusing to pull its leases",
-				welcome.SpecHash, opts.SpecHash)
+		if w.opts.SpecHash != "" && welcome.SpecHash != "" && welcome.SpecHash != w.opts.SpecHash {
+			return resilience.MarkPermanent(fmt.Errorf("distrib: coordinator runs a different spec (%.16s… vs this worker's %.16s…); refusing to pull its leases",
+				welcome.SpecHash, w.opts.SpecHash))
 		}
+		if w.runID != "" && welcome.RunID != "" && welcome.RunID != w.runID {
+			return resilience.MarkPermanent(fmt.Errorf("distrib: rejoined a different run (%s, expected %s) — another sweep reused the coordinator address; discarding nothing, contributing nothing",
+				welcome.RunID, w.runID))
+		}
+		if welcome.RunID != "" {
+			w.runID = welcome.RunID
+		}
+		if w.epoch != 0 && welcome.Epoch != 0 && welcome.Epoch != w.epoch {
+			w.logf("worker %s: rejoined run %s at epoch %d (was %d); results from the dead epoch are fenced off", w.name(), w.runID, welcome.Epoch, w.epoch)
+		}
+		w.epoch = welcome.Epoch
+	case msgDone:
+		// The sweep finished before this worker arrived (or got back).
+		cd.Send(msgBye, byeMsg{})
+		return nil
 	case msgError:
 		var e errorMsg
 		if err := decode(t, payload, &e); err != nil {
 			return err
 		}
-		return fmt.Errorf("distrib: coordinator rejected worker: %s", e.Reason)
-	case msgLease:
-		// The sweep finished before this worker arrived.
-		var l leaseMsg
-		if err := decode(t, payload, &l); err != nil {
-			return err
-		}
-		if l.Done {
-			cd.Send(msgBye, byeMsg{})
-			return nil
-		}
-		return fmt.Errorf("distrib: unexpected lease before welcome")
+		return resilience.MarkPermanent(fmt.Errorf("distrib: coordinator rejected worker: %s", e.Reason))
 	default:
 		return fmt.Errorf("distrib: unexpected handshake message type %d", t)
 	}
 
-	w := &worker{
-		cd: cd, pool: pool,
-		nK: nK, nE: nE,
-		retry: opts.Retry, injector: opts.Injector,
-		perfNow: perfNow, fn: fn,
-	}
-	w.last = perfNow()
+	// The perf baseline restarts with the session: work executed under a
+	// dead epoch was discarded by everyone (fence on the coordinator,
+	// re-dispatch from the journal), so its flops must not leak into the
+	// first delta of the new epoch.
+	w.perfMu.Lock()
+	w.last = w.perfNow()
+	w.perfMu.Unlock()
 
-	// Heartbeats: fire-and-forget liveness beacons on their own goroutine.
-	// A send failure here is not acted on — the main loop sees the dead
-	// connection on its next exchange.
+	// Heartbeats: periodic liveness beacons on their own goroutine. A
+	// send failure cancels the session — the connection is wedged or
+	// dead, and waiting for a read deadline would just waste the lease.
 	hbEvery := welcome.HeartbeatEvery
 	if hbEvery <= 0 {
 		hbEvery = time.Second
 	}
-	hbCtx, hbCancel := context.WithCancel(ctx)
-	defer hbCancel()
+	hbDone := make(chan struct{})
+	// Close the codec before waiting: a heartbeat Send wedged against a
+	// dead synchronous pipe only unblocks when the conn closes.
+	defer func() { scancel(); cd.Close(); <-hbDone }()
 	go func() {
+		defer close(hbDone)
 		tick := time.NewTicker(hbEvery)
 		defer tick.Stop()
 		for {
 			select {
-			case <-hbCtx.Done():
+			case <-sctx.Done():
 				return
 			case <-tick.C:
-				cd.Send(msgHeartbeat, heartbeatMsg{Running: int(w.running.Load())})
+				if err := cd.Send(msgHeartbeat, heartbeatMsg{Running: int(w.running.Load())}); err != nil {
+					hbFailed.Store(true)
+					scancel()
+					return
+				}
 			}
 		}
 	}()
 
+	// Liveness symmetry with the coordinator: while awaiting a lease
+	// response, three missed heartbeat intervals of silence mean the
+	// coordinator is wedged-but-connected — treat it like a crash.
+	silence := 3*hbEvery + time.Second
+
+	failed := func(err error) error {
+		// Heartbeat-send failure caused the cancellation: rejoinable, so
+		// mark it transient (the cancellation in its chain would
+		// otherwise classify it permanent).
+		if hbFailed.Load() && ctx.Err() == nil {
+			return resilience.MarkTransient(fmt.Errorf("distrib: heartbeat send failed (coordinator connection wedged): %w", err))
+		}
+		return err
+	}
+
 	for {
-		if err := ctx.Err(); err != nil {
-			return err
+		if err := sctx.Err(); err != nil {
+			return failed(err)
 		}
-		if err := cd.Send(msgLeaseRequest, leaseRequestMsg{Capacity: capacity}); err != nil {
-			if isHangup(err) {
-				return nil
-			}
-			return fmt.Errorf("distrib: lease request: %w", err)
+		if err := cd.Send(msgLeaseRequest, leaseRequestMsg{Capacity: w.capacity}); err != nil {
+			return failed(fmt.Errorf("distrib: lease request: %w", err))
 		}
+		cd.SetReadDeadline(time.Now().Add(silence))
 		t, payload, err := cd.Recv()
+		cd.SetReadDeadline(time.Time{})
 		if err != nil {
-			if isHangup(err) {
-				return nil
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				return failed(fmt.Errorf("distrib: coordinator silent for %v awaiting lease: %w", silence, err))
 			}
-			return fmt.Errorf("distrib: awaiting lease: %w", err)
+			return failed(fmt.Errorf("distrib: awaiting lease: %w", err))
 		}
 		switch t {
 		case msgLease:
+		case msgDone:
+			cd.Send(msgBye, byeMsg{})
+			return nil
 		case msgError:
 			var e errorMsg
 			if err := decode(t, payload, &e); err != nil {
 				return err
 			}
-			return fmt.Errorf("distrib: coordinator error: %s", e.Reason)
+			return resilience.MarkPermanent(fmt.Errorf("distrib: coordinator error: %s", e.Reason))
 		default:
 			return fmt.Errorf("distrib: unexpected message type %d awaiting lease", t)
 		}
 		var lease leaseMsg
 		if err := decode(t, payload, &lease); err != nil {
 			return err
-		}
-		if lease.Done {
-			cd.Send(msgBye, byeMsg{})
-			return nil
 		}
 		if len(lease.Tasks) == 0 {
 			wait := lease.RetryAfter
@@ -195,44 +345,26 @@ func RunWorker(ctx context.Context, conn net.Conn, nBias, nK, nE int, opts Worke
 			}
 			timer := time.NewTimer(wait)
 			select {
-			case <-ctx.Done():
+			case <-sctx.Done():
 				timer.Stop()
-				return ctx.Err()
+				return failed(sctx.Err())
 			case <-timer.C:
 			}
 			continue
 		}
 		w.running.Store(int64(len(lease.Tasks)))
-		err = w.runLease(ctx, lease.Tasks)
+		err = w.runLease(sctx, cd, lease.Tasks)
 		w.running.Store(0)
 		if err != nil {
-			if isHangup(err) {
-				return nil
-			}
-			return err
+			return failed(err)
 		}
 	}
 }
 
-// worker is the state of one RunWorker invocation.
-type worker struct {
-	cd       *comms.Codec
-	pool     *sched.Pool
-	nK, nE   int
-	retry    resilience.Policy
-	injector *resilience.Injector
-	fn       cluster.SweepFunc
-	running  atomic.Int64
-
-	perfNow func() perf.Snapshot
-	perfMu  sync.Mutex
-	last    perf.Snapshot
-}
-
 // runLease executes one lease's tasks on the pool and reports each result
-// (success or exhausted failure) to the coordinator. Only transport-level
-// send failures end the lease early.
-func (w *worker) runLease(ctx context.Context, tasks []int) error {
+// (success or exhausted failure) to the coordinator, tagged with the
+// session's epoch. Only transport-level send failures end the lease early.
+func (w *worker) runLease(ctx context.Context, cd *comms.Codec, tasks []int) error {
 	err := w.pool.ForEach(ctx, "distrib-lease", len(tasks), func(ctx context.Context, i int) error {
 		idx := tasks[i]
 		t := cluster.TaskAt(idx, w.nK, w.nE)
@@ -254,14 +386,14 @@ func (w *worker) runLease(ctx context.Context, tasks []int) error {
 		if runErr != nil && ctx.Err() != nil {
 			return runErr // canceled mid-task: nothing to report
 		}
-		res := resultMsg{Task: idx, Retries: attempt - 1, Perf: w.perfDelta()}
+		res := resultMsg{Task: idx, Retries: attempt - 1, Perf: w.perfDelta(), Epoch: w.epoch}
 		if runErr != nil {
 			res.Failed = true
 			res.Error = runErr.Error()
 		} else {
 			res.Payload = payload
 		}
-		return w.cd.Send(msgResult, res)
+		return cd.Send(msgResult, res)
 	})
 	if err != nil {
 		if te, ok := sched.AsTaskError(err); ok {
@@ -272,12 +404,12 @@ func (w *worker) runLease(ctx context.Context, tasks []int) error {
 }
 
 // perfDelta returns the counters accrued since the previous delta (or
-// since startup). Successive deltas partition this worker's counters
-// exactly, with no overlap and no gap — but the coordinator discards the
-// deltas of duplicate results, so its sum equals the worker's true total
-// only when every delta it keeps is self-contained. A serial pool
-// guarantees that: each delta is then the exact cost of its own task
-// (see WorkerOptions.Pool for the concurrent-pool caveat).
+// since the session began). Successive deltas partition this worker's
+// counters exactly, with no overlap and no gap — but the coordinator
+// discards the deltas of duplicate results, so its sum equals the
+// worker's true total only when every delta it keeps is self-contained. A
+// serial pool guarantees that: each delta is then the exact cost of its
+// own task (see WorkerOptions.Pool for the concurrent-pool caveat).
 func (w *worker) perfDelta() perf.Snapshot {
 	w.perfMu.Lock()
 	defer w.perfMu.Unlock()
@@ -287,8 +419,10 @@ func (w *worker) perfDelta() perf.Snapshot {
 	return d
 }
 
-// isHangup reports whether err means the peer closed the connection — the
-// coordinator's normal way of dismissing workers once the sweep is over.
+// isHangup reports whether err means the peer closed the connection.
+// Since protocol v3 this is never a clean dismissal — done is explicit —
+// so a hangup classifies the session as crashed and (when a rejoin
+// window is configured) re-joinable.
 func isHangup(err error) bool {
 	return errors.Is(err, io.EOF) ||
 		errors.Is(err, io.ErrClosedPipe) ||

@@ -217,6 +217,25 @@ func (c *SelfEnergyCache) Stats() CacheStats {
 	}
 }
 
+// Reset discards every cached self-energy while keeping the registered
+// lead families and the event counters. Distributed workers call it when
+// rejoining after a coordinator crash: work executed under the dead epoch
+// is discarded by everyone else (the epoch fence coordinator-side, the
+// journal-seeded re-dispatch), so a cache warmed by that work would let
+// its re-dispatched twin skip the decimation flops a single-process run
+// counts — breaking the exact merged-flop accounting. In-flight
+// computations are untouched: they complete, their waiters are served,
+// and whatever they insert afterwards was computed post-reset anyway.
+func (c *SelfEnergyCache) Reset() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.entries = make(map[sigmaKey]*sigmaEntry)
+		sh.head, sh.tail = nil, nil
+		sh.mu.Unlock()
+	}
+}
+
 // Len reports the number of cached self-energies (one per lead per
 // shifted energy).
 func (c *SelfEnergyCache) Len() int {

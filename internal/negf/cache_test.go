@@ -307,3 +307,43 @@ func TestFingerprintFallback(t *testing.T) {
 		t.Fatalf("symmetric chain: Σ_L and Σ_R differ by %g", d)
 	}
 }
+
+// TestCacheReset pins the rejoin contract: Reset empties every shard (the
+// next lookup recomputes, bitwise identically) while families and event
+// counters survive, so post-reset traffic still verifies against the same
+// canonical contact blocks.
+func TestCacheReset(t *testing.T) {
+	leads := chainLeads(t, -1.0, 0, "chain/L", "chain/R")
+	c := NewSelfEnergyCache()
+	z := complex(0.4, 1e-6)
+	s1L, s1R, err := c.SelfEnergies(leads, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries before reset, want 2", c.Len())
+	}
+
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("cache holds %d entries after reset, want 0", c.Len())
+	}
+
+	s2L, s2R, err := c.SelfEnergies(leads, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2L == s1L || s2R == s1R {
+		t.Fatal("post-reset lookup returned the discarded entries")
+	}
+	if d := maxAbsDiffT(t, s1L, s2L); d != 0 {
+		t.Fatalf("recomputed Σ_L differs by %g, want bitwise identity", d)
+	}
+	if d := maxAbsDiffT(t, s1R, s2R); d != 0 {
+		t.Fatalf("recomputed Σ_R differs by %g, want bitwise identity", d)
+	}
+	st := c.Stats()
+	if st.Misses != 4 || st.Decimations != 4 {
+		t.Fatalf("stats = %+v; want 4 misses and 4 decimations across the reset", st)
+	}
+}

@@ -42,7 +42,11 @@ func OpenJournal(s RunSpec, warnf func(format string, args ...any), jopts ...clu
 		j.Close()
 		return nil, err
 	}
-	if err := j.WriteHeader(cluster.Header{SpecHash: s.SpecHash(), Spec: canon}); err != nil {
+	// A fresh journal also gets a RunID: the run-instance name failover
+	// fencing is built on (served in the distributed welcome, pinned by
+	// rejoining workers). Resumed journals keep the one they were born
+	// with — that is the point.
+	if err := j.WriteHeader(cluster.Header{SpecHash: s.SpecHash(), RunID: NewRunID(s.SpecHash()), Spec: canon}); err != nil {
 		j.Close()
 		return nil, err
 	}

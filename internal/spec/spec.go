@@ -27,6 +27,7 @@ package spec
 
 import (
 	"bytes"
+	"crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -173,12 +174,23 @@ type ResilienceSpec struct {
 }
 
 // ExecSpec shapes execution: how wide, and (distributed) how patient.
+// Like everything here it is outside the content hashes — failover
+// patience changes how a run survives, never what it computes.
 type ExecSpec struct {
 	// Workers is the worker budget: pool width locally, self-spawned
 	// worker processes for a coordinator (0: GOMAXPROCS / external only).
 	Workers int `json:"workers"`
 	// LeaseTimeout is how long a distributed worker may hold a task.
 	LeaseTimeout Duration `json:"leaseTimeout"`
+	// RejoinWindow is how long a worker keeps re-dialing a crashed
+	// coordinator before giving up (0: rejoin disabled — a coordinator
+	// crash ends the worker with an error). The window restarts at each
+	// connection loss.
+	RejoinWindow Duration `json:"rejoinWindow"`
+	// DrainTimeout bounds a coordinator's graceful drain on SIGTERM: how
+	// long it keeps accepting in-flight results after it stops granting
+	// leases.
+	DrainTimeout Duration `json:"drainTimeout"`
 }
 
 // RunSpec fully describes one run. The zero value is not usable; start
@@ -206,7 +218,10 @@ func Default() RunSpec {
 		},
 		Solver:     SolverSpec{Formalism: "wf", Domains: 1, SigmaCacheCap: 4096},
 		Resilience: ResilienceSpec{FaultSeed: 1},
-		Exec:       ExecSpec{LeaseTimeout: Duration(30 * time.Second)},
+		Exec: ExecSpec{
+			LeaseTimeout: Duration(30 * time.Second),
+			DrainTimeout: Duration(10 * time.Second),
+		},
 	}
 }
 
@@ -219,7 +234,10 @@ func StudyDefault() RunSpec {
 		Version:    Version,
 		Mode:       ModeStudyStrong,
 		Resilience: ResilienceSpec{FaultSeed: 1},
-		Exec:       ExecSpec{LeaseTimeout: Duration(30 * time.Second)},
+		Exec: ExecSpec{
+			LeaseTimeout: Duration(30 * time.Second),
+			DrainTimeout: Duration(10 * time.Second),
+		},
 	}
 }
 
@@ -331,6 +349,27 @@ func (s RunSpec) SpecHash() string {
 		Solver:  s.Solver,
 	}))
 	return hex.EncodeToString(sum[:])
+}
+
+// NewRunID mints a run-instance identifier from a spec hash: a readable
+// spec-hash prefix (so a RunID visibly belongs to its spec) plus a random
+// suffix (so two starts of the same spec are distinct instances). It is
+// stamped into fresh journal headers and served in the distributed
+// welcome; rejoining workers pin it to tell "my coordinator restarted"
+// from "a different run reused the address". Randomness is deliberate —
+// unlike everything else here the RunID names an *instance*, not content.
+func NewRunID(specHash string) string {
+	prefix := specHash
+	if len(prefix) > 12 {
+		prefix = prefix[:12]
+	}
+	var suffix [6]byte
+	if _, err := rand.Read(suffix[:]); err != nil {
+		// crypto/rand failing means the platform is broken; fall back to a
+		// time-free constant rather than aborting a physics run over an ID.
+		return prefix + "-0"
+	}
+	return prefix + "-" + hex.EncodeToString(suffix[:])
 }
 
 // WorkerVariant returns the spec a coordinator hands to a self-spawned
@@ -481,6 +520,12 @@ func (s RunSpec) Validate() error {
 	}
 	if s.Exec.LeaseTimeout < 0 {
 		return fmt.Errorf("spec: -lease-timeout must be ≥ 0, got %s", s.Exec.LeaseTimeout.Std())
+	}
+	if s.Exec.RejoinWindow < 0 {
+		return fmt.Errorf("spec: -rejoin-window must be ≥ 0, got %s", s.Exec.RejoinWindow.Std())
+	}
+	if s.Exec.DrainTimeout < 0 {
+		return fmt.Errorf("spec: -drain-timeout must be ≥ 0, got %s", s.Exec.DrainTimeout.Std())
 	}
 	return nil
 }

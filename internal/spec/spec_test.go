@@ -87,7 +87,10 @@ func fullyNonDefault() RunSpec {
 			TaskTimeout: Duration(45 * time.Second), Quarantine: true,
 			FaultRate: 0.25, FaultSeed: 99,
 		},
-		Exec: ExecSpec{Workers: 7, LeaseTimeout: Duration(90 * time.Second)},
+		Exec: ExecSpec{
+			Workers: 7, LeaseTimeout: Duration(90 * time.Second),
+			RejoinWindow: Duration(2 * time.Minute), DrainTimeout: Duration(20 * time.Second),
+		},
 	}
 }
 
@@ -196,6 +199,8 @@ func TestHashSensitivity(t *testing.T) {
 
 		{"Exec.Workers", "", false, func(s *RunSpec) { s.Exec.Workers++ }},
 		{"Exec.LeaseTimeout", "", false, func(s *RunSpec) { s.Exec.LeaseTimeout += Duration(time.Second) }},
+		{"Exec.RejoinWindow", "", false, func(s *RunSpec) { s.Exec.RejoinWindow += Duration(time.Second) }},
+		{"Exec.DrainTimeout", "", false, func(s *RunSpec) { s.Exec.DrainTimeout += Duration(time.Second) }},
 	}
 
 	for _, m := range muts {
@@ -332,5 +337,23 @@ func TestDurationJSON(t *testing.T) {
 	}
 	if _, err := Parse([]byte(`{"exec":{"leaseTimeout":"soon"}}`)); err == nil {
 		t.Error("Parse accepted a malformed duration")
+	}
+}
+
+// TestNewRunID pins the RunID shape failover fencing relies on: a
+// readable prefix of the spec hash (a RunID visibly belongs to its spec)
+// plus a random suffix (two starts of one spec are distinct instances —
+// rejoin fencing would otherwise conflate them).
+func TestNewRunID(t *testing.T) {
+	h := Default().SpecHash()
+	id1, id2 := NewRunID(h), NewRunID(h)
+	if !strings.HasPrefix(id1, h[:12]+"-") {
+		t.Fatalf("RunID %q does not carry the spec-hash prefix %q", id1, h[:12])
+	}
+	if id1 == id2 {
+		t.Fatalf("two RunIDs of one spec collided (%q): restarts would be indistinguishable from fresh runs", id1)
+	}
+	if short := NewRunID("abc"); !strings.HasPrefix(short, "abc-") {
+		t.Fatalf("short-hash RunID = %q, want abc- prefix", short)
 	}
 }
