@@ -1,12 +1,12 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build fmt-check vet check spec-check spec-golden test race faults drill-dist drill-failover bench bench-baseline bench-check ci clean
+.PHONY: build fmt-check vet deprecated-check check spec-check spec-golden test race race-batched faults drill-dist drill-failover bench bench-baseline bench-check ci clean
 
 # The kernel-cost benchmarks gated by the allocation baseline: their
 # allocs/op is deterministic, so a regression means a real change in the
 # solve's memory discipline, not machine noise.
-BENCH_GUARDED = BenchmarkT2_KernelCost|BenchmarkF1_GateSweep_CacheReuse
+BENCH_GUARDED = BenchmarkT2_KernelCost|BenchmarkF1_GateSweep_CacheReuse|BenchmarkF1_BatchedSweep
 BENCH_BASELINE = BENCH_kernels.json
 
 build:
@@ -19,7 +19,18 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-check: fmt-check vet spec-check
+# The allocating linalg conveniences (Mul3, MulAdd, LU.Solve,
+# LU.Inverse) are deprecated in favor of the *Into forms the batched
+# backend shares; a new call site outside internal/linalg fails here.
+deprecated-check:
+	@out="$$(grep -rnE 'linalg\.(Mul3|MulAdd)\(|\.Inverse\(\)|\.Solve\([a-zA-Z0-9_.]+\)' \
+		--include='*.go' cmd internal *.go \
+		| grep -v '^internal/linalg/' | grep -v '_test.go' || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "deprecated allocating linalg calls (use the *Into forms):"; \
+		echo "$$out"; exit 1; fi
+
+check: fmt-check vet deprecated-check spec-check
 
 # The -dump-spec output of both CLIs is pinned to the spec package's
 # golden files: canonical JSON plus all four content hashes. A diff here
@@ -42,6 +53,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The batched F1 gate sweep under the race detector, one small pass:
+# the benchmark itself asserts the batched currents are bitwise equal
+# to the looped ones, so this doubles as a concurrency check on the
+# panel workspaces and the batch scheduler.
+race-batched:
+	$(GO) test -race -run '^$$' -bench BenchmarkF1_BatchedSweep -benchtime 1x .
 
 # The fault-injection suite: panic isolation, retry/backoff, journal
 # resume, and quarantine drills, under the race detector.

@@ -8,8 +8,12 @@
 // The check compares allocs/op — a deterministic property of the code,
 // unlike wall time on shared CI machines — and fails (exit 1) when any
 // benchmark regresses by more than -tolerance relative to the baseline,
-// or when a baselined benchmark is missing from the input. ns/op and
-// B/op are recorded in the baseline for reference but not gated.
+// or when a baselined benchmark is missing from the input. Benchmarks
+// that report a "speedup" custom metric (the batched-vs-looped sweep)
+// are additionally gated downward: the measured speedup must stay
+// within -tolerance of the committed baseline, so the batched path
+// cannot quietly decay back toward the looped one. ns/op and B/op are
+// recorded in the baseline for reference but not gated.
 package main
 
 import (
@@ -28,6 +32,9 @@ type result struct {
 	NsOp     float64 `json:"ns_op"`
 	BytesOp  float64 `json:"b_op"`
 	AllocsOp float64 `json:"allocs_op"`
+	// Speedup is the benchmark's "speedup" custom metric (0 when the
+	// benchmark does not report one). Gated as a lower bound.
+	Speedup float64 `json:"speedup,omitempty"`
 }
 
 // baseline is the committed JSON document.
@@ -104,6 +111,16 @@ func main() {
 		}
 		fmt.Printf("%s\t%s: allocs/op %.0f vs baseline %.0f (limit %.0f)\n",
 			status, name, have.AllocsOp, want.AllocsOp, limit)
+		if want.Speedup > 0 {
+			floor := want.Speedup * (1 - *tolerance)
+			status := "ok"
+			if have.Speedup < floor {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%s\t%s: speedup %.3f vs baseline %.3f (floor %.3f)\n",
+				status, name, have.Speedup, want.Speedup, floor)
+		}
 	}
 	if failed {
 		os.Exit(1)
@@ -141,6 +158,8 @@ func parseBenchOutput(f *os.File) (map[string]result, error) {
 				r.BytesOp = v
 			case "allocs/op":
 				r.AllocsOp = v
+			case "speedup":
+				r.Speedup = v
 			}
 		}
 		out[name] = r

@@ -168,6 +168,7 @@ func runServeMode(ctx context.Context, b *spec.Built, addr string, prog *progres
 	fmt.Printf("# cluster: %d workers, %d leases re-dispatched\n", rep.Workers, rep.Redispatched)
 	fmt.Printf("# flops\t%d\n", rep.Perf.Flops)
 	printSigmaCache(rep.Perf.Counters)
+	printBatch(rep.Perf.Counters)
 	fmt.Println("# E(eV)\tT(E)")
 	for i, e := range sweep.Energies {
 		fmt.Printf("%.6f\t%.8g\n", e, sweep.T[i])

@@ -41,6 +41,8 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -84,6 +86,8 @@ func main() {
 		nvg       = flag.Int("nvg", def.Grid.NVG, "gate sweep points")
 		cellsX    = flag.Int("cellsx", 0, "override transport cells")
 		workers   = flag.Int("workers", def.Exec.Workers, "total worker budget across all parallel levels (0: GOMAXPROCS); with -serve: worker processes to self-spawn (0: wait for external -worker processes)")
+
+		solveBatch = flag.Int("solve-batch", def.Exec.SolveBatch, "energies solved per batched kernel call (0 or 1: solve one energy at a time); a pure executor knob that never changes results")
 
 		serveAddr    = flag.String("serve", "", "run as distributed-sweep coordinator listening on this TCP address (transmission mode); workers connect with -worker")
 		workerAddr   = flag.String("worker", "", "run as distributed-sweep worker dialing the coordinator at this TCP address (transmission mode)")
@@ -154,6 +158,8 @@ func main() {
 			s.Device.CellsX = *cellsX
 		case "workers":
 			s.Exec.Workers = *workers
+		case "solve-batch":
+			s.Exec.SolveBatch = *solveBatch
 		case "lease-timeout":
 			s.Exec.LeaseTimeout = spec.Duration(*leaseTimeout)
 		case "rejoin-window":
@@ -254,6 +260,7 @@ func main() {
 		d := perf.TakeSnapshot().Diff(before)
 		fmt.Printf("# flops\t%d\n", d.Flops)
 		printSigmaCache(d.Counters)
+		printBatch(d.Counters)
 		fmt.Println("# E(eV)\tT(E)")
 		for i, e := range sweep.Energies {
 			fmt.Printf("%.6f\t%.8g\n", e, sweep.T[i])
@@ -286,6 +293,7 @@ func main() {
 		d := perf.TakeSnapshot().Diff(before)
 		fmt.Printf("# flops\t%d\n", d.Flops)
 		printSigmaCache(d.Counters)
+		printBatch(d.Counters)
 		fmt.Println("# Vg(V)\tId(A)\titers\tconverged")
 		for _, p := range points {
 			fmt.Printf("%.4f\t%.6e\t%d\t%v\n", p.VGate, p.Current, p.Iterations, p.Converged)
@@ -354,6 +362,35 @@ func printSigmaCache(counters map[string]int64) {
 		counters["sigma-hits"], counters["sigma-misses"], counters["sigma-coalesced"],
 		counters["sigma-evictions"], counters["sigma-decimations"],
 		counters["sigma-seeded"], counters["sigma-seed-fallbacks"])
+}
+
+// printBatch emits the batched-solve counters as a comment line next to
+// the sigma-cache one: a histogram of batch widths actually executed plus
+// the panel load/reuse totals. A run that never formed a batch (width 1,
+// or too few points) prints nothing, keeping its output byte-identical to
+// an unbatched run's.
+func printBatch(counters map[string]int64) {
+	var widths []int
+	for name := range counters {
+		if w, ok := strings.CutPrefix(name, "batch-width-"); ok {
+			if n, err := strconv.Atoi(w); err == nil && counters[name] > 0 {
+				widths = append(widths, n)
+			}
+		}
+	}
+	if len(widths) == 0 {
+		return
+	}
+	sort.Ints(widths)
+	fmt.Printf("# batch\twidths=")
+	for i, w := range widths {
+		if i > 0 {
+			fmt.Printf(",")
+		}
+		fmt.Printf("%d:%d", w, counters[fmt.Sprintf("batch-width-%d", w)])
+	}
+	fmt.Printf(" panel-loads=%d panel-reuses=%d\n",
+		counters["panel-loads"], counters["panel-reuses"])
 }
 
 // printSweepSummary emits the fault-tolerance accounting as comment lines

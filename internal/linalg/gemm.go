@@ -180,6 +180,10 @@ func GemmInto(dst *Matrix, alpha complex128, a *Matrix, opA Op, b *Matrix, opB O
 }
 
 // MulAdd returns a·b + c as a new matrix.
+//
+// Deprecated: MulAdd allocates a fresh result per call. Hot paths use
+// GemmInto(dst, 1, a, NoTrans, b, NoTrans, 1) on workspace storage; new
+// uses outside tests are flagged by `make check`.
 func MulAdd(a, b, c *Matrix) *Matrix {
 	out := c.Clone()
 	GemmInto(out, 1, a, NoTrans, b, NoTrans, 1)
@@ -187,6 +191,10 @@ func MulAdd(a, b, c *Matrix) *Matrix {
 }
 
 // Mul3 returns the triple product a·b·c, associating to minimize work.
+//
+// Deprecated: Mul3 allocates its result and a private workspace per call.
+// Hot paths use Mul3Into with a per-solve workspace; new uses outside
+// tests are flagged by `make check`.
 func Mul3(a, b, c *Matrix) *Matrix {
 	ws := GetWorkspace()
 	defer ws.Release()

@@ -103,6 +103,10 @@ func (f *LU) N() int { return f.lu.Rows }
 
 // Solve returns X solving A·X = B for a block right-hand side B.
 // B is not modified.
+//
+// Deprecated: Solve clones B on every call. Hot paths use SolveInto (or
+// SolveInPlace) on workspace storage; new uses outside tests are flagged
+// by `make check`.
 func (f *LU) Solve(b *Matrix) *Matrix {
 	x := b.Clone()
 	f.SolveInPlace(x)
@@ -224,8 +228,14 @@ func (f *LU) Det() complex128 {
 }
 
 // Inverse returns A⁻¹ computed from the factorization.
+//
+// Deprecated: Inverse materializes an identity and a fresh result per
+// call. Hot paths use InverseInto with a per-solve workspace; new uses
+// outside tests are flagged by `make check`.
 func (f *LU) Inverse() *Matrix {
-	return f.Solve(Identity(f.lu.Rows))
+	x := Identity(f.lu.Rows)
+	f.SolveInPlace(x)
+	return x
 }
 
 // InverseInto writes a⁻¹ into dst, factoring into workspace scratch so
@@ -264,7 +274,9 @@ func Solve(a, b *Matrix) (*Matrix, error) {
 	if err != nil {
 		return nil, err
 	}
-	return f.Solve(b), nil
+	x := New(b.Rows, b.Cols)
+	f.SolveInto(x, b)
+	return x, nil
 }
 
 // Inverse is a convenience wrapper returning a⁻¹.
@@ -273,5 +285,7 @@ func Inverse(a *Matrix) (*Matrix, error) {
 	if err != nil {
 		return nil, err
 	}
-	return f.Inverse(), nil
+	x := Identity(f.lu.Rows)
+	f.SolveInPlace(x)
+	return x, nil
 }

@@ -1,0 +1,113 @@
+package linalg
+
+// Panel is a batch of same-shape matrices packed back to back in one
+// contiguous backing slice — the storage unit of the batched solve path.
+// Packing the N energy points' homologous blocks (the layer-i LU factors,
+// the layer-i recursion blocks, …) into one allocation keeps the whole
+// batch of a block-column resident while the batched kernels sweep over
+// it, and lets a single free-list entry recycle W matrices at once.
+//
+// Blocks are exposed as ordinary *Matrix views through Block, so every
+// per-element kernel (GemmInto, factorInPlace, luSolveInPlace, …) runs
+// unchanged on panel storage — which is what makes the batched path
+// bitwise-identical to the looped one by construction.
+type Panel struct {
+	width, rows, cols int
+	data              []complex128
+	// mats backs the Block views; views[i] = &mats[i] stays stable between
+	// checkouts so repeated Block calls return the same pointer.
+	mats  []Matrix
+	views []*Matrix
+}
+
+// Width returns the number of blocks in the panel.
+func (p *Panel) Width() int { return p.width }
+
+// Rows returns the per-block row count.
+func (p *Panel) Rows() int { return p.rows }
+
+// Cols returns the per-block column count.
+func (p *Panel) Cols() int { return p.cols }
+
+// Block returns the i-th block as a matrix view into the panel's backing
+// storage. The view is owned by the panel: it must not be returned to a
+// Workspace with Put, and it dies with the panel's checkout.
+func (p *Panel) Block(i int) *Matrix {
+	if i < 0 || i >= p.width {
+		panic("linalg: Panel.Block index out of range")
+	}
+	return p.views[i]
+}
+
+// Blocks returns all block views in order. The slice is owned by the
+// panel; callers must not append to it or return its entries to a
+// Workspace.
+func (p *Panel) Blocks() []*Matrix { return p.views[:p.width] }
+
+// Zero clears every block of the panel (one contiguous memclr).
+func (p *Panel) Zero() {
+	for i := range p.data {
+		p.data[i] = 0
+	}
+}
+
+// reshape points the panel and its block views at a width×rows×cols
+// geometry over its current backing slice (which must have capacity).
+func (p *Panel) reshape(width, rows, cols int) {
+	n := rows * cols
+	p.width, p.rows, p.cols = width, rows, cols
+	p.data = p.data[:width*n]
+	if cap(p.mats) < width {
+		mats := make([]Matrix, width)
+		views := make([]*Matrix, width)
+		copy(mats, p.mats)
+		p.mats, p.views = mats, views
+		for i := range mats {
+			views[i] = &mats[i]
+		}
+	}
+	p.mats = p.mats[:width]
+	p.views = p.views[:width]
+	for i := 0; i < width; i++ {
+		p.mats[i] = Matrix{Rows: rows, Cols: cols, Data: p.data[i*n : (i+1)*n : (i+1)*n]}
+		p.views[i] = &p.mats[i]
+	}
+}
+
+// GetPanel checks a width×(rows×cols) panel out of the workspace.
+//
+// Unlike Get, the returned blocks are NOT zeroed: panels hold blocks the
+// solvers fully overwrite before reading (packed LU factors, d̃⁻¹·U
+// couplings, RGF recursion blocks), so the memclr of Get would be pure
+// overhead on the hot path. Callers that accumulate into panel blocks
+// (AddScaled-style updates) must call Zero first. Like Get, the panel is
+// scratch: it must not escape the solve, and PutPanel panics on a double
+// or foreign return.
+func (w *Workspace) GetPanel(width, rows, cols int) *Panel {
+	if width < 0 || rows < 0 || cols < 0 {
+		panic("linalg: negative panel dimension in Workspace.GetPanel")
+	}
+	n := width * rows * cols
+	class := capClass(n)
+	var p *Panel
+	if list := w.panelFree[class]; len(list) > 0 {
+		p = list[len(list)-1]
+		w.panelFree[class] = list[:len(list)-1]
+	} else {
+		p = &Panel{data: make([]complex128, 0, class)}
+	}
+	p.reshape(width, rows, cols)
+	w.panelOut[p] = class
+	return p
+}
+
+// PutPanel returns a panel previously obtained from GetPanel. It panics
+// on a double return and on a panel this workspace did not hand out.
+func (w *Workspace) PutPanel(p *Panel) {
+	class, ok := w.panelOut[p]
+	if !ok {
+		panic("linalg: Workspace.PutPanel of a panel it did not hand out (double or foreign return)")
+	}
+	delete(w.panelOut, p)
+	w.panelFree[class] = append(w.panelFree[class], p)
+}

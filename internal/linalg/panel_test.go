@@ -1,0 +1,72 @@
+package linalg
+
+import "testing"
+
+// TestPanelBlockGeometry checks the packed layout: width views of
+// rows×cols over one contiguous backing slice, stable across calls.
+func TestPanelBlockGeometry(t *testing.T) {
+	ws := GetWorkspace()
+	p := ws.GetPanel(3, 4, 5)
+	if p.Width() != 3 || p.Rows() != 4 || p.Cols() != 5 {
+		t.Fatalf("geometry: got %d×(%d×%d)", p.Width(), p.Rows(), p.Cols())
+	}
+	p.Zero()
+	for i := 0; i < 3; i++ {
+		b := p.Block(i)
+		if b.Rows != 4 || b.Cols != 5 {
+			t.Fatalf("block %d shape %d×%d", i, b.Rows, b.Cols)
+		}
+		if b != p.Block(i) {
+			t.Fatalf("block %d view not stable", i)
+		}
+		b.Data[0] = complex(float64(i+1), 0)
+	}
+	for i := 0; i < 3; i++ {
+		if p.Block(i).Data[0] != complex(float64(i+1), 0) {
+			t.Fatalf("block %d storage not independent", i)
+		}
+	}
+	ws.PutPanel(p)
+}
+
+// TestPanelDoubleReturnPanics checks that returning the same panel
+// twice panics — the double-checkout guard of the panel free list.
+func TestPanelDoubleReturnPanics(t *testing.T) {
+	ws := GetWorkspace()
+	p := ws.GetPanel(2, 3, 3)
+	ws.PutPanel(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double PutPanel did not panic")
+		}
+	}()
+	ws.PutPanel(p)
+}
+
+// TestPanelForeignReturnPanics checks that a panel checked out of one
+// workspace cannot be returned to another.
+func TestPanelForeignReturnPanics(t *testing.T) {
+	ws1 := GetWorkspace()
+	ws2 := GetWorkspace()
+	p := ws1.GetPanel(2, 3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign PutPanel did not panic")
+		}
+		ws1.PutPanel(p)
+	}()
+	ws2.PutPanel(p)
+}
+
+// TestPanelReuseAfterReturn checks the free list recycles backing
+// storage across checkouts of compatible capacity classes.
+func TestPanelReuseAfterReturn(t *testing.T) {
+	ws := GetWorkspace()
+	p1 := ws.GetPanel(4, 8, 8)
+	ws.PutPanel(p1)
+	p2 := ws.GetPanel(4, 8, 8)
+	if p1 != p2 {
+		t.Fatal("panel of identical geometry not recycled")
+	}
+	ws.PutPanel(p2)
+}

@@ -1,0 +1,330 @@
+package linalg
+
+import (
+	"errors"
+	"math/cmplx"
+
+	"repro/internal/perf"
+)
+
+// This file is the vectorized kernel backend of the batched (panel) solve
+// path. Each Vec* routine is the corresponding reference kernel with its
+// elementwise inner loops dispatched through the AVX microkernels of
+// veckernels.go; everything else — loop order, cache blocking, zero-skip
+// placement, pivot selection, flop accounting — is copied line for line
+// from the reference kernel next to it. Because every microkernel lane
+// computes exactly the scalar expression tree (see veckernels_amd64.s),
+// the Vec* kernels are bitwise-identical to the reference kernels on
+// every element, and the property tests in batch_test.go hold them to
+// exact equality.
+//
+// Reduction kernels (dot-product GEMM cases, TraceMulConj,
+// DiagMulConjInto) are deliberately NOT vectorized: a vector register
+// changes the partial-sum association, which is no longer the scalar
+// bit pattern. Those cases delegate to the reference kernels unchanged.
+
+// VecGemmInto is GemmInto with vectorized elementwise inner loops:
+//
+//	dst = alpha·opA(a)·opB(b) + beta·dst
+//
+// Bitwise-identical to GemmInto on every operand (the dot-product operand
+// combinations delegate to GemmInto wholesale, reductions included).
+func VecGemmInto(dst *Matrix, alpha complex128, a *Matrix, opA Op, b *Matrix, opB Op, beta complex128) {
+	if opB == ConjTrans {
+		// NoTrans/ConjTrans and ConjTrans/ConjTrans are dot-product
+		// shapes: vector lanes would reassociate the partial sums.
+		GemmInto(dst, alpha, a, opA, b, opB, beta)
+		return
+	}
+	if dst == a || dst == b {
+		panic("linalg: GemmInto output aliases an operand")
+	}
+	ra, ca := opDims(a, opA)
+	rb, cb := opDims(b, opB)
+	if ca != rb {
+		panic("linalg: inner dimension mismatch in GemmInto")
+	}
+	if dst.Rows != ra || dst.Cols != cb {
+		panic("linalg: output dimension mismatch in GemmInto")
+	}
+	if beta == 0 {
+		dst.Zero()
+	} else if beta != 1 {
+		scaleTo(dst.Data, beta)
+		perf.AddFlops(int64(len(dst.Data)) * perf.FlopsCMul)
+	}
+	n, k, p := ra, ca, cb
+	if opA == NoTrans {
+		// Same i-k-j blocked order as the reference kernel; the two-deep
+		// unrolled row update is exactly axpy2AddTo's expression tree. The
+		// zero skips test the unscaled multipliers, before alpha, exactly
+		// like the reference loop — 0·x is not a no-op in IEEE arithmetic.
+		// The vector/scalar dispatch is hoisted out of the inner loops:
+		// the row-segment width is fixed per column block, and the direct
+		// assembly calls skip the non-inlinable wrapper per update.
+		for jj := 0; jj < p; jj += gemmBlock {
+			jEnd := min(jj+gemmBlock, p)
+			wB := jEnd - jj
+			vec := hasAVX && wB >= vecMinLen
+			for kk := 0; kk < k; kk += gemmBlock {
+				kEnd := min(kk+gemmBlock, k)
+				for i := 0; i < n; i++ {
+					if vec {
+						// One fused call runs the whole l-loop of this
+						// tile: pair skips, alpha scaling, updates, tail.
+						avxGemmTileNN(&dst.Data[i*p+jj], &a.Data[i*k+kk], &b.Data[kk*p+jj], kEnd-kk, p, wB, alpha)
+						continue
+					}
+					dstRow := dst.Data[i*p+jj : i*p+jEnd]
+					aRow := a.Data[i*k : (i+1)*k]
+					l := kk
+					for ; l+1 < kEnd; l += 2 {
+						av0 := aRow[l]
+						av1 := aRow[l+1]
+						if av0 == 0 && av1 == 0 {
+							continue
+						}
+						av0 *= alpha
+						av1 *= alpha
+						b0 := b.Data[l*p+jj : l*p+jEnd]
+						b1 := b.Data[(l+1)*p+jj : (l+1)*p+jEnd]
+						axpy2AddScalar(dstRow, b0, b1, av0, av1)
+					}
+					for ; l < kEnd; l++ {
+						av := aRow[l]
+						if av == 0 {
+							continue
+						}
+						av *= alpha
+						bRow := b.Data[l*p+jj : l*p+jEnd]
+						axpyAddScalar(dstRow, bRow, av)
+					}
+				}
+			}
+		}
+	} else {
+		// ConjTrans/NoTrans: l-outer rank-1 updates, same order as the
+		// reference kernel; each dst row update is one axpy.
+		pEven := p &^ 1
+		vec := hasAVX && p >= vecMinLen
+		for l := 0; l < k; l++ {
+			aRow := a.Data[l*n : (l+1)*n]
+			bRow := b.Data[l*p : (l+1)*p]
+			for i := 0; i < n; i++ {
+				av := aRow[i]
+				if av == 0 {
+					continue
+				}
+				av = alpha * cmplx.Conj(av)
+				dstRow := dst.Data[i*p : (i+1)*p]
+				if vec {
+					avxAxpyAdd(&dstRow[0], &bRow[0], pEven, av)
+					if pEven < p {
+						dstRow[pEven] += av * bRow[pEven]
+					}
+				} else {
+					axpyAddScalar(dstRow, bRow, av)
+				}
+			}
+		}
+	}
+	perf.AddFlops(perf.GemmFlops(n, k, p))
+}
+
+// VecMulInto sets dst = opA(a)·opB(b) through the vectorized kernel.
+func VecMulInto(dst *Matrix, a *Matrix, opA Op, b *Matrix, opB Op) {
+	VecGemmInto(dst, 1, a, opA, b, opB, 0)
+}
+
+// VecMul3Into is Mul3Into with both products routed through the
+// vectorized kernel: dst = opA(a)·opB(b)·opC(c), associating to minimize
+// work with the same cost rule as the reference.
+func VecMul3Into(dst *Matrix, a *Matrix, opA Op, b *Matrix, opB Op, c *Matrix, opC Op, ws *Workspace) {
+	ra, ca := opDims(a, opA)
+	rb, cb := opDims(b, opB)
+	rc, cc := opDims(c, opC)
+	if ca != rb || cb != rc {
+		panic("linalg: inner dimension mismatch in Mul3Into")
+	}
+	if dst.Rows != ra || dst.Cols != cc {
+		panic("linalg: output dimension mismatch in Mul3Into")
+	}
+	left := int64(ra)*int64(ca)*int64(cb) + int64(ra)*int64(cb)*int64(cc)
+	right := int64(rb)*int64(cb)*int64(cc) + int64(ra)*int64(ca)*int64(cc)
+	if left <= right {
+		tmp := ws.Get(ra, cb)
+		VecGemmInto(tmp, 1, a, opA, b, opB, 0)
+		VecGemmInto(dst, 1, tmp, NoTrans, c, opC, 0)
+		ws.Put(tmp)
+	} else {
+		tmp := ws.Get(rb, cc)
+		VecGemmInto(tmp, 1, b, opB, c, opC, 0)
+		VecGemmInto(dst, 1, a, opA, tmp, NoTrans, 0)
+		ws.Put(tmp)
+	}
+}
+
+// factorInPlaceVec is factorInPlace with the row-update loop vectorized;
+// pivot search, row swaps and the singularity test are untouched.
+func factorInPlaceVec(m *Matrix, piv []int) (sign int, err error) {
+	if !hasAVX {
+		return factorInPlace(m, piv)
+	}
+	n := m.Rows
+	lu := m.Data
+	sign = 1
+	for k := 0; k < n; k++ {
+		p, maxAbs := k, cmplx.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := cmplx.Abs(lu[i*n+k]); a > maxAbs {
+				p, maxAbs = i, a
+			}
+		}
+		piv[k] = p
+		if maxAbs == 0 {
+			return sign, ErrSingular
+		}
+		if p != k {
+			rowK := lu[k*n : (k+1)*n]
+			rowP := lu[p*n : (p+1)*n]
+			for j := range rowK {
+				rowK[j], rowP[j] = rowP[j], rowK[j]
+			}
+			sign = -sign
+		}
+		pivInv := 1 / lu[k*n+k]
+		if rl := n - k - 1; hasAVX && rl >= vecMinLen {
+			// One fused call scales the whole column by pivInv and
+			// applies every surviving row update (zero skips included).
+			avxFactorColUpdate(&lu[(k+1)*n+k], &lu[k*n+k+1], rl, n, pivInv)
+		} else {
+			for i := k + 1; i < n; i++ {
+				m := lu[i*n+k] * pivInv
+				lu[i*n+k] = m
+				if m == 0 {
+					continue
+				}
+				rowI := lu[i*n+k+1 : (i+1)*n]
+				rowK := lu[k*n+k+1 : (k+1)*n]
+				axpySubScalar(rowI, rowK, m)
+			}
+		}
+	}
+	perf.AddFlops(perf.LUFlops(n))
+	return sign, nil
+}
+
+// luSolveInPlaceVec is luSolveInPlace with the substitution row updates
+// and the diagonal scale vectorized: each row's whole forward or
+// backward update runs as one fused assembly call. Narrow right-hand
+// sides (and non-AVX builds) delegate to the scalar reference kernel,
+// which is the identical computation by construction.
+func luSolveInPlaceVec(f *Matrix, piv []int, b *Matrix) {
+	n := f.Rows
+	if b.Rows != n {
+		panic("linalg: RHS row count mismatch in Solve")
+	}
+	nrhs := b.Cols
+	if !hasAVX || nrhs < vecMinLen {
+		luSolveInPlace(f, piv, b)
+		return
+	}
+	lu := f.Data
+	rEven := nrhs &^ 1
+	for k := 0; k < n; k++ {
+		if p := piv[k]; p != k {
+			rowK := b.Data[k*nrhs : (k+1)*nrhs]
+			rowP := b.Data[p*nrhs : (p+1)*nrhs]
+			for j := range rowK {
+				rowK[j], rowP[j] = rowP[j], rowK[j]
+			}
+		}
+	}
+	for i := 1; i < n; i++ {
+		avxLuRowUpdate(&b.Data[i*nrhs], &b.Data[0], &lu[i*n], i, nrhs)
+	}
+	for i := n - 1; i >= 0; i-- {
+		if cnt := n - i - 1; cnt > 0 {
+			avxLuRowUpdate(&b.Data[i*nrhs], &b.Data[(i+1)*nrhs], &lu[i*n+i+1], cnt, nrhs)
+		}
+		rowI := b.Data[i*nrhs : (i+1)*nrhs]
+		dInv := 1 / lu[i*n+i]
+		avxScale(&rowI[0], rEven, dInv)
+		if rEven < nrhs {
+			rowI[rEven] *= dInv
+		}
+	}
+	perf.AddFlops(perf.SolveFlops(n, nrhs))
+}
+
+// VecSolveInto writes the solution of A·X = B into dst through the
+// vectorized substitution kernel. dst and b must have the same shape;
+// dst may alias b.
+func (f *LU) VecSolveInto(dst, b *Matrix) {
+	if dst != b {
+		dst.CopyFrom(b)
+	}
+	luSolveInPlaceVec(f.lu, f.piv, dst)
+}
+
+// VecInverseInto is InverseInto with factorization and solve routed
+// through the vectorized kernels.
+func VecInverseInto(dst, a *Matrix, ws *Workspace) error {
+	if a.Rows != a.Cols {
+		return errors.New("linalg: InverseInto requires a square matrix")
+	}
+	if dst == a {
+		return errors.New("linalg: InverseInto output aliases its input")
+	}
+	if dst.Rows != a.Rows || dst.Cols != a.Cols {
+		return errors.New("linalg: output dimension mismatch in InverseInto")
+	}
+	n := a.Rows
+	lu := ws.Get(n, n)
+	defer ws.Put(lu)
+	lu.CopyFrom(a)
+	piv := ws.GetInts(n)
+	defer ws.PutInts(piv)
+	if _, err := factorInPlaceVec(lu, piv); err != nil {
+		return err
+	}
+	dst.Zero()
+	for i := 0; i < n; i++ {
+		dst.Data[i*n+i] = 1
+	}
+	luSolveInPlaceVec(lu, piv, dst)
+	return nil
+}
+
+// VecAddScaled sets m = m + s·b through the vectorized axpy. Like the
+// reference AddScaled, there is no short-circuit on s.
+func VecAddScaled(m, b *Matrix, s complex128) {
+	checkSameShape(m, b, "AddScaled")
+	axpyAddTo(m.Data, b.Data, s)
+	perf.AddFlops(int64(len(m.Data)) * perf.FlopsCMulAdd)
+}
+
+// VecSubInto sets dst = a − b elementwise. dst may alias a or b.
+func VecSubInto(dst, a, b *Matrix) {
+	checkSameShape(a, b, "SubInto")
+	checkSameShape(dst, a, "SubInto")
+	subTo(dst.Data, a.Data, b.Data)
+	perf.AddFlops(int64(len(a.Data)) * perf.FlopsCAdd)
+}
+
+// VecShiftedNegInto writes dst = z·I − m for a square m, with the row
+// negation vectorized (an exact sign flip). dst may alias m.
+func VecShiftedNegInto(dst, m *Matrix, z complex128) {
+	if m.Rows != m.Cols {
+		panic("linalg: ShiftedNegInto requires a square matrix")
+	}
+	checkSameShape(dst, m, "ShiftedNegInto")
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		dstRow := dst.Data[i*n : (i+1)*n]
+		mRow := m.Data[i*n : (i+1)*n]
+		negTo(dstRow, mRow)
+		dstRow[i] += z
+	}
+	perf.AddFlops(int64(n) * int64(n) * perf.FlopsCAdd)
+}

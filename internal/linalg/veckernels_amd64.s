@@ -1,0 +1,933 @@
+// AVX microkernels for the batched solve backend. Every lane computes
+// the exact scalar expression tree of the portable loops in
+// veckernels.go: a complex product m*x is one VMULPD against the
+// broadcast real part, one VMULPD of the lane-swapped input against the
+// broadcast imaginary part, and one VADDSUBPD — the same three
+// correctly-rounded operations (mr*xr - mi*xi, mr*xi + mi*xr) the Go
+// compiler emits for a scalar complex128 multiply. No FMA contraction
+// anywhere, so results are bitwise-identical to the scalar kernels.
+//
+// All kernels require n even and >= 2 (two complex128 per ymm register);
+// the Go wrappers peel the odd tail. The main loops are unrolled to two
+// ymm registers (four complex128) per iteration — the solver row lengths
+// sit around 14-64 elements, where loop overhead is a real fraction of
+// the work — with a single two-element step for the remainder.
+
+#include "textflag.h"
+
+// func cpuHasAVX() bool
+// CPUID leaf 1: OSXSAVE (ECX bit 27) and AVX (ECX bit 28), then XGETBV
+// XCR0 bits 1-2 for OS-enabled xmm+ymm state.
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	MOVL $0, CX
+	CPUID
+	MOVL CX, AX
+	ANDL $(1<<27 | 1<<28), AX
+	CMPL AX, $(1<<27 | 1<<28)
+	JNE  novec
+	MOVL $0, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  novec
+	MOVB $1, ret+0(FP)
+	RET
+
+novec:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func avxAxpyAdd(y, x *complex128, n int, m complex128)
+// y[0:n] += m*x[0:n]
+TEXT ·avxAxpyAdd(SB), NOSPLIT, $0-40
+	MOVQ         y+0(FP), DI
+	MOVQ         x+8(FP), SI
+	MOVQ         n+16(FP), CX
+	VBROADCASTSD m_real+24(FP), Y0
+	VBROADCASTSD m_imag+32(FP), Y1
+
+add4:
+	CMPQ      CX, $4
+	JL        add2
+	VMOVUPD   (SI), Y2
+	VMOVUPD   32(SI), Y5
+	VPERMILPD $0x5, Y2, Y3
+	VPERMILPD $0x5, Y5, Y6
+	VMULPD    Y0, Y2, Y2
+	VMULPD    Y0, Y5, Y5
+	VMULPD    Y1, Y3, Y3
+	VMULPD    Y1, Y6, Y6
+	VADDSUBPD Y3, Y2, Y2
+	VADDSUBPD Y6, Y5, Y5
+	VMOVUPD   (DI), Y4
+	VMOVUPD   32(DI), Y7
+	VADDPD    Y2, Y4, Y4
+	VADDPD    Y5, Y7, Y7
+	VMOVUPD   Y4, (DI)
+	VMOVUPD   Y7, 32(DI)
+	ADDQ      $64, SI
+	ADDQ      $64, DI
+	SUBQ      $4, CX
+	JMP       add4
+
+add2:
+	TESTQ     CX, CX
+	JLE       adddone
+	VMOVUPD   (SI), Y2
+	VPERMILPD $0x5, Y2, Y3
+	VMULPD    Y0, Y2, Y2
+	VMULPD    Y1, Y3, Y3
+	VADDSUBPD Y3, Y2, Y2
+	VMOVUPD   (DI), Y4
+	VADDPD    Y2, Y4, Y4
+	VMOVUPD   Y4, (DI)
+
+adddone:
+	VZEROUPPER
+	RET
+
+// func avxAxpySub(y, x *complex128, n int, m complex128)
+// y[0:n] -= m*x[0:n]
+TEXT ·avxAxpySub(SB), NOSPLIT, $0-40
+	MOVQ         y+0(FP), DI
+	MOVQ         x+8(FP), SI
+	MOVQ         n+16(FP), CX
+	VBROADCASTSD m_real+24(FP), Y0
+	VBROADCASTSD m_imag+32(FP), Y1
+
+sub4:
+	CMPQ      CX, $4
+	JL        sub2
+	VMOVUPD   (SI), Y2
+	VMOVUPD   32(SI), Y5
+	VPERMILPD $0x5, Y2, Y3
+	VPERMILPD $0x5, Y5, Y6
+	VMULPD    Y0, Y2, Y2
+	VMULPD    Y0, Y5, Y5
+	VMULPD    Y1, Y3, Y3
+	VMULPD    Y1, Y6, Y6
+	VADDSUBPD Y3, Y2, Y2
+	VADDSUBPD Y6, Y5, Y5
+	VMOVUPD   (DI), Y4
+	VMOVUPD   32(DI), Y7
+	VSUBPD    Y2, Y4, Y4
+	VSUBPD    Y5, Y7, Y7
+	VMOVUPD   Y4, (DI)
+	VMOVUPD   Y7, 32(DI)
+	ADDQ      $64, SI
+	ADDQ      $64, DI
+	SUBQ      $4, CX
+	JMP       sub4
+
+sub2:
+	TESTQ     CX, CX
+	JLE       subdone
+	VMOVUPD   (SI), Y2
+	VPERMILPD $0x5, Y2, Y3
+	VMULPD    Y0, Y2, Y2
+	VMULPD    Y1, Y3, Y3
+	VADDSUBPD Y3, Y2, Y2
+	VMOVUPD   (DI), Y4
+	VSUBPD    Y2, Y4, Y4
+	VMOVUPD   Y4, (DI)
+
+subdone:
+	VZEROUPPER
+	RET
+
+// func avxAxpy2Add(y, x0, x1 *complex128, n int, m0, m1 complex128)
+// y[0:n] += m0*x0[0:n] + m1*x1[0:n]
+TEXT ·avxAxpy2Add(SB), NOSPLIT, $0-64
+	MOVQ         y+0(FP), DI
+	MOVQ         x0+8(FP), SI
+	MOVQ         x1+16(FP), R8
+	MOVQ         n+24(FP), CX
+	VBROADCASTSD m0_real+32(FP), Y0
+	VBROADCASTSD m0_imag+40(FP), Y1
+	VBROADCASTSD m1_real+48(FP), Y2
+	VBROADCASTSD m1_imag+56(FP), Y3
+
+add24:
+	CMPQ      CX, $4
+	JL        add22
+	VMOVUPD   (SI), Y4
+	VMOVUPD   32(SI), Y9
+	VPERMILPD $0x5, Y4, Y5
+	VPERMILPD $0x5, Y9, Y10
+	VMULPD    Y0, Y4, Y4
+	VMULPD    Y0, Y9, Y9
+	VMULPD    Y1, Y5, Y5
+	VMULPD    Y1, Y10, Y10
+	VADDSUBPD Y5, Y4, Y4
+	VADDSUBPD Y10, Y9, Y9
+	VMOVUPD   (R8), Y6
+	VMOVUPD   32(R8), Y11
+	VPERMILPD $0x5, Y6, Y7
+	VPERMILPD $0x5, Y11, Y12
+	VMULPD    Y2, Y6, Y6
+	VMULPD    Y2, Y11, Y11
+	VMULPD    Y3, Y7, Y7
+	VMULPD    Y3, Y12, Y12
+	VADDSUBPD Y7, Y6, Y6
+	VADDSUBPD Y12, Y11, Y11
+	VADDPD    Y6, Y4, Y4
+	VADDPD    Y11, Y9, Y9
+	VMOVUPD   (DI), Y8
+	VMOVUPD   32(DI), Y13
+	VADDPD    Y4, Y8, Y8
+	VADDPD    Y9, Y13, Y13
+	VMOVUPD   Y8, (DI)
+	VMOVUPD   Y13, 32(DI)
+	ADDQ      $64, SI
+	ADDQ      $64, R8
+	ADDQ      $64, DI
+	SUBQ      $4, CX
+	JMP       add24
+
+add22:
+	TESTQ     CX, CX
+	JLE       add2done
+	VMOVUPD   (SI), Y4
+	VPERMILPD $0x5, Y4, Y5
+	VMULPD    Y0, Y4, Y4
+	VMULPD    Y1, Y5, Y5
+	VADDSUBPD Y5, Y4, Y4
+	VMOVUPD   (R8), Y6
+	VPERMILPD $0x5, Y6, Y7
+	VMULPD    Y2, Y6, Y6
+	VMULPD    Y3, Y7, Y7
+	VADDSUBPD Y7, Y6, Y6
+	VADDPD    Y6, Y4, Y4
+	VMOVUPD   (DI), Y8
+	VADDPD    Y4, Y8, Y8
+	VMOVUPD   Y8, (DI)
+
+add2done:
+	VZEROUPPER
+	RET
+
+// func avxAxpy2Sub(y, x0, x1 *complex128, n int, m0, m1 complex128)
+// y[0:n] -= m0*x0[0:n] + m1*x1[0:n]
+TEXT ·avxAxpy2Sub(SB), NOSPLIT, $0-64
+	MOVQ         y+0(FP), DI
+	MOVQ         x0+8(FP), SI
+	MOVQ         x1+16(FP), R8
+	MOVQ         n+24(FP), CX
+	VBROADCASTSD m0_real+32(FP), Y0
+	VBROADCASTSD m0_imag+40(FP), Y1
+	VBROADCASTSD m1_real+48(FP), Y2
+	VBROADCASTSD m1_imag+56(FP), Y3
+
+sub24:
+	CMPQ      CX, $4
+	JL        sub22
+	VMOVUPD   (SI), Y4
+	VMOVUPD   32(SI), Y9
+	VPERMILPD $0x5, Y4, Y5
+	VPERMILPD $0x5, Y9, Y10
+	VMULPD    Y0, Y4, Y4
+	VMULPD    Y0, Y9, Y9
+	VMULPD    Y1, Y5, Y5
+	VMULPD    Y1, Y10, Y10
+	VADDSUBPD Y5, Y4, Y4
+	VADDSUBPD Y10, Y9, Y9
+	VMOVUPD   (R8), Y6
+	VMOVUPD   32(R8), Y11
+	VPERMILPD $0x5, Y6, Y7
+	VPERMILPD $0x5, Y11, Y12
+	VMULPD    Y2, Y6, Y6
+	VMULPD    Y2, Y11, Y11
+	VMULPD    Y3, Y7, Y7
+	VMULPD    Y3, Y12, Y12
+	VADDSUBPD Y7, Y6, Y6
+	VADDSUBPD Y12, Y11, Y11
+	VADDPD    Y6, Y4, Y4
+	VADDPD    Y11, Y9, Y9
+	VMOVUPD   (DI), Y8
+	VMOVUPD   32(DI), Y13
+	VSUBPD    Y4, Y8, Y8
+	VSUBPD    Y9, Y13, Y13
+	VMOVUPD   Y8, (DI)
+	VMOVUPD   Y13, 32(DI)
+	ADDQ      $64, SI
+	ADDQ      $64, R8
+	ADDQ      $64, DI
+	SUBQ      $4, CX
+	JMP       sub24
+
+sub22:
+	TESTQ     CX, CX
+	JLE       sub2done
+	VMOVUPD   (SI), Y4
+	VPERMILPD $0x5, Y4, Y5
+	VMULPD    Y0, Y4, Y4
+	VMULPD    Y1, Y5, Y5
+	VADDSUBPD Y5, Y4, Y4
+	VMOVUPD   (R8), Y6
+	VPERMILPD $0x5, Y6, Y7
+	VMULPD    Y2, Y6, Y6
+	VMULPD    Y3, Y7, Y7
+	VADDSUBPD Y7, Y6, Y6
+	VADDPD    Y6, Y4, Y4
+	VMOVUPD   (DI), Y8
+	VSUBPD    Y4, Y8, Y8
+	VMOVUPD   Y8, (DI)
+
+sub2done:
+	VZEROUPPER
+	RET
+
+// func avxScale(y *complex128, n int, d complex128)
+// y[0:n] *= d
+TEXT ·avxScale(SB), NOSPLIT, $0-32
+	MOVQ         y+0(FP), DI
+	MOVQ         n+8(FP), CX
+	VBROADCASTSD d_real+16(FP), Y0
+	VBROADCASTSD d_imag+24(FP), Y1
+
+scale4:
+	CMPQ      CX, $4
+	JL        scale2
+	VMOVUPD   (DI), Y2
+	VMOVUPD   32(DI), Y4
+	VPERMILPD $0x5, Y2, Y3
+	VPERMILPD $0x5, Y4, Y5
+	VMULPD    Y0, Y2, Y2
+	VMULPD    Y0, Y4, Y4
+	VMULPD    Y1, Y3, Y3
+	VMULPD    Y1, Y5, Y5
+	VADDSUBPD Y3, Y2, Y2
+	VADDSUBPD Y5, Y4, Y4
+	VMOVUPD   Y2, (DI)
+	VMOVUPD   Y4, 32(DI)
+	ADDQ      $64, DI
+	SUBQ      $4, CX
+	JMP       scale4
+
+scale2:
+	TESTQ     CX, CX
+	JLE       scaledone
+	VMOVUPD   (DI), Y2
+	VPERMILPD $0x5, Y2, Y3
+	VMULPD    Y0, Y2, Y2
+	VMULPD    Y1, Y3, Y3
+	VADDSUBPD Y3, Y2, Y2
+	VMOVUPD   Y2, (DI)
+
+scaledone:
+	VZEROUPPER
+	RET
+
+// negZero is the sign-bit mask for IEEE negation by XOR.
+DATA negZero<>+0(SB)/8, $0x8000000000000000
+GLOBL negZero<>(SB), RODATA, $8
+
+// func avxNeg(dst, src *complex128, n int)
+// dst[0:n] = -src[0:n] (exact IEEE sign flip, like the scalar unary minus)
+TEXT ·avxNeg(SB), NOSPLIT, $0-24
+	MOVQ         dst+0(FP), DI
+	MOVQ         src+8(FP), SI
+	MOVQ         n+16(FP), CX
+	VBROADCASTSD negZero<>(SB), Y0
+
+neg4:
+	CMPQ    CX, $4
+	JL      neg2
+	VMOVUPD (SI), Y1
+	VMOVUPD 32(SI), Y2
+	VXORPD  Y0, Y1, Y1
+	VXORPD  Y0, Y2, Y2
+	VMOVUPD Y1, (DI)
+	VMOVUPD Y2, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	SUBQ    $4, CX
+	JMP     neg4
+
+neg2:
+	TESTQ   CX, CX
+	JLE     negdone
+	VMOVUPD (SI), Y1
+	VXORPD  Y0, Y1, Y1
+	VMOVUPD Y1, (DI)
+
+negdone:
+	VZEROUPPER
+	RET
+
+// func avxSub(dst, a, b *complex128, n int)
+// dst[0:n] = a[0:n] - b[0:n]
+TEXT ·avxSub(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), R8
+	MOVQ n+24(FP), CX
+
+vsub4:
+	CMPQ    CX, $4
+	JL      vsub2
+	VMOVUPD (SI), Y1
+	VMOVUPD 32(SI), Y3
+	VMOVUPD (R8), Y2
+	VMOVUPD 32(R8), Y4
+	VSUBPD  Y2, Y1, Y1
+	VSUBPD  Y4, Y3, Y3
+	VMOVUPD Y1, (DI)
+	VMOVUPD Y3, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, R8
+	ADDQ    $64, DI
+	SUBQ    $4, CX
+	JMP     vsub4
+
+vsub2:
+	TESTQ   CX, CX
+	JLE     vsubdone
+	VMOVUPD (SI), Y1
+	VMOVUPD (R8), Y2
+	VSUBPD  Y2, Y1, Y1
+	VMOVUPD Y1, (DI)
+
+vsubdone:
+	VZEROUPPER
+	RET
+
+// ---------------------------------------------------------------------
+// Fused solver-loop kernels. Each call runs a whole reference inner loop
+// — zero checks on unscaled multipliers, exact complex scaling, row
+// updates, odd tails — so the per-call overhead is amortized over
+// O(rows·width) work. A scalar complex product a·b is computed with the
+// exact Go operand order: s1 = [ar·br, ar·bi], s2 = [ai·bi, ai·br],
+// ADDSUBPD — identical trees, identical bits.
+// ---------------------------------------------------------------------
+
+// func avxLuRowUpdate(y, rows, ms *complex128, cnt, nrhs int)
+// y[0:nrhs] -= Σ_{k<cnt} ms[k]·rows[k·nrhs : k·nrhs+nrhs], k paired
+// two-deep with the reference zero skips (pair skipped iff both ms are
+// zero; a lone trailing k skipped iff its m is zero). Requires
+// nrhs >= 2; handles odd nrhs via an xmm tail per update.
+TEXT ·avxLuRowUpdate(SB), NOSPLIT, $0-40
+	MOVQ y+0(FP), DI
+	MOVQ rows+8(FP), SI
+	MOVQ ms+16(FP), BX
+	MOVQ cnt+24(FP), CX
+	MOVQ nrhs+32(FP), R10
+	MOVQ R10, R11
+	ANDQ $-2, R11 // wEven
+	MOVQ R10, R9
+	SHLQ $4, R9   // row stride in bytes
+	MOVQ R11, R8
+	SHLQ $4, R8   // tail byte offset
+
+lupair:
+	CMPQ      CX, $2
+	JL        lusingle
+	VMOVUPD   (BX), Y5
+	VXORPD    Y4, Y4, Y4
+	VCMPPD    $0, Y4, Y5, Y4
+	VMOVMSKPD Y4, AX
+	CMPL      AX, $0xF
+	JE        lupskip
+
+	// broadcast m0, m1 straight from memory
+	VBROADCASTSD (BX), Y0
+	VBROADCASTSD 8(BX), Y1
+	VBROADCASTSD 16(BX), Y2
+	VBROADCASTSD 24(BX), Y3
+	MOVQ         DI, R12
+	MOVQ         SI, R13
+	LEAQ         (SI)(R9*1), R14
+	MOVQ         R11, DX
+
+lup4:
+	CMPQ      DX, $4
+	JL        lup2
+	VMOVUPD   (R13), Y4
+	VMOVUPD   32(R13), Y9
+	VPERMILPD $0x5, Y4, Y5
+	VPERMILPD $0x5, Y9, Y10
+	VMULPD    Y0, Y4, Y4
+	VMULPD    Y0, Y9, Y9
+	VMULPD    Y1, Y5, Y5
+	VMULPD    Y1, Y10, Y10
+	VADDSUBPD Y5, Y4, Y4
+	VADDSUBPD Y10, Y9, Y9
+	VMOVUPD   (R14), Y6
+	VMOVUPD   32(R14), Y11
+	VPERMILPD $0x5, Y6, Y7
+	VPERMILPD $0x5, Y11, Y12
+	VMULPD    Y2, Y6, Y6
+	VMULPD    Y2, Y11, Y11
+	VMULPD    Y3, Y7, Y7
+	VMULPD    Y3, Y12, Y12
+	VADDSUBPD Y7, Y6, Y6
+	VADDSUBPD Y12, Y11, Y11
+	VADDPD    Y6, Y4, Y4
+	VADDPD    Y11, Y9, Y9
+	VMOVUPD   (R12), Y8
+	VMOVUPD   32(R12), Y13
+	VSUBPD    Y4, Y8, Y8
+	VSUBPD    Y9, Y13, Y13
+	VMOVUPD   Y8, (R12)
+	VMOVUPD   Y13, 32(R12)
+	ADDQ      $64, R13
+	ADDQ      $64, R14
+	ADDQ      $64, R12
+	SUBQ      $4, DX
+	JMP       lup4
+
+lup2:
+	TESTQ     DX, DX
+	JLE       luptail
+	VMOVUPD   (R13), Y4
+	VPERMILPD $0x5, Y4, Y5
+	VMULPD    Y0, Y4, Y4
+	VMULPD    Y1, Y5, Y5
+	VADDSUBPD Y5, Y4, Y4
+	VMOVUPD   (R14), Y6
+	VPERMILPD $0x5, Y6, Y7
+	VMULPD    Y2, Y6, Y6
+	VMULPD    Y3, Y7, Y7
+	VADDSUBPD Y7, Y6, Y6
+	VADDPD    Y6, Y4, Y4
+	VMOVUPD   (R12), Y8
+	VSUBPD    Y4, Y8, Y8
+	VMOVUPD   Y8, (R12)
+
+luptail:
+	CMPQ      R11, R10
+	JE        lupskip
+	// y[t] -= m0·r0[t] + m1·r1[t], exact scalar trees
+	VMOVUPD   (SI)(R8*1), X4
+	VSHUFPD   $1, X4, X4, X5
+	VMOVDDUP  (BX), X6
+	VMOVDDUP  8(BX), X7
+	VMULPD    X6, X4, X4
+	VMULPD    X7, X5, X5
+	VADDSUBPD X5, X4, X4
+	LEAQ      (SI)(R9*1), DX
+	VMOVUPD   (DX)(R8*1), X9
+	VSHUFPD   $1, X9, X9, X10
+	VMOVDDUP  16(BX), X6
+	VMOVDDUP  24(BX), X7
+	VMULPD    X6, X9, X9
+	VMULPD    X7, X10, X10
+	VADDSUBPD X10, X9, X9
+	VADDPD    X9, X4, X4
+	VMOVUPD   (DI)(R8*1), X11
+	VSUBPD    X4, X11, X11
+	VMOVUPD   X11, (DI)(R8*1)
+
+lupskip:
+	LEAQ (SI)(R9*2), SI
+	ADDQ $32, BX
+	SUBQ $2, CX
+	JMP  lupair
+
+lusingle:
+	TESTQ     CX, CX
+	JLE       ludone
+	VMOVUPD   (BX), X5
+	VXORPD    X4, X4, X4
+	VCMPPD    $0, X4, X5, X4
+	VMOVMSKPD X4, AX
+	CMPL      AX, $3
+	JE        ludone
+	VBROADCASTSD (BX), Y0
+	VBROADCASTSD 8(BX), Y1
+	MOVQ         DI, R12
+	MOVQ         SI, R13
+	MOVQ         R11, DX
+
+lus4:
+	CMPQ      DX, $4
+	JL        lus2
+	VMOVUPD   (R13), Y2
+	VMOVUPD   32(R13), Y5
+	VPERMILPD $0x5, Y2, Y3
+	VPERMILPD $0x5, Y5, Y6
+	VMULPD    Y0, Y2, Y2
+	VMULPD    Y0, Y5, Y5
+	VMULPD    Y1, Y3, Y3
+	VMULPD    Y1, Y6, Y6
+	VADDSUBPD Y3, Y2, Y2
+	VADDSUBPD Y6, Y5, Y5
+	VMOVUPD   (R12), Y4
+	VMOVUPD   32(R12), Y7
+	VSUBPD    Y2, Y4, Y4
+	VSUBPD    Y5, Y7, Y7
+	VMOVUPD   Y4, (R12)
+	VMOVUPD   Y7, 32(R12)
+	ADDQ      $64, R13
+	ADDQ      $64, R12
+	SUBQ      $4, DX
+	JMP       lus4
+
+lus2:
+	TESTQ     DX, DX
+	JLE       lustail
+	VMOVUPD   (R13), Y2
+	VPERMILPD $0x5, Y2, Y3
+	VMULPD    Y0, Y2, Y2
+	VMULPD    Y1, Y3, Y3
+	VADDSUBPD Y3, Y2, Y2
+	VMOVUPD   (R12), Y4
+	VSUBPD    Y2, Y4, Y4
+	VMOVUPD   Y4, (R12)
+
+lustail:
+	CMPQ      R11, R10
+	JE        ludone
+	VMOVUPD   (SI)(R8*1), X4
+	VSHUFPD   $1, X4, X4, X5
+	VMOVDDUP  (BX), X6
+	VMOVDDUP  8(BX), X7
+	VMULPD    X6, X4, X4
+	VMULPD    X7, X5, X5
+	VADDSUBPD X5, X4, X4
+	VMOVUPD   (DI)(R8*1), X11
+	VSUBPD    X4, X11, X11
+	VMOVUPD   X11, (DI)(R8*1)
+
+ludone:
+	VZEROUPPER
+	RET
+
+// func avxFactorColUpdate(col, rowK *complex128, rows, stride int, pivInv complex128)
+// For each of rows trailing rows: m = col[0]·pivInv (exact Go tree),
+// stored back; if m != 0, the trailing row segment of length rows
+// starting one element past the column slot gets -= m·rowK. col
+// advances by stride elements per row. Requires rows >= 2.
+TEXT ·avxFactorColUpdate(SB), NOSPLIT, $0-48
+	MOVQ     col+0(FP), DI
+	MOVQ     rowK+8(FP), SI
+	MOVQ     rows+16(FP), CX
+	MOVQ     stride+24(FP), R9
+	SHLQ     $4, R9
+	VMOVSD   pivInv_real+32(FP), X14
+	VMOVHPD  pivInv_imag+40(FP), X14, X14
+	VSHUFPD  $1, X14, X14, X15
+	MOVQ     CX, R10 // row length rl == rows
+	MOVQ     R10, R11
+	ANDQ     $-2, R11 // rlEven
+	MOVQ     R11, R8
+	SHLQ     $4, R8   // tail byte offset
+
+fcrow:
+	TESTQ     CX, CX
+	JLE       fcdone
+	// m = lu_val·pivInv: s1 = [ar·br, ar·bi], s2 = [ai·bi, ai·br]
+	VMOVUPD   (DI), X5
+	VMOVDDUP  X5, X8
+	VSHUFPD   $3, X5, X5, X9
+	VMULPD    X14, X8, X8
+	VMULPD    X15, X9, X9
+	VADDSUBPD X9, X8, X8
+	VMOVUPD   X8, (DI)
+	VXORPD    X4, X4, X4
+	VCMPPD    $0, X4, X8, X4
+	VMOVMSKPD X4, AX
+	CMPL      AX, $3
+	JE        fcskip
+
+	// broadcast m to ymm lanes
+	VMOVDDUP    X8, X0
+	VINSERTF128 $1, X0, Y0, Y0
+	VSHUFPD     $3, X8, X8, X1
+	VINSERTF128 $1, X1, Y1, Y1
+	LEAQ        16(DI), R12
+	MOVQ        SI, R13
+	MOVQ        R11, DX
+
+fc4:
+	CMPQ      DX, $4
+	JL        fc2
+	VMOVUPD   (R13), Y2
+	VMOVUPD   32(R13), Y5
+	VPERMILPD $0x5, Y2, Y3
+	VPERMILPD $0x5, Y5, Y6
+	VMULPD    Y0, Y2, Y2
+	VMULPD    Y0, Y5, Y5
+	VMULPD    Y1, Y3, Y3
+	VMULPD    Y1, Y6, Y6
+	VADDSUBPD Y3, Y2, Y2
+	VADDSUBPD Y6, Y5, Y5
+	VMOVUPD   (R12), Y4
+	VMOVUPD   32(R12), Y7
+	VSUBPD    Y2, Y4, Y4
+	VSUBPD    Y5, Y7, Y7
+	VMOVUPD   Y4, (R12)
+	VMOVUPD   Y7, 32(R12)
+	ADDQ      $64, R13
+	ADDQ      $64, R12
+	SUBQ      $4, DX
+	JMP       fc4
+
+fc2:
+	TESTQ     DX, DX
+	JLE       fctail
+	VMOVUPD   (R13), Y2
+	VPERMILPD $0x5, Y2, Y3
+	VMULPD    Y0, Y2, Y2
+	VMULPD    Y1, Y3, Y3
+	VADDSUBPD Y3, Y2, Y2
+	VMOVUPD   (R12), Y4
+	VSUBPD    Y2, Y4, Y4
+	VMOVUPD   Y4, (R12)
+
+fctail:
+	CMPQ      R11, R10
+	JE        fcskip
+	// rowI[t] -= m·rowK[t]
+	VMOVUPD   (SI)(R8*1), X4
+	VSHUFPD   $1, X4, X4, X5
+	VMOVDDUP  X8, X6
+	VSHUFPD   $3, X8, X8, X7
+	VMULPD    X6, X4, X4
+	VMULPD    X7, X5, X5
+	VADDSUBPD X5, X4, X4
+	LEAQ      16(DI), DX
+	VMOVUPD   (DX)(R8*1), X11
+	VSUBPD    X4, X11, X11
+	VMOVUPD   X11, (DX)(R8*1)
+
+fcskip:
+	ADDQ R9, DI
+	DECQ CX
+	JMP  fcrow
+
+fcdone:
+	VZEROUPPER
+	RET
+
+// func avxGemmTileNN(dst, aRow, b *complex128, kLen, p, w int, alpha complex128)
+// dst[0:w] += Σ_{l<kLen} (alpha·aRow[l])·b[l·p : l·p+w], l paired
+// two-deep with the reference kernel's skips on the UNSCALED pair.
+// Requires w >= 2; handles odd w via an xmm tail per update.
+TEXT ·avxGemmTileNN(SB), NOSPLIT, $0-64
+	MOVQ    dst+0(FP), DI
+	MOVQ    aRow+8(FP), SI
+	MOVQ    b+16(FP), R8
+	MOVQ    kLen+24(FP), CX
+	MOVQ    p+32(FP), R9
+	SHLQ    $4, R9
+	MOVQ    w+40(FP), R10
+	MOVQ    R10, R11
+	ANDQ    $-2, R11 // wEven
+	MOVQ    R11, BX
+	SHLQ    $4, BX   // tail byte offset
+	VMOVSD  alpha_real+48(FP), X14
+	VMOVHPD alpha_imag+56(FP), X14, X14
+	VSHUFPD $1, X14, X14, X15
+
+gtpair:
+	CMPQ      CX, $2
+	JL        gtsingle
+	VMOVUPD   (SI), Y5
+	VXORPD    Y4, Y4, Y4
+	VCMPPD    $0, Y4, Y5, Y4
+	VMOVMSKPD Y4, AX
+	CMPL      AX, $0xF
+	JE        gtpskip
+
+	// av0 *= alpha; av1 *= alpha (exact Go trees)
+	VMOVUPD   (SI), X5
+	VMOVUPD   16(SI), X6
+	VMOVDDUP  X5, X8
+	VSHUFPD      $3, X5, X5, X9
+	VMULPD       X14, X8, X8
+	VMULPD       X15, X9, X9
+	VADDSUBPD    X9, X8, X8    // scaled av0
+	VMOVDDUP     X6, X10
+	VSHUFPD      $3, X6, X6, X11
+	VMULPD       X14, X10, X10
+	VMULPD       X15, X11, X11
+	VADDSUBPD    X11, X10, X10 // scaled av1
+	VMOVDDUP     X8, X0
+	VINSERTF128  $1, X0, Y0, Y0
+	VSHUFPD      $3, X8, X8, X1
+	VINSERTF128  $1, X1, Y1, Y1
+	VMOVDDUP     X10, X2
+	VINSERTF128  $1, X2, Y2, Y2
+	VSHUFPD      $3, X10, X10, X3
+	VINSERTF128  $1, X3, Y3, Y3
+	MOVQ         DI, R12
+	MOVQ         R8, R13
+	LEAQ         (R8)(R9*1), R14
+	MOVQ         R11, DX
+
+gt4:
+	CMPQ      DX, $4
+	JL        gt2
+	VMOVUPD   (R13), Y4
+	VMOVUPD   32(R13), Y9
+	VPERMILPD $0x5, Y4, Y5
+	VPERMILPD $0x5, Y9, Y10
+	VMULPD    Y0, Y4, Y4
+	VMULPD    Y0, Y9, Y9
+	VMULPD    Y1, Y5, Y5
+	VMULPD    Y1, Y10, Y10
+	VADDSUBPD Y5, Y4, Y4
+	VADDSUBPD Y10, Y9, Y9
+	VMOVUPD   (R14), Y6
+	VMOVUPD   32(R14), Y11
+	VPERMILPD $0x5, Y6, Y7
+	VPERMILPD $0x5, Y11, Y12
+	VMULPD    Y2, Y6, Y6
+	VMULPD    Y2, Y11, Y11
+	VMULPD    Y3, Y7, Y7
+	VMULPD    Y3, Y12, Y12
+	VADDSUBPD Y7, Y6, Y6
+	VADDSUBPD Y12, Y11, Y11
+	VADDPD    Y6, Y4, Y4
+	VADDPD    Y11, Y9, Y9
+	VMOVUPD   (R12), Y8
+	VMOVUPD   32(R12), Y13
+	VADDPD    Y4, Y8, Y8
+	VADDPD    Y9, Y13, Y13
+	VMOVUPD   Y8, (R12)
+	VMOVUPD   Y13, 32(R12)
+	ADDQ      $64, R13
+	ADDQ      $64, R14
+	ADDQ      $64, R12
+	SUBQ      $4, DX
+	JMP       gt4
+
+gt2:
+	TESTQ     DX, DX
+	JLE       gttail
+	VMOVUPD   (R13), Y4
+	VPERMILPD $0x5, Y4, Y5
+	VMULPD    Y0, Y4, Y4
+	VMULPD    Y1, Y5, Y5
+	VADDSUBPD Y5, Y4, Y4
+	VMOVUPD   (R14), Y6
+	VPERMILPD $0x5, Y6, Y7
+	VMULPD    Y2, Y6, Y6
+	VMULPD    Y3, Y7, Y7
+	VADDSUBPD Y7, Y6, Y6
+	VADDPD    Y6, Y4, Y4
+	VMOVUPD   (R12), Y8
+	VADDPD    Y4, Y8, Y8
+	VMOVUPD   Y8, (R12)
+
+gttail:
+	CMPQ      R11, R10
+	JE        gtpskip
+	// dst[t] += av0·b0[t] + av1·b1[t]. The main loop clobbered
+	// X8/X10, so recompute the identical scaled pair from (SI).
+	VMOVUPD   (SI), X5
+	VMOVUPD   16(SI), X6
+	VMOVDDUP  X5, X8
+	VSHUFPD   $3, X5, X5, X9
+	VMULPD    X14, X8, X8
+	VMULPD    X15, X9, X9
+	VADDSUBPD X9, X8, X8
+	VMOVDDUP  X6, X10
+	VSHUFPD   $3, X6, X6, X11
+	VMULPD    X14, X10, X10
+	VMULPD    X15, X11, X11
+	VADDSUBPD X11, X10, X10
+	VMOVUPD   (R8)(BX*1), X4
+	VSHUFPD   $1, X4, X4, X5
+	VMOVDDUP  X8, X6
+	VSHUFPD   $3, X8, X8, X7
+	VMULPD    X6, X4, X4
+	VMULPD    X7, X5, X5
+	VADDSUBPD X5, X4, X4
+	LEAQ      (R8)(R9*1), DX
+	VMOVUPD   (DX)(BX*1), X9
+	VSHUFPD   $1, X9, X9, X12
+	VMOVDDUP  X10, X6
+	VSHUFPD   $3, X10, X10, X7
+	VMULPD    X6, X9, X9
+	VMULPD    X7, X12, X12
+	VADDSUBPD X12, X9, X9
+	VADDPD    X9, X4, X4
+	VMOVUPD   (DI)(BX*1), X11
+	VADDPD    X4, X11, X11
+	VMOVUPD   X11, (DI)(BX*1)
+
+gtpskip:
+	ADDQ $32, SI
+	LEAQ (R8)(R9*2), R8
+	SUBQ $2, CX
+	JMP  gtpair
+
+gtsingle:
+	TESTQ     CX, CX
+	JLE       gtdone
+	VMOVUPD   (SI), X5
+	VXORPD    X4, X4, X4
+	VCMPPD    $0, X4, X5, X4
+	VMOVMSKPD X4, AX
+	CMPL      AX, $3
+	JE        gtdone
+	// av *= alpha (exact Go tree), broadcast
+	VMOVDDUP    X5, X8
+	VSHUFPD     $3, X5, X5, X9
+	VMULPD      X14, X8, X8
+	VMULPD      X15, X9, X9
+	VADDSUBPD   X9, X8, X8
+	VMOVDDUP    X8, X0
+	VINSERTF128 $1, X0, Y0, Y0
+	VSHUFPD     $3, X8, X8, X1
+	VINSERTF128 $1, X1, Y1, Y1
+	MOVQ        DI, R12
+	MOVQ        R8, R13
+	MOVQ        R11, DX
+
+gts4:
+	CMPQ      DX, $4
+	JL        gts2
+	VMOVUPD   (R13), Y2
+	VMOVUPD   32(R13), Y5
+	VPERMILPD $0x5, Y2, Y3
+	VPERMILPD $0x5, Y5, Y6
+	VMULPD    Y0, Y2, Y2
+	VMULPD    Y0, Y5, Y5
+	VMULPD    Y1, Y3, Y3
+	VMULPD    Y1, Y6, Y6
+	VADDSUBPD Y3, Y2, Y2
+	VADDSUBPD Y6, Y5, Y5
+	VMOVUPD   (R12), Y4
+	VMOVUPD   32(R12), Y7
+	VADDPD    Y2, Y4, Y4
+	VADDPD    Y5, Y7, Y7
+	VMOVUPD   Y4, (R12)
+	VMOVUPD   Y7, 32(R12)
+	ADDQ      $64, R13
+	ADDQ      $64, R12
+	SUBQ      $4, DX
+	JMP       gts4
+
+gts2:
+	TESTQ     DX, DX
+	JLE       gtstail
+	VMOVUPD   (R13), Y2
+	VPERMILPD $0x5, Y2, Y3
+	VMULPD    Y0, Y2, Y2
+	VMULPD    Y1, Y3, Y3
+	VADDSUBPD Y3, Y2, Y2
+	VMOVUPD   (R12), Y4
+	VADDPD    Y2, Y4, Y4
+	VMOVUPD   Y4, (R12)
+
+gtstail:
+	CMPQ      R11, R10
+	JE        gtdone
+	VMOVUPD   (R8)(BX*1), X4
+	VSHUFPD   $1, X4, X4, X5
+	VMOVDDUP  X8, X6
+	VSHUFPD   $3, X8, X8, X7
+	VMULPD    X6, X4, X4
+	VMULPD    X7, X5, X5
+	VADDSUBPD X5, X4, X4
+	VMOVUPD   (DI)(BX*1), X11
+	VADDPD    X4, X11, X11
+	VMOVUPD   X11, (DI)(BX*1)
+
+gtdone:
+	VZEROUPPER
+	RET

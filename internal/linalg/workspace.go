@@ -28,13 +28,22 @@ type Workspace struct {
 	out map[*Matrix]int
 	// ints is a free list of pivot-index scratch slices.
 	ints [][]int
+	// panelFree and panelOut are the free/checked-out sets of the batched
+	// path's Panels, bucketed like free/out by total capacity class.
+	panelFree map[int][]*Panel
+	panelOut  map[*Panel]int
 }
 
 // workspacePool recycles whole Workspaces across solves. sync.Pool's
 // per-P fast path means a worker goroutine pinned to a processor keeps
 // reusing the same warm buffers for consecutive energy points.
 var workspacePool = sync.Pool{New: func() any {
-	return &Workspace{free: make(map[int][]*Matrix), out: make(map[*Matrix]int)}
+	return &Workspace{
+		free:      make(map[int][]*Matrix),
+		out:       make(map[*Matrix]int),
+		panelFree: make(map[int][]*Panel),
+		panelOut:  make(map[*Panel]int),
+	}
 }}
 
 // GetWorkspace checks a Workspace out of the shared pool.
@@ -47,6 +56,10 @@ func (w *Workspace) Release() {
 	for m, class := range w.out {
 		delete(w.out, m)
 		w.free[class] = append(w.free[class], m)
+	}
+	for p, class := range w.panelOut {
+		delete(w.panelOut, p)
+		w.panelFree[class] = append(w.panelFree[class], p)
 	}
 	workspacePool.Put(w)
 }

@@ -247,7 +247,11 @@ func (s *Solver) DenseReference(e float64) (*Result, error) {
 	g0N := g.Submatrix(0, off[nl-1], n0, nN)
 	gamL := Broadening(sigL)
 	gamR := Broadening(sigR)
-	t := linalg.TraceMulConj(linalg.Mul3(gamL, g0N, gamR), g0N)
+	ws := linalg.GetWorkspace()
+	tns := ws.Get(n0, nN)
+	linalg.Mul3Into(tns, gamL, linalg.NoTrans, g0N, linalg.NoTrans, gamR, linalg.NoTrans, ws)
+	t := linalg.TraceMulConj(tns, g0N)
+	ws.Release()
 	res := &Result{E: e, T: real(t), DOS: make([]float64, s.H.N())}
 	for i := 0; i < g.Rows; i++ {
 		res.DOS[i] = -imag(g.At(i, i)) / math.Pi

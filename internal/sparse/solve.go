@@ -44,7 +44,9 @@ func (m *BlockTridiag) FactorBTD() (*BTDFactor, error) {
 		return nil, fmt.Errorf("sparse: block Thomas pivot 0: %w", err)
 	}
 	for i := 1; i < l; i++ {
-		f.dU[i-1] = f.facs[i-1].Solve(m.Upper[i-1]) // d̃_{i-1}⁻¹·U_{i-1}
+		// dU_{i-1} = d̃_{i-1}⁻¹·U_{i-1}
+		f.dU[i-1] = linalg.New(m.Upper[i-1].Rows, m.Upper[i-1].Cols)
+		f.facs[i-1].SolveInto(f.dU[i-1], m.Upper[i-1])
 		// d̃_i = D_i − L_{i-1}·d̃_{i-1}⁻¹·U_{i-1}, accumulated straight into
 		// the buffer that becomes the packed factor.
 		di := m.Diag[i].Clone()

@@ -66,9 +66,10 @@ func Build(s RunSpec) (*Built, error) {
 		SeedDist: s.Solver.SeedRefine,
 	})
 	cfg := transport.Config{
-		Domains: s.Solver.Domains,
-		Pool:    b.Pool,
-		Cache:   b.Cache,
+		Domains:    s.Solver.Domains,
+		Pool:       b.Pool,
+		Cache:      b.Cache,
+		SolveBatch: s.Exec.SolveBatch,
 	}
 	switch s.Solver.Formalism {
 	case "wf":

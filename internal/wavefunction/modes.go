@@ -105,7 +105,9 @@ func pencilEig(h00, h01 *linalg.Matrix, e float64) (*linalg.Eigen, complex128, e
 		if err != nil {
 			continue
 		}
-		eig, err := linalg.Eig(f.Solve(bigB))
+		sb := linalg.New(bigB.Rows, bigB.Cols)
+		f.SolveInto(sb, bigB)
+		eig, err := linalg.Eig(sb)
 		if err != nil {
 			return nil, 0, fmt.Errorf("wavefunction: mode eigenproblem failed: %w", err)
 		}

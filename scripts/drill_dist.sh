@@ -88,6 +88,38 @@ fi
 grep '^# cluster' "$WORKDIR/dist.txt"
 echo "drill-dist: PASS — observables byte-identical, $SERIAL_FLOPS exact across the kill"
 
+# Batched-solve leg: the same sweep with -solve-batch 8 — serial and
+# distributed — must reproduce the unbatched serial reference byte for
+# byte with the exact same flop total. Batching is an executor knob;
+# any drift here means the batched kernels stopped being the same
+# arithmetic (DESIGN.md §14).
+echo "drill-dist: batched serial run (-solve-batch 8)"
+# shellcheck disable=SC2086
+"$OMEN" $ARGS $FAULTS -solve-batch 8 > "$WORKDIR/batched.txt"
+BPORT=$((PORT + 1))
+echo "drill-dist: batched distributed run on 127.0.0.1:$BPORT (3 spawned workers)"
+# shellcheck disable=SC2086
+"$OMEN" $ARGS $FAULTS -solve-batch 8 -serve "127.0.0.1:$BPORT" -workers 3 \
+	> "$WORKDIR/batched_dist.txt" 2> "$WORKDIR/batched_dist.err"
+for RUN in batched batched_dist; do
+	grep -v '^#' "$WORKDIR/$RUN.txt" > "$WORKDIR/${RUN}_obs.txt"
+	if ! diff "$WORKDIR/serial_obs.txt" "$WORKDIR/${RUN}_obs.txt" > /dev/null; then
+		echo "drill-dist: FAIL — $RUN observables differ from the unbatched serial run" >&2
+		diff "$WORKDIR/serial_obs.txt" "$WORKDIR/${RUN}_obs.txt" | head -20 >&2
+		exit 1
+	fi
+	RUN_FLOPS=$(grep '^# flops' "$WORKDIR/$RUN.txt")
+	if [ "$SERIAL_FLOPS" != "$RUN_FLOPS" ]; then
+		echo "drill-dist: FAIL — $RUN flop count differs: '$RUN_FLOPS' vs '$SERIAL_FLOPS'" >&2
+		exit 1
+	fi
+done
+if ! grep -q '^# batch' "$WORKDIR/batched.txt"; then
+	echo "drill-dist: FAIL — batched run printed no # batch counters (batching never engaged)" >&2
+	exit 1
+fi
+echo "drill-dist: PASS — -solve-batch 8 byte-identical with exact flops, serial and distributed"
+
 # Negative drill: resuming a checkpoint journal with a different spec
 # must fail loudly; resuming with the same spec must succeed.
 SMALL="-device agnr7 -cellsx 6 -ne 64 -emin -1 -emax 1"
