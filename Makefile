@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build fmt-check vet deprecated-check check spec-check spec-golden test race race-batched faults drill-dist drill-failover bench bench-baseline bench-check ci clean
+.PHONY: build fmt-check vet deprecated-check check spec-check spec-golden test race race-batched faults drill-dist drill-failover drill-serve bench bench-baseline bench-check ci clean
 
 # The kernel-cost benchmarks gated by the allocation baseline: their
 # allocs/op is deterministic, so a regression means a real change in the
@@ -83,6 +83,17 @@ drill-failover:
 	$(GO) build -o bin/omen ./cmd/omen
 	$(GO) build -o bin/journalcheck ./cmd/journalcheck
 	sh scripts/drill_failover.sh bin/omen bin/journalcheck
+
+# The simulation-service drill: the omend daemon driven over HTTP — a
+# worker SIGKILLed mid-job, a completed spec replayed from its journal
+# with zero new solves, and a SIGTERM drain resumed across a daemon
+# restart. Every result must be byte-identical to the serial engine
+# with the exact same flop count.
+drill-serve:
+	$(GO) build -o bin/omend ./cmd/omend
+	$(GO) build -o bin/omen ./cmd/omen
+	$(GO) build -o bin/journalcheck ./cmd/journalcheck
+	sh scripts/drill_serve.sh bin/omend bin/omen bin/journalcheck
 
 bench:
 	$(GO) test -bench . -benchtime 0.5s -run '^$$' ./internal/...

@@ -13,6 +13,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/transport"
@@ -24,8 +25,13 @@ func main() {
 		nk      = flag.Int("nk", 33, "longitudinal k-points")
 		bandLo  = flag.Int("bandlo", 0, "first band column to print")
 		bandHi  = flag.Int("bandhi", -1, "last band column to print (-1: all)")
+		version = flag.Bool("version", false, "print the build version (module version plus VCS revision) and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("bands %s\n", buildinfo.Version())
+		return
+	}
 
 	desc, ok := device.Lookup(*devName)
 	if !ok {

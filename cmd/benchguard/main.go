@@ -25,6 +25,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/buildinfo"
 )
 
 // result holds the parsed metrics of one benchmark.
@@ -47,8 +49,13 @@ func main() {
 		write     = flag.String("write", "", "write a new baseline JSON to this file")
 		check     = flag.String("check", "", "check stdin against this baseline JSON")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional allocs/op increase before failing")
+		version   = flag.Bool("version", false, "print the build version (module version plus VCS revision) and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("benchguard %s\n", buildinfo.Version())
+		return
+	}
 	if (*write == "") == (*check == "") {
 		fmt.Fprintln(os.Stderr, "benchguard: exactly one of -write or -check is required")
 		os.Exit(2)

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cluster"
 )
 
@@ -31,8 +32,13 @@ func main() {
 		path     = flag.String("journal", "", "journal file to audit")
 		total    = flag.Int("total", 0, "expected task count: the journal must hold exactly one record per index in [0, total)")
 		minEpoch = flag.Uint64("min-epoch", 0, "require the journal's latest epoch to be at least this (0: don't check)")
+		version  = flag.Bool("version", false, "print the build version (module version plus VCS revision) and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("journalcheck %s\n", buildinfo.Version())
+		return
+	}
 	if *path == "" || *total < 1 {
 		fmt.Fprintln(os.Stderr, "journalcheck: -journal and a positive -total are required")
 		os.Exit(2)

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/comms"
+	"repro/internal/core"
 	"repro/internal/distrib"
 	"repro/internal/resilience"
 	"repro/internal/spec"
@@ -110,7 +111,7 @@ func runServeMode(ctx context.Context, b *spec.Built, addr string, prog *progres
 	// incarnation must come back on the same address the workers' rejoin
 	// loops are re-dialing ("addr" may carry port 0).
 	liveAddr := comms.DialableAddr(lis.Addr())
-	fmt.Fprintf(os.Stderr, "omen: coordinating %d tasks on %s\n", nBias*nK*nE, lis.Addr())
+	fmt.Fprintf(os.Stderr, "omen: %s — coordinating %d tasks on %s\n", s.Summary(), nBias*nK*nE, lis.Addr())
 
 	var children sync.WaitGroup
 	selfWorkers := s.Exec.Workers
@@ -164,15 +165,8 @@ func runServeMode(ctx context.Context, b *spec.Built, addr string, prog *progres
 	}
 
 	sweep := plan.Assemble(rep.Sweep)
-	printSweepSummary(rep.Sweep)
-	fmt.Printf("# cluster: %d workers, %d leases re-dispatched\n", rep.Workers, rep.Redispatched)
-	fmt.Printf("# flops\t%d\n", rep.Perf.Flops)
-	printSigmaCache(rep.Perf.Counters)
-	printBatch(rep.Perf.Counters)
-	fmt.Println("# E(eV)\tT(E)")
-	for i, e := range sweep.Energies {
-		fmt.Printf("%.6f\t%.8g\n", e, sweep.T[i])
-	}
+	core.WriteSweep(os.Stdout, sweep, rep.Perf,
+		fmt.Sprintf("# cluster: %d workers, %d leases re-dispatched", rep.Workers, rep.Redispatched))
 	return nil
 }
 
@@ -239,6 +233,7 @@ func runWorkerMode(ctx context.Context, b *spec.Built, addr string) error {
 		return err
 	}
 	nBias, nK, nE := plan.Dims()
+	fmt.Fprintf(os.Stderr, "omen: %s — worker dialing %s\n", b.Spec.Summary(), addr)
 	conn, err := comms.DialRetry(ctx, comms.TCP{}, addr, 30*time.Second)
 	if err != nil {
 		return err

@@ -41,12 +41,11 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
-	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/device"
@@ -71,6 +70,7 @@ func main() {
 		specPath = flag.String("spec", "", "load the run spec from this JSON file; flags set on the command line override its fields")
 		specJSON = flag.String("spec-json", "", "inline JSON run spec (how a coordinator launches self-spawned workers); mutually exclusive with -spec")
 		dumpSpec = flag.Bool("dump-spec", false, "print the fully resolved run spec (canonical JSON plus content hashes) and exit")
+		version  = flag.Bool("version", false, "print the build version (module version plus VCS revision) and exit")
 
 		devName   = flag.String("device", def.Device.Name, "device: "+strings.Join(device.Names(), ", "))
 		mode      = flag.String("mode", def.Mode, "mode: transmission, iv, stats")
@@ -110,6 +110,11 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile (pprof format) to this file on exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("omen %s\n", buildinfo.Version())
+		return
+	}
 
 	// Resolve the run spec: base (defaults or -spec file or -spec-json),
 	// then overlay every flag explicitly set on the command line.
@@ -251,21 +256,16 @@ func main() {
 			fatal(ctx, &prog, err)
 		}
 		defer closeJournal()
+		fmt.Fprintf(os.Stderr, "omen: %s\n", s.Summary())
 		before := perf.TakeSnapshot()
 		sweep, err := b.Sim.TransmissionResumable(ctx, b.Grid, nil, opts)
 		if err != nil {
 			fatal(ctx, &prog, err)
 		}
-		printSweepSummary(sweep.Report)
 		d := perf.TakeSnapshot().Diff(before)
-		fmt.Printf("# flops\t%d\n", d.Flops)
-		printSigmaCache(d.Counters)
-		printBatch(d.Counters)
-		fmt.Println("# E(eV)\tT(E)")
-		for i, e := range sweep.Energies {
-			fmt.Printf("%.6f\t%.8g\n", e, sweep.T[i])
-		}
+		core.WriteSweep(os.Stdout, sweep, d)
 	case spec.ModeIV:
+		fmt.Fprintf(os.Stderr, "omen: %s\n", s.Summary())
 		fet, err := core.NewFET(b.Sim)
 		if err != nil {
 			fatal(ctx, &prog, err)
@@ -291,9 +291,7 @@ func main() {
 			fatal(ctx, &prog, err)
 		}
 		d := perf.TakeSnapshot().Diff(before)
-		fmt.Printf("# flops\t%d\n", d.Flops)
-		printSigmaCache(d.Counters)
-		printBatch(d.Counters)
+		core.WriteCounters(os.Stdout, d)
 		fmt.Println("# Vg(V)\tId(A)\titers\tconverged")
 		for _, p := range points {
 			fmt.Printf("%.4f\t%.6e\t%d\t%v\n", p.VGate, p.Current, p.Iterations, p.Converged)
@@ -349,69 +347,6 @@ func sweepOptions(b *spec.Built, prog *progress) (cluster.SweepOptions, func(), 
 		opts.Journal = j
 	}
 	return opts, closeJournal, nil
-}
-
-// printSigmaCache emits the self-energy cache counters as a comment line
-// alongside the flop count, in both serial and distributed output (a
-// coordinator prints the exact merge of its workers' deltas).
-func printSigmaCache(counters map[string]int64) {
-	if counters["sigma-hits"] == 0 && counters["sigma-misses"] == 0 {
-		return
-	}
-	fmt.Printf("# sigma-cache\thits=%d misses=%d coalesced=%d evictions=%d decimations=%d seeded=%d seed-fallbacks=%d\n",
-		counters["sigma-hits"], counters["sigma-misses"], counters["sigma-coalesced"],
-		counters["sigma-evictions"], counters["sigma-decimations"],
-		counters["sigma-seeded"], counters["sigma-seed-fallbacks"])
-}
-
-// printBatch emits the batched-solve counters as a comment line next to
-// the sigma-cache one: a histogram of batch widths actually executed plus
-// the panel load/reuse totals. A run that never formed a batch (width 1,
-// or too few points) prints nothing, keeping its output byte-identical to
-// an unbatched run's.
-func printBatch(counters map[string]int64) {
-	var widths []int
-	for name := range counters {
-		if w, ok := strings.CutPrefix(name, "batch-width-"); ok {
-			if n, err := strconv.Atoi(w); err == nil && counters[name] > 0 {
-				widths = append(widths, n)
-			}
-		}
-	}
-	if len(widths) == 0 {
-		return
-	}
-	sort.Ints(widths)
-	fmt.Printf("# batch\twidths=")
-	for i, w := range widths {
-		if i > 0 {
-			fmt.Printf(",")
-		}
-		fmt.Printf("%d:%d", w, counters[fmt.Sprintf("batch-width-%d", w)])
-	}
-	fmt.Printf(" panel-loads=%d panel-reuses=%d\n",
-		counters["panel-loads"], counters["panel-reuses"])
-}
-
-// printSweepSummary emits the fault-tolerance accounting as comment lines
-// ahead of the data when anything noteworthy happened.
-func printSweepSummary(rep *cluster.SweepReport) {
-	if rep == nil {
-		return
-	}
-	if rep.Restored > 0 {
-		fmt.Printf("# resumed: %d/%d tasks restored from checkpoint\n", rep.Restored, rep.Total)
-	}
-	if rep.Retries > 0 {
-		fmt.Printf("# retries: %d extra attempts\n", rep.Retries)
-	}
-	if len(rep.Quarantined) > 0 {
-		fmt.Printf("# quarantined: %d/%d tasks dropped and renormalized:", len(rep.Quarantined), rep.Total)
-		for _, t := range rep.Quarantined {
-			fmt.Printf(" (k %d, E %d)", t.K, t.E)
-		}
-		fmt.Println()
-	}
 }
 
 // stopProfiles flushes any active CPU/heap profiles. It is safe to call

@@ -41,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cluster"
 	"repro/internal/comms"
 	"repro/internal/distrib"
@@ -99,8 +100,13 @@ func main() {
 		leaseTimeout = flag.Duration("lease-timeout", def.Exec.LeaseTimeout.Std(), "coordinator: how long a worker may hold a task lease before it is re-dispatched")
 		rejoinWindow = flag.Duration("rejoin-window", def.Exec.RejoinWindow.Std(), "worker: keep re-dialing for this long after losing the coordinator mid-study before giving up (0: a coordinator crash ends the worker)")
 		drainTimeout = flag.Duration("drain-timeout", def.Exec.DrainTimeout.Std(), "coordinator: on SIGTERM, stop granting leases and accept in-flight results for up to this long before exiting with a resumable journal")
+		version      = flag.Bool("version", false, "print the build version (module version plus VCS revision) and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("scaling %s\n", buildinfo.Version())
+		return
+	}
 
 	s := def
 	switch {

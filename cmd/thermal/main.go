@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/lattice"
 	"repro/internal/phonon"
 	"repro/internal/sparse"
@@ -42,15 +43,20 @@ func buildDevice(name string) (*sparse.BlockTridiag, float64, error) {
 
 func main() {
 	var (
-		mode   = flag.String("mode", "bands", "mode: bands, transmission, conductance")
-		dev    = flag.String("device", "chain", "device: chain, sinw")
-		nq     = flag.Int("nq", 32, "q-points for bands")
-		nw     = flag.Int("nw", 60, "frequency points")
-		tMin   = flag.Float64("tmin", 2, "lowest temperature (K)")
-		tMax   = flag.Float64("tmax", 300, "highest temperature (K)")
-		nTemps = flag.Int("ntemps", 8, "temperature points")
+		mode    = flag.String("mode", "bands", "mode: bands, transmission, conductance")
+		dev     = flag.String("device", "chain", "device: chain, sinw")
+		nq      = flag.Int("nq", 32, "q-points for bands")
+		nw      = flag.Int("nw", 60, "frequency points")
+		tMin    = flag.Float64("tmin", 2, "lowest temperature (K)")
+		tMax    = flag.Float64("tmax", 300, "highest temperature (K)")
+		nTemps  = flag.Int("ntemps", 8, "temperature points")
+		version = flag.Bool("version", false, "print the build version (module version plus VCS revision) and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("thermal %s\n", buildinfo.Version())
+		return
+	}
 	d, period, err := buildDevice(*dev)
 	if err != nil {
 		fatal(err)

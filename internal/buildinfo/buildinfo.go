@@ -1,0 +1,42 @@
+// Package buildinfo reports the binary's version: the module version
+// and the VCS revision the Go toolchain embeds at link time. Every cmd/
+// binary exposes it behind -version, and the job service serves it in
+// /healthz so operators can audit what a fleet is actually running.
+package buildinfo
+
+import "runtime/debug"
+
+// Version returns a one-line version string: the module version (or
+// "devel" for an untagged build) followed by the abbreviated VCS
+// revision, with "+dirty" appended when the working tree had local
+// modifications at build time.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown (built without module support)"
+	}
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return v
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return v + " " + rev
+}

@@ -1,0 +1,11 @@
+package buildinfo
+
+import "testing"
+
+// TestVersionNonEmpty: whatever the build environment, Version returns
+// something an operator can print — never an empty string.
+func TestVersionNonEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("Version() returned an empty string")
+	}
+}

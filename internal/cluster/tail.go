@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Tail incrementally reads the task records of a journal file as they
+// are appended — the streaming face of FileJournal that the job
+// service's SSE endpoint follows. Each Poll returns the digest-valid
+// records appended since the previous Poll, in file order, skipping
+// header/epoch metadata and malformed lines exactly like Load.
+//
+// The reader is deliberately stateless about the writer: it reopens the
+// file on every Poll (cheap at streaming cadence, and immune to the
+// writer rotating file descriptors), and it only ever advances past
+// complete, newline-terminated lines — a torn tail the writer is still
+// mid-append on is re-read whole on the next Poll, so no record can be
+// half-seen. A missing file is "nothing yet", not an error: a job's
+// journal is created a moment after the job is admitted.
+//
+// Tail is not safe for concurrent use; give each stream its own.
+type Tail struct {
+	path string
+	off  int64
+}
+
+// NewTail returns a tail reader starting at the head of the journal.
+func NewTail(path string) *Tail { return &Tail{path: path} }
+
+// Offset returns the byte offset of the next unread line.
+func (t *Tail) Offset() int64 { return t.off }
+
+// Poll returns the verified task records appended since the last Poll.
+// An empty batch means no complete new records — poll again later.
+func (t *Tail) Poll() ([]TaskRecord, error) {
+	f, err := os.Open(t.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("cluster: tail journal: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(t.off, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("cluster: tail seek: %w", err)
+	}
+
+	var recs []TaskRecord
+	r := bufio.NewReaderSize(f, 1<<16)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			// A partial line without its newline is the writer's in-flight
+			// append (or a torn tail a resume will repair); leave the offset
+			// at its start so the completed line is read next time.
+			if err == io.EOF {
+				return recs, nil
+			}
+			return recs, fmt.Errorf("cluster: tail read: %w", err)
+		}
+		t.off += int64(len(line))
+		line = line[:len(line)-1] // strip '\n'
+		if len(line) == 0 {
+			continue
+		}
+		var hr headerRecord
+		if err := json.Unmarshal(line, &hr); err == nil && hr.Header != 0 {
+			continue // header metadata, not a task
+		}
+		var rec TaskRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // epoch record, repaired torn tail, or foreign garbage
+		}
+		if !rec.Verify() {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+}

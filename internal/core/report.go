@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/perf"
+)
+
+// This file is the one renderer of the transmission-sweep text format.
+// Serial `omen`, the distributed coordinator, and the job service's
+// result endpoint all print through it, which is what lets the drills
+// demand byte-identical output across entry points: comment lines with
+// the resilience accounting and perf counters, then the `E T(E)` table.
+
+// WriteSweepComments emits the fault-tolerance accounting as comment
+// lines ahead of the data when anything noteworthy happened.
+func WriteSweepComments(w io.Writer, rep *cluster.SweepReport) {
+	if rep == nil {
+		return
+	}
+	if rep.Restored > 0 {
+		fmt.Fprintf(w, "# resumed: %d/%d tasks restored from checkpoint\n", rep.Restored, rep.Total)
+	}
+	if rep.Retries > 0 {
+		fmt.Fprintf(w, "# retries: %d extra attempts\n", rep.Retries)
+	}
+	if len(rep.Quarantined) > 0 {
+		fmt.Fprintf(w, "# quarantined: %d/%d tasks dropped and renormalized:", len(rep.Quarantined), rep.Total)
+		for _, t := range rep.Quarantined {
+			fmt.Fprintf(w, " (k %d, E %d)", t.K, t.E)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteCounters emits the flop total and the sigma-cache/batch counter
+// comment lines for one run's perf delta. A run whose cache or batch
+// scheduler never engaged prints no line for it, keeping its output
+// byte-identical to runs from before those subsystems existed.
+func WriteCounters(w io.Writer, d perf.Snapshot) {
+	fmt.Fprintf(w, "# flops\t%d\n", d.Flops)
+	writeSigmaCache(w, d.Counters)
+	writeBatch(w, d.Counters)
+}
+
+// writeSigmaCache emits the self-energy cache counters as a comment
+// line alongside the flop count, in both serial and distributed output
+// (a coordinator prints the exact merge of its workers' deltas).
+func writeSigmaCache(w io.Writer, counters map[string]int64) {
+	if counters["sigma-hits"] == 0 && counters["sigma-misses"] == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# sigma-cache\thits=%d misses=%d coalesced=%d evictions=%d decimations=%d seeded=%d seed-fallbacks=%d\n",
+		counters["sigma-hits"], counters["sigma-misses"], counters["sigma-coalesced"],
+		counters["sigma-evictions"], counters["sigma-decimations"],
+		counters["sigma-seeded"], counters["sigma-seed-fallbacks"])
+}
+
+// writeBatch emits the batched-solve counters as a comment line next to
+// the sigma-cache one: a histogram of batch widths actually executed
+// plus the panel load/reuse totals.
+func writeBatch(w io.Writer, counters map[string]int64) {
+	var widths []int
+	for name := range counters {
+		if s, ok := strings.CutPrefix(name, "batch-width-"); ok {
+			if n, err := strconv.Atoi(s); err == nil && counters[name] > 0 {
+				widths = append(widths, n)
+			}
+		}
+	}
+	if len(widths) == 0 {
+		return
+	}
+	sort.Ints(widths)
+	fmt.Fprintf(w, "# batch\twidths=")
+	for i, n := range widths {
+		if i > 0 {
+			fmt.Fprintf(w, ",")
+		}
+		fmt.Fprintf(w, "%d:%d", n, counters[fmt.Sprintf("batch-width-%d", n)])
+	}
+	fmt.Fprintf(w, " panel-loads=%d panel-reuses=%d\n",
+		counters["panel-loads"], counters["panel-reuses"])
+}
+
+// WriteSweep renders the complete text report of a finished transmission
+// sweep: accounting comments, any extra comment lines (the coordinator's
+// `# cluster` line rides here), the perf counters, and the T(E) table.
+func WriteSweep(w io.Writer, sweep *TransmissionSweep, d perf.Snapshot, extra ...string) {
+	WriteSweepComments(w, sweep.Report)
+	for _, line := range extra {
+		fmt.Fprintln(w, line)
+	}
+	WriteCounters(w, d)
+	fmt.Fprintln(w, "# E(eV)\tT(E)")
+	for i, e := range sweep.Energies {
+		fmt.Fprintf(w, "%.6f\t%.8g\n", e, sweep.T[i])
+	}
+}

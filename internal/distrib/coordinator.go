@@ -51,6 +51,12 @@ type Options struct {
 	// OnProgress observes completion (restored + completed + quarantined,
 	// total). Must be cheap and thread-safe.
 	OnProgress func(done, total int)
+	// OnResult observes each committed result — after the journal append
+	// and Restore, so an observer that reads the journal on the callback
+	// is guaranteed to see the record. Duplicates and epoch-stale results
+	// never reach it. Must be cheap and thread-safe; it runs on the
+	// worker-connection goroutine that delivered the result.
+	OnResult func(task cluster.Task, payload []byte)
 	// SpecHash, when non-empty, is the content hash of the run spec this
 	// coordinator executes (spec.RunSpec.SpecHash). A worker whose hello
 	// carries a different hash is rejected at handshake — the grid-dims
@@ -757,6 +763,9 @@ func (c *coordinator) applyResult(w *workerState, res resultMsg) error {
 	c.noteDoneLocked()
 	c.maybeFinishDrainLocked()
 	c.mu.Unlock()
+	if c.opts.OnResult != nil {
+		c.opts.OnResult(task, res.Payload)
+	}
 	c.progress()
 	return nil
 }

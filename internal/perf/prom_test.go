@@ -1,0 +1,55 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheus pins the exposition format: one flops counter,
+// per-phase series behind a phase label, engine counters behind a name
+// label, everything sorted so the page is byte-deterministic.
+func TestWritePrometheus(t *testing.T) {
+	s := Snapshot{
+		Flops: 12345,
+		Phases: map[string]PhaseStats{
+			"rgf":      {Calls: 2, Wall: 1500 * time.Millisecond, Flops: 100},
+			"assemble": {Calls: 1, Wall: time.Second, Flops: 7},
+		},
+		Counters: map[string]int64{
+			"sigma-hits":    9,
+			"batch-width-8": 3,
+		},
+	}
+	var b strings.Builder
+	s.WritePrometheus(&b, "omend")
+	got := b.String()
+
+	for _, want := range []string{
+		"# TYPE omend_flops_total counter\n",
+		"omend_flops_total 12345\n",
+		`omend_phase_calls_total{phase="assemble"} 1` + "\n",
+		`omend_phase_wall_seconds_total{phase="rgf"} 1.5` + "\n",
+		`omend_phase_flops_total{phase="rgf"} 100` + "\n",
+		`omend_counter_total{name="batch-width-8"} 3` + "\n",
+		`omend_counter_total{name="sigma-hits"} 9` + "\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+	// Sorted: "assemble" before "rgf", "batch-width-8" before "sigma-hits".
+	if strings.Index(got, `phase="assemble"`) > strings.Index(got, `phase="rgf"`) {
+		t.Error("phases not sorted — the page is not deterministic")
+	}
+	if strings.Index(got, "batch-width-8") > strings.Index(got, "sigma-hits") {
+		t.Error("counters not sorted — the page is not deterministic")
+	}
+
+	// A second render is byte-identical.
+	var b2 strings.Builder
+	s.WritePrometheus(&b2, "omend")
+	if b2.String() != got {
+		t.Error("two renders of one snapshot differ")
+	}
+}

@@ -1,0 +1,569 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/comms"
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/perf"
+	"repro/internal/spec"
+)
+
+// Admission errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrSaturated: the queue is full. 429 with Retry-After.
+	ErrSaturated = errors.New("server: queue full")
+	// ErrQuota: the client has too many live jobs. 429.
+	ErrQuota = errors.New("server: client quota exceeded")
+	// ErrDraining: the server is shutting down. 503.
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+	// ErrClosed: the manager has been shut down.
+	ErrClosed = errors.New("server: closed")
+)
+
+// SpawnFunc launches one worker process (or goroutine) that dials addr
+// and serves the given worker-variant spec until dismissed. It must
+// respect ctx and return when the worker exits.
+type SpawnFunc func(ctx context.Context, addr string, ws spec.RunSpec) error
+
+// Config sizes the manager.
+type Config struct {
+	// DataDir holds one journal per job, named <spechash>.journal. The
+	// directory is the service's durable state: restarting the daemon
+	// over the same directory makes every finished job replayable and
+	// every interrupted one resumable.
+	DataDir string
+	// MaxRunning bounds concurrently executing jobs (default 2). Zero
+	// is normalized to the default; negative means "no executors" —
+	// jobs queue but never start (used by admission tests).
+	MaxRunning int
+	// MaxQueued bounds the admission queue (default 16). Beyond it,
+	// submissions get ErrSaturated.
+	MaxQueued int
+	// ClientQuota bounds one client's live (queued+running) jobs
+	// (default 4; negative = unlimited).
+	ClientQuota int
+	// DefaultWorkers is the worker count for jobs whose spec leaves
+	// Exec.Workers at 0 (default 2).
+	DefaultWorkers int
+	// SpawnWorker launches the job's workers. Required to run jobs.
+	SpawnWorker SpawnFunc
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxRunning == 0 {
+		c.MaxRunning = 2
+	}
+	if c.MaxRunning < 0 {
+		c.MaxRunning = 0
+	}
+	if c.MaxQueued == 0 {
+		c.MaxQueued = 16
+	}
+	if c.ClientQuota == 0 {
+		c.ClientQuota = 4
+	}
+	if c.DefaultWorkers == 0 {
+		c.DefaultWorkers = 2
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Manager owns the job table, the admission queue, and the executor
+// pool. One Manager per daemon.
+type Manager struct {
+	cfg   Config
+	store *Store
+	start time.Time
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*Job // every job this process has seen, by ID
+	queue    jobQueue
+	running  int
+	draining bool
+	closed   bool
+	// aggregate accumulates the perf of every job finished by this
+	// process — the /metrics counters.
+	aggregate perf.Snapshot
+
+	executors sync.WaitGroup
+}
+
+// NewManager builds a manager over dataDir and starts its executors.
+func NewManager(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DataDir == "" {
+		return nil, errors.New("server: Config.DataDir is required")
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:   cfg,
+		store: NewStore(cfg.DataDir),
+		start: time.Now(),
+		jobs:  make(map[string]*Job),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for i := 0; i < cfg.MaxRunning; i++ {
+		m.executors.Add(1)
+		go m.executor()
+	}
+	return m, nil
+}
+
+// Uptime reports how long the manager has been up.
+func (m *Manager) Uptime() time.Duration { return time.Since(m.start) }
+
+// Submit admits a spec as a job. The spec must already have passed
+// ValidateFor(RoleServer). Returns the job and whether it was newly
+// created (false = dedup hit on a live or remembered job).
+func (m *Manager) Submit(s spec.RunSpec, client string) (*Job, bool, error) {
+	id := s.SpecHash()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false, ErrClosed
+	}
+	if j, ok := m.jobs[id]; ok {
+		// Same content hash, same job — unless the previous attempt
+		// ended resumable (failed/canceled/drained), in which case the
+		// re-submission re-enqueues it to finish the remainder from its
+		// journal. Done jobs stay done: their result is served as-is.
+		st := j.State()
+		if st == StateQueued || st == StateRunning || st == StateDone {
+			return j, false, nil
+		}
+	}
+	if m.draining {
+		return nil, false, ErrDraining
+	}
+	if m.queue.depth() >= m.cfg.MaxQueued {
+		return nil, false, ErrSaturated
+	}
+	if m.cfg.ClientQuota > 0 && m.liveForLocked(client) >= m.cfg.ClientQuota {
+		return nil, false, ErrQuota
+	}
+	j := newJob(id, s, client, classOf(s.Exec.Priority), time.Now())
+	m.jobs[id] = j
+	m.queue.push(j)
+	m.cond.Signal()
+	m.cfg.Logf("server: queued %s (%s, priority %s, client %s)", shortID(id), j.Summary, className(j.Class), client)
+	return j, true, nil
+}
+
+// liveForLocked counts a client's queued+running jobs. Callers hold mu.
+func (m *Manager) liveForLocked(client string) int {
+	n := 0
+	for _, j := range m.jobs {
+		if j.Client != client {
+			continue
+		}
+		switch j.State() {
+		case StateQueued, StateRunning:
+			n++
+		}
+	}
+	return n
+}
+
+// Job returns a job this process has seen, by ID.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots every known job, live ones first (the HTTP list merges
+// these with the store's historical journals).
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j)
+	}
+	return out
+}
+
+// QueueDepth reports live queued jobs.
+func (m *Manager) QueueDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queue.depth()
+}
+
+// Counts tallies known jobs by state.
+func (m *Manager) Counts() map[State]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[State]int)
+	for _, j := range m.jobs {
+		out[j.State()]++
+	}
+	return out
+}
+
+// Draining reports whether a drain is in progress.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Aggregate returns the accumulated perf of every job this process
+// finished (the /metrics exposition).
+func (m *Manager) Aggregate() perf.Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	agg := perf.Snapshot{}
+	agg.Add(m.aggregate)
+	return agg
+}
+
+// Cancel cancels a job: queued jobs are marked directly, running jobs
+// through their context. Finished jobs return false.
+func (m *Manager) Cancel(id string) (ok bool, err error) {
+	m.mu.Lock()
+	j, found := m.jobs[id]
+	m.mu.Unlock()
+	if !found {
+		return false, fmt.Errorf("server: unknown job %s", id)
+	}
+	if j.markCanceledIfQueued(time.Now()) {
+		m.cfg.Logf("server: canceled queued %s", shortID(id))
+		return true, nil
+	}
+	j.mu.Lock()
+	cancel := j.cancel
+	running := j.state == StateRunning
+	j.mu.Unlock()
+	if running && cancel != nil {
+		cancel()
+		m.cfg.Logf("server: canceling running %s", shortID(id))
+		return true, nil
+	}
+	return false, nil
+}
+
+// Drain stops admissions, asks running jobs to drain gracefully (their
+// journals stay resumable), and waits up to timeout for executors to
+// settle. Queued jobs are left queued — a restarted daemon re-admits
+// them by re-submission.
+func (m *Manager) Drain(timeout time.Duration) {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return
+	}
+	m.draining = true
+	var running []*Job
+	for _, j := range m.jobs {
+		if j.State() == StateRunning {
+			running = append(running, j)
+		}
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	for _, j := range running {
+		j.requestDrain()
+	}
+	done := make(chan struct{})
+	go func() {
+		m.executors.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		m.cfg.Logf("server: drain timeout after %v; %d jobs may be mid-flight", timeout, len(running))
+	}
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+}
+
+// Close hard-stops the manager: cancels running jobs and returns once
+// executors exit. Used by tests; production uses Drain.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.draining = true
+	m.closed = true
+	var running []*Job
+	for _, j := range m.jobs {
+		if j.State() == StateRunning {
+			running = append(running, j)
+		}
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	for _, j := range running {
+		j.mu.Lock()
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+	m.executors.Wait()
+}
+
+// executor is one slot of the bounded pool: pop, execute, repeat.
+func (m *Manager) executor() {
+	defer m.executors.Done()
+	for {
+		m.mu.Lock()
+		var j *Job
+		for {
+			if m.closed || m.draining {
+				m.mu.Unlock()
+				return
+			}
+			if j = m.queue.pop(); j != nil {
+				break
+			}
+			m.cond.Wait()
+		}
+		m.running++
+		m.mu.Unlock()
+
+		m.execute(j)
+
+		m.mu.Lock()
+		m.running--
+		m.mu.Unlock()
+	}
+}
+
+// JournalPath returns the on-disk journal of a job ID.
+func (m *Manager) JournalPath(id string) string {
+	return filepath.Join(m.cfg.DataDir, id+".journal")
+}
+
+// execute runs one job to a terminal state. The server owns journal
+// placement: the submitted spec's Resilience.Checkpoint/Resume are
+// rejected at validation, and here the job's journal is pinned to
+// dataDir/<spechash>.journal — resume is implied by the file existing.
+func (m *Manager) execute(j *Job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j.begin(cancel, time.Now())
+	m.cfg.Logf("server: running %s (%s)", shortID(j.ID), j.Summary)
+
+	sweep, rep, d, workers, redisp, restored, replayed, err := m.run(ctx, j)
+	now := time.Now()
+	switch {
+	case err == nil:
+		m.finishAggregate(d)
+		j.finish(StateDone, "", sweep, rep, d, workers, redisp, restored, replayed, now)
+		m.cfg.Logf("server: done %s (%d/%d tasks, %d restored, replayed=%v)",
+			shortID(j.ID), rep.Restored+rep.Completed, rep.Total, rep.Restored, replayed)
+	case errors.Is(err, distrib.ErrDrained):
+		j.finish(StateDrained, err.Error(), nil, rep, d, workers, redisp, restored, false, now)
+		m.cfg.Logf("server: drained %s — journal resumable", shortID(j.ID))
+	case ctx.Err() != nil:
+		j.finish(StateCanceled, "canceled", nil, rep, d, workers, redisp, restored, false, now)
+		m.cfg.Logf("server: canceled %s", shortID(j.ID))
+	default:
+		j.finish(StateFailed, err.Error(), nil, rep, d, workers, redisp, restored, false, now)
+		m.cfg.Logf("server: failed %s: %v", shortID(j.ID), err)
+	}
+}
+
+func (m *Manager) finishAggregate(d perf.Snapshot) {
+	m.mu.Lock()
+	m.aggregate.Add(d)
+	m.mu.Unlock()
+}
+
+// run executes the job's sweep: journal replay when the journal already
+// covers every task (zero new solves), the distributed engine otherwise.
+func (m *Manager) run(ctx context.Context, j *Job) (sweep *core.TransmissionSweep, rep *cluster.SweepReport, d perf.Snapshot, workers, redisp, restored int, replayed bool, err error) {
+	// The server's copy of the spec: journal pinned by content hash,
+	// resume implied by its existence, worker count defaulted.
+	s := j.Spec
+	path := m.JournalPath(j.ID)
+	s.Resilience.Checkpoint = path
+	if _, serr := os.Stat(path); serr == nil {
+		s.Resilience.Resume = true
+	}
+	if s.Exec.Workers == 0 {
+		s.Exec.Workers = m.cfg.DefaultWorkers
+	}
+
+	b, err := spec.Build(s)
+	if err != nil {
+		return nil, nil, d, 0, 0, 0, false, err
+	}
+	plan, err := b.Sim.PlanTransmission(b.Grid, nil)
+	if err != nil {
+		return nil, nil, d, 0, 0, 0, false, err
+	}
+	nBias, nK, nE := plan.Dims()
+	total := nBias * nK * nE
+	j.setTotal(total)
+
+	jnl, err := spec.OpenJournal(s, func(format string, args ...any) {
+		m.cfg.Logf("server: %s: "+format, append([]any{shortID(j.ID)}, args...)...)
+	}, cluster.WithFsync())
+	if err != nil {
+		return nil, nil, d, 0, 0, 0, false, err
+	}
+	defer jnl.Close()
+
+	runID := ""
+	if h, herr := jnl.ReadHeader(); herr == nil && h != nil {
+		runID = h.RunID
+	}
+
+	if s.Resilience.Resume {
+		// Replay short-circuit: when the journal already holds a verified
+		// result for every task, the job is served from disk — restore,
+		// assemble, zero new solves, flop total re-summed from the
+		// journaled per-task perf deltas. This is what makes re-submitting
+		// a completed spec free.
+		if sweep, d, ok, rerr := m.replay(jnl, plan, total); rerr != nil {
+			return nil, nil, d, 0, 0, 0, false, rerr
+		} else if ok {
+			epoch, eerr := jnl.LatestEpoch()
+			if eerr != nil {
+				return nil, nil, d, 0, 0, 0, false, eerr
+			}
+			j.setIdentity(runID, epoch)
+			rep := &cluster.SweepReport{Total: total, Restored: total}
+			return sweep, rep, d, 0, 0, total, true, nil
+		}
+	}
+
+	epoch, err := jnl.LatestEpoch()
+	if s.Resilience.Resume {
+		epoch, err = jnl.BumpEpoch()
+	}
+	if err != nil {
+		return nil, nil, d, 0, 0, 0, false, err
+	}
+	j.setIdentity(runID, epoch)
+
+	if m.cfg.SpawnWorker == nil {
+		return nil, nil, d, 0, 0, 0, false, errors.New("server: no SpawnWorker configured")
+	}
+
+	lis, err := comms.TCP{}.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, d, 0, 0, 0, false, err
+	}
+	addr := comms.DialableAddr(lis.Addr())
+	m.cfg.Logf("server: %s coordinating %d tasks on %s (run %s epoch %d)",
+		shortID(j.ID), total, addr, runID, epoch)
+
+	var children sync.WaitGroup
+	ws := s.WorkerVariant()
+	for i := 0; i < s.Exec.Workers; i++ {
+		children.Add(1)
+		go func(i int) {
+			defer children.Done()
+			if werr := m.cfg.SpawnWorker(ctx, addr, ws); werr != nil && ctx.Err() == nil {
+				// A dead worker is tolerated: its leases re-dispatch.
+				m.cfg.Logf("server: %s worker %d exited: %v", shortID(j.ID), i, werr)
+			}
+		}(i)
+	}
+
+	report, err := distrib.Serve(ctx, lis, nBias, nK, nE, distrib.Options{
+		LeaseTimeout: s.Exec.LeaseTimeout.Std(),
+		DrainTimeout: s.Exec.DrainTimeout.Std(),
+		Journal:      jnl,
+		Restore:      plan.Restore,
+		Quarantine:   s.Resilience.Quarantine,
+		OnProgress:   j.setProgress,
+		// OnResult wakes streams the moment a result commits to the
+		// journal — the SSE tail polls on this signal instead of a timer.
+		OnResult: func(cluster.Task, []byte) { j.ping() },
+		SpecHash: s.SpecHash(),
+		RunID:    runID,
+		Epoch:    epoch,
+		Drain:    j.drainChan(),
+	})
+	children.Wait()
+	if report != nil {
+		d = report.Perf
+		workers, redisp = report.Workers, report.Redispatched
+		if report.Sweep != nil {
+			rep = report.Sweep
+			restored = report.Sweep.Restored
+		}
+	}
+	if err != nil {
+		return nil, rep, d, workers, redisp, restored, false, err
+	}
+	return plan.Assemble(report.Sweep), report.Sweep, d, workers, redisp, restored, false, nil
+}
+
+// drainChan exposes the job's drain channel to distrib.Options.
+func (j *Job) drainChan() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.drain
+}
+
+// replay serves a job entirely from its journal: one verified record
+// per task, restored into the plan and assembled, flop totals re-summed
+// from the journaled per-task perf deltas. ok is false when the journal
+// does not cover the grid (the caller falls through to a live run).
+func (m *Manager) replay(jnl *cluster.FileJournal, plan *core.TransmissionPlan, total int) (sweep *core.TransmissionSweep, d perf.Snapshot, ok bool, err error) {
+	recs, err := jnl.Load()
+	if err != nil {
+		return nil, d, false, err
+	}
+	first := make(map[int]cluster.TaskRecord, len(recs))
+	for _, rec := range recs {
+		if rec.Index < 0 || rec.Index >= total {
+			continue
+		}
+		if _, dup := first[rec.Index]; !dup {
+			first[rec.Index] = rec
+		}
+	}
+	if len(first) < total {
+		return nil, d, false, nil
+	}
+	_, nK, nE := plan.Dims()
+	for idx := 0; idx < total; idx++ {
+		rec := first[idx]
+		if rerr := plan.Restore(cluster.TaskAt(idx, nK, nE), rec.Payload); rerr != nil {
+			return nil, d, false, fmt.Errorf("replay task %d: %w", idx, rerr)
+		}
+		if rec.Perf != nil {
+			d.Add(*rec.Perf)
+		}
+	}
+	rep := &cluster.SweepReport{Total: total, Restored: total}
+	return plan.Assemble(rep), d, true, nil
+}
+
+// shortID abbreviates a job ID for logs.
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}

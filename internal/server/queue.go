@@ -1,0 +1,79 @@
+package server
+
+// Admission queue: three strict priority classes, FIFO within a class.
+// Strict priority is the right shape for a simulation service — a
+// high-priority design sweep should never wait behind a bulk parameter
+// scan — and the per-client quota in the manager keeps one client from
+// starving the rest by flooding the high class.
+
+// Priority class indices, highest first.
+const (
+	classHigh = iota
+	classNormal
+	classLow
+	numClasses
+)
+
+// classOf maps a validated spec priority string (see spec.Validate) to
+// its class index. Empty means normal.
+func classOf(priority string) int {
+	switch priority {
+	case "high":
+		return classHigh
+	case "low":
+		return classLow
+	default:
+		return classNormal
+	}
+}
+
+// className is the inverse, for API responses.
+func className(class int) string {
+	switch class {
+	case classHigh:
+		return "high"
+	case classLow:
+		return "low"
+	default:
+		return "normal"
+	}
+}
+
+// jobQueue holds queued jobs by class. Not self-locking: the manager's
+// mutex guards it.
+type jobQueue struct {
+	classes [numClasses][]*Job
+}
+
+func (q *jobQueue) push(j *Job) {
+	q.classes[j.Class] = append(q.classes[j.Class], j)
+}
+
+// pop removes and returns the oldest job of the highest non-empty
+// class, skipping jobs canceled while queued; nil when empty.
+func (q *jobQueue) pop() *Job {
+	for c := range q.classes {
+		for len(q.classes[c]) > 0 {
+			j := q.classes[c][0]
+			q.classes[c][0] = nil
+			q.classes[c] = q.classes[c][1:]
+			if j.State() == StateQueued {
+				return j
+			}
+		}
+	}
+	return nil
+}
+
+// depth counts live (non-canceled) queued jobs.
+func (q *jobQueue) depth() int {
+	n := 0
+	for c := range q.classes {
+		for _, j := range q.classes[c] {
+			if j.State() == StateQueued {
+				n++
+			}
+		}
+	}
+	return n
+}

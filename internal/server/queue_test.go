@@ -1,0 +1,59 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// TestQueueOrder: strict priority across classes, FIFO within one,
+// canceled jobs skipped.
+func TestQueueOrder(t *testing.T) {
+	now := time.Now()
+	mk := func(id, priority string) *Job {
+		s := spec.Default()
+		s.Exec.Priority = priority
+		return newJob(id, s, "c", classOf(priority), now)
+	}
+	var q jobQueue
+	a := mk("a", "low")
+	b := mk("b", "normal")
+	c := mk("c", "high")
+	d := mk("d", "normal")
+	e := mk("e", "high")
+	for _, j := range []*Job{a, b, c, d, e} {
+		q.push(j)
+	}
+	if got := q.depth(); got != 5 {
+		t.Fatalf("depth = %d, want 5", got)
+	}
+	// Cancel one high job while queued: pop must skip it.
+	if !c.markCanceledIfQueued(now) {
+		t.Fatal("markCanceledIfQueued refused a queued job")
+	}
+	want := []*Job{e, b, d, a}
+	for i, w := range want {
+		got := q.pop()
+		if got != w {
+			t.Fatalf("pop %d = %v, want %s", i, got, w.ID)
+		}
+	}
+	if q.pop() != nil {
+		t.Fatal("pop on empty queue should be nil")
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := map[string]int{
+		"high": classHigh, "normal": classNormal, "low": classLow, "": classNormal,
+	}
+	for p, want := range cases {
+		if got := classOf(p); got != want {
+			t.Errorf("classOf(%q) = %d, want %d", p, got, want)
+		}
+		if p != "" && className(want) != p {
+			t.Errorf("className(%d) = %q, want %q", want, className(want), p)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/perf"
+	"repro/internal/spec"
+	"repro/internal/transport"
+)
+
+// streamEvent is one SSE frame: event name plus JSON data.
+func writeEvent(w http.ResponseWriter, fl http.Flusher, event string, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+	fl.Flush()
+}
+
+// pointEvent is one committed sweep point.
+type pointEvent struct {
+	Index  int     `json:"index"`
+	K      int     `json:"k"`
+	E      int     `json:"e"`
+	Energy float64 `json:"energy"`
+	T      float64 `json:"T"`
+}
+
+// counterEvent carries the cumulative engine counters of the points
+// streamed so far (summed from the journaled per-task perf deltas).
+type counterEvent struct {
+	Points    int   `json:"points"`
+	Flops     int64 `json:"flops"`
+	SigmaHits int64 `json:"sigmaHits,omitempty"`
+	SigmaMiss int64 `json:"sigmaMisses,omitempty"`
+	Batched   int64 `json:"batchedSolves,omitempty"`
+}
+
+// stream follows a job live over SSE: an initial `job` snapshot, a
+// `point` per result as it commits to the journal, periodic `counters`,
+// and a final `done` with the terminal view. GET /v1/jobs/{id}/stream.
+//
+// The stream reads the job's journal, not the coordinator: results are
+// emitted only once durably committed, so a stream never shows a point
+// a crash could retract. Streaming a journaled historical job replays
+// its records and closes.
+func (a *API) stream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		jsonError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+
+	j, live := a.M.Job(id)
+	var s spec.RunSpec
+	switch {
+	case live:
+		s = j.Spec
+	default:
+		sj, stored := a.M.store.Lookup(id)
+		if !stored {
+			jsonError(w, http.StatusNotFound, "unknown job %s", id)
+			return
+		}
+		s = sj.Spec
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	if live {
+		writeEvent(w, fl, "job", j.view(false))
+	} else {
+		sj, _ := a.M.store.Lookup(id)
+		writeEvent(w, fl, "job", sj.View())
+	}
+
+	grid := transport.UniformGrid(s.Grid.EMin, s.Grid.EMax, s.Grid.NE)
+	nK, nE := s.Grid.NK, s.Grid.NE
+	tail := cluster.NewTail(a.M.JournalPath(id))
+	seen := make(map[int]bool)
+	var agg perf.Snapshot
+
+	emit := func() bool {
+		recs, err := tail.Poll()
+		if err != nil {
+			writeEvent(w, fl, "error", map[string]string{"error": err.Error()})
+			return false
+		}
+		fresh := 0
+		for _, rec := range recs {
+			if rec.Index < 0 || rec.Index >= nK*nE || seen[rec.Index] {
+				continue
+			}
+			seen[rec.Index] = true
+			fresh++
+			t := cluster.TaskAt(rec.Index, nK, nE)
+			ev := pointEvent{Index: rec.Index, K: t.K, E: t.E}
+			if t.E < len(grid) {
+				ev.Energy = grid[t.E]
+			}
+			if len(rec.Payload) >= 8 {
+				ev.T = math.Float64frombits(binary.LittleEndian.Uint64(rec.Payload))
+			}
+			writeEvent(w, fl, "point", ev)
+			if rec.Perf != nil {
+				agg.Add(*rec.Perf)
+			}
+		}
+		if fresh > 0 {
+			// Batched solves: the batch-width-N histogram weighted by N.
+			var batched int64
+			for name, n := range agg.Counters {
+				var width int64
+				if _, err := fmt.Sscanf(name, "batch-width-%d", &width); err == nil {
+					batched += width * n
+				}
+			}
+			writeEvent(w, fl, "counters", counterEvent{
+				Points:    len(seen),
+				Flops:     agg.Flops,
+				SigmaHits: agg.Counters["sigma-hits"],
+				SigmaMiss: agg.Counters["sigma-misses"],
+				Batched:   batched,
+			})
+		}
+		return true
+	}
+
+	if !live {
+		// Historical job: replay what the journal holds, then close.
+		if emit() {
+			sj, _ := a.M.store.Lookup(id)
+			writeEvent(w, fl, "done", sj.View())
+		}
+		return
+	}
+
+	// Live job: follow the journal until the job lands terminal. Wakes
+	// on job transitions (every committed result pings) with a timer
+	// backstop for anything in between.
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		ch := j.changed()
+		st := j.State()
+		if !emit() {
+			return
+		}
+		if terminal(st) {
+			writeEvent(w, fl, "done", j.view(true))
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ch:
+		case <-tick.C:
+		}
+	}
+}

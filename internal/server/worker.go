@@ -1,0 +1,65 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/comms"
+	"repro/internal/distrib"
+	"repro/internal/spec"
+)
+
+// WorkerMain runs one worker of a job: build the spec, dial the
+// coordinator (with patience — the worker usually starts before the
+// listener's accept loop), pull leases until dismissed. Mirrors omen's
+// worker mode; the daemon re-execs itself into this for each spawned
+// worker, and tests call it in-process.
+func WorkerMain(ctx context.Context, s spec.RunSpec, addr string) error {
+	b, err := spec.Build(s)
+	if err != nil {
+		return err
+	}
+	plan, err := b.Sim.PlanTransmission(b.Grid, nil)
+	if err != nil {
+		return err
+	}
+	nBias, nK, nE := plan.Dims()
+	conn, err := comms.DialRetry(ctx, comms.TCP{}, addr, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	host, _ := os.Hostname()
+	rejoin := s.Exec.RejoinWindow.Std()
+	return distrib.RunWorker(ctx, conn, nBias, nK, nE, distrib.WorkerOptions{
+		ID:           fmt.Sprintf("%s-%d", host, os.Getpid()),
+		Pool:         plan.Pool(),
+		Retry:        b.RetryPolicy(),
+		Injector:     b.Injector(),
+		SpecHash:     s.SpecHash(),
+		RejoinWindow: rejoin,
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			return comms.DialRetry(ctx, comms.TCP{}, addr, rejoin)
+		},
+		OnRejoin: func() {
+			// Work computed under the dead epoch is fenced out by the new
+			// coordinator; a warm σ-cache would let its re-dispatched twins
+			// skip decimation flops and break the exact flop merge.
+			if b.Cache != nil {
+				b.Cache.Reset()
+			}
+		},
+	}, plan.Run)
+}
+
+// InProcessSpawner returns a SpawnFunc that runs workers as goroutines
+// of this process — test and single-binary deployments. Production
+// daemons re-exec themselves instead (process isolation: a crashing
+// worker loses a lease, not the service).
+func InProcessSpawner() SpawnFunc {
+	return func(ctx context.Context, addr string, ws spec.RunSpec) error {
+		return WorkerMain(ctx, ws, addr)
+	}
+}

@@ -66,6 +66,12 @@ const (
 	RoleCoordinator
 	// RoleWorker pulls leases from a coordinator; it never journals.
 	RoleWorker
+	// RoleServer is a spec submitted to the job service (`omend`). The
+	// server owns journal placement — jobs are keyed and stored by
+	// SpecHash — so a submitted spec may not carry -checkpoint/-resume,
+	// and only the modes the job executor streams (transmission) are
+	// accepted.
+	RoleServer
 )
 
 // String implements fmt.Stringer.
@@ -77,6 +83,8 @@ func (r Role) String() string {
 		return "coordinator"
 	case RoleWorker:
 		return "worker"
+	case RoleServer:
+		return "server"
 	default:
 		return fmt.Sprintf("Role(%d)", int(r))
 	}
@@ -197,6 +205,12 @@ type ExecSpec struct {
 	// long it keeps accepting in-flight results after it stops granting
 	// leases.
 	DrainTimeout Duration `json:"drainTimeout"`
+	// Priority is the job service's scheduling class for this spec:
+	// "low", "normal", or "high" ("" means normal). omitempty keeps the
+	// canonical encoding of every pre-service spec byte-stable; like the
+	// rest of ExecSpec it is unhashed — priority changes when a job runs,
+	// never what it computes.
+	Priority string `json:"priority,omitempty"`
 }
 
 // RunSpec fully describes one run. The zero value is not usable; start
@@ -355,6 +369,28 @@ func (s RunSpec) SpecHash() string {
 		Solver:  s.Solver,
 	}))
 	return hex.EncodeToString(sum[:])
+}
+
+// Summary returns a compact one-line human description of the spec —
+// mode, device, formalism, grid dimensions, and a spec-hash prefix —
+// for startup logs and job listings. It is descriptive, not canonical:
+// the full identity of a run is its SpecHash.
+func (s RunSpec) Summary() string {
+	h := s.SpecHash()
+	if len(h) > 12 {
+		h = h[:12]
+	}
+	switch s.Mode {
+	case ModeTransmission:
+		return fmt.Sprintf("%s %s %s 1×%d×%d [%s]", s.Mode, s.Device.Name, s.Solver.Formalism, s.Grid.NK, s.Grid.NE, h)
+	case ModeIV:
+		return fmt.Sprintf("%s %s %s %d×%d×%d [%s]", s.Mode, s.Device.Name, s.Solver.Formalism, s.Grid.NVG, s.Grid.NK, s.Grid.NE, h)
+	case ModeStats:
+		return fmt.Sprintf("%s %s [%s]", s.Mode, s.Device.Name, h)
+	default:
+		// Study modes build no device and sample no physical grid.
+		return fmt.Sprintf("%s [%s]", s.Mode, h)
+	}
 }
 
 // NewRunID mints a run-instance identifier from a spec hash: a readable
@@ -536,6 +572,11 @@ func (s RunSpec) Validate() error {
 	if s.Exec.DrainTimeout < 0 {
 		return fmt.Errorf("spec: -drain-timeout must be ≥ 0, got %s", s.Exec.DrainTimeout.Std())
 	}
+	switch s.Exec.Priority {
+	case "", "low", "normal", "high":
+	default:
+		return fmt.Errorf("spec: unknown priority %q (want low, normal, or high)", s.Exec.Priority)
+	}
 	return nil
 }
 
@@ -559,6 +600,18 @@ func (s RunSpec) ValidateFor(role Role) error {
 		}
 		if s.Resilience.Checkpoint != "" {
 			return fmt.Errorf("spec: -checkpoint belongs to the coordinator; workers do not journal")
+		}
+	}
+	if role == RoleServer {
+		if s.Mode != ModeTransmission {
+			return fmt.Errorf("spec: mode %q cannot be submitted as a job (the service streams only %s sweeps)",
+				s.Mode, ModeTransmission)
+		}
+		if s.Resilience.Resume {
+			return fmt.Errorf("spec: resume is implicit for the server — re-submitting a spec resumes (or replays) its journal")
+		}
+		if s.Resilience.Checkpoint != "" {
+			return fmt.Errorf("spec: checkpoint belongs to the server — jobs are journaled by spec hash in the server's data directory")
 		}
 	}
 	return nil

@@ -90,6 +90,7 @@ func fullyNonDefault() RunSpec {
 		Exec: ExecSpec{
 			Workers: 7, LeaseTimeout: Duration(90 * time.Second),
 			RejoinWindow: Duration(2 * time.Minute), DrainTimeout: Duration(20 * time.Second),
+			Priority: "high",
 		},
 	}
 }
@@ -201,6 +202,7 @@ func TestHashSensitivity(t *testing.T) {
 		{"Exec.LeaseTimeout", "", false, func(s *RunSpec) { s.Exec.LeaseTimeout += Duration(time.Second) }},
 		{"Exec.RejoinWindow", "", false, func(s *RunSpec) { s.Exec.RejoinWindow += Duration(time.Second) }},
 		{"Exec.DrainTimeout", "", false, func(s *RunSpec) { s.Exec.DrainTimeout += Duration(time.Second) }},
+		{"Exec.Priority", "", false, func(s *RunSpec) { s.Exec.Priority = "low" }},
 	}
 
 	for _, m := range muts {
@@ -290,6 +292,14 @@ func TestValidateRejections(t *testing.T) {
 			[]string{"-device", `"study-weak"`}},
 		{"fault rate out of range", func(s *RunSpec) { s.Resilience.FaultRate = 1.5 }, RoleLocal,
 			[]string{"-fault-rate"}},
+		{"unknown priority", func(s *RunSpec) { s.Exec.Priority = "urgent" }, RoleLocal,
+			[]string{`"urgent"`, "priority"}},
+		{"job in iv mode", func(s *RunSpec) { s.Mode = ModeIV }, RoleServer,
+			[]string{`"iv"`, "job"}},
+		{"job with checkpoint", func(s *RunSpec) { s.Resilience.Checkpoint = "x" }, RoleServer,
+			[]string{"server", "spec hash"}},
+		{"job with resume", func(s *RunSpec) { s.Resilience.Checkpoint = "x"; s.Resilience.Resume = true }, RoleServer,
+			[]string{"resume", "re-submitting"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -337,6 +347,95 @@ func TestDurationJSON(t *testing.T) {
 	}
 	if _, err := Parse([]byte(`{"exec":{"leaseTimeout":"soon"}}`)); err == nil {
 		t.Error("Parse accepted a malformed duration")
+	}
+}
+
+// TestDurationJSONEdges walks the decode edge cases one by one: negative
+// values (parse fine — Validate is where sign policy lives), bare
+// numbers (nanoseconds, negative included), and the strings that must
+// fail loudly (empty, garbage, unitless, and non-scalar JSON).
+func TestDurationJSONEdges(t *testing.T) {
+	good := []struct {
+		name string
+		js   string
+		want time.Duration
+	}{
+		{"negative string", `"-5s"`, -5 * time.Second},
+		{"bare nanoseconds", `2500000000`, 2500 * time.Millisecond},
+		{"negative nanoseconds", `-1000000000`, -time.Second},
+		{"zero number", `0`, 0},
+		{"zero string", `"0s"`, 0},
+		{"compound string", `"1h2m3s"`, time.Hour + 2*time.Minute + 3*time.Second},
+	}
+	for _, tc := range good {
+		t.Run(tc.name, func(t *testing.T) {
+			var d Duration
+			if err := d.UnmarshalJSON([]byte(tc.js)); err != nil {
+				t.Fatalf("UnmarshalJSON(%s): %v", tc.js, err)
+			}
+			if d.Std() != tc.want {
+				t.Errorf("decoded %s = %v, want %v", tc.js, d.Std(), tc.want)
+			}
+		})
+	}
+
+	bad := []struct {
+		name string
+		js   string
+		want string // substring of the error
+	}{
+		{"empty string", `""`, "bad duration"},
+		{"garbage string", `"soon"`, "bad duration"},
+		{"unitless string", `"30"`, "bad duration"},
+		{"float number", `1.5`, "duration"},
+		{"object", `{"s":30}`, "duration"},
+		{"null", `null`, "duration"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			var d Duration
+			err := d.UnmarshalJSON([]byte(tc.js))
+			if err == nil {
+				t.Fatalf("UnmarshalJSON(%s) accepted, decoded %v", tc.js, d.Std())
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	// Negative durations decode but Validate rejects them — the decoder
+	// is a format concern, sign policy a spec concern.
+	s := Default()
+	s.Exec.LeaseTimeout = Duration(-time.Second)
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "-lease-timeout") {
+		t.Errorf("Validate on negative lease timeout = %v, want -lease-timeout error", err)
+	}
+}
+
+// TestSummary pins the one-line description's load-bearing parts: the
+// mode, the device, the grid dims, and the 12-char spec-hash prefix the
+// job service shows in listings.
+func TestSummary(t *testing.T) {
+	s := Default()
+	s.Grid.NK = 4
+	s.Grid.NE = 256
+	sum := s.Summary()
+	for _, part := range []string{"transmission", "agnr7", "wf", "1×4×256", s.SpecHash()[:12]} {
+		if !strings.Contains(sum, part) {
+			t.Errorf("Summary %q missing %q", sum, part)
+		}
+	}
+	iv := fullyNonDefault()
+	ivSum := iv.Summary()
+	for _, part := range []string{"iv", "sinw-full", "negf", "9×5×77", iv.SpecHash()[:12]} {
+		if !strings.Contains(ivSum, part) {
+			t.Errorf("Summary %q missing %q", ivSum, part)
+		}
+	}
+	study := StudyDefault()
+	if sSum := study.Summary(); !strings.Contains(sSum, "study-strong") || !strings.Contains(sSum, study.SpecHash()[:12]) {
+		t.Errorf("study Summary %q missing mode or hash", sSum)
 	}
 }
 
