@@ -6,7 +6,7 @@ GOFMT ?= gofmt
 # The kernel-cost benchmarks gated by the allocation baseline: their
 # allocs/op is deterministic, so a regression means a real change in the
 # solve's memory discipline, not machine noise.
-BENCH_GUARDED = BenchmarkT2_KernelCost|BenchmarkF1_GateSweep_CacheReuse|BenchmarkF1_BatchedSweep
+BENCH_GUARDED = BenchmarkT2_KernelCost|BenchmarkF1_GateSweep_CacheReuse|BenchmarkF1_BatchedSweep|BenchmarkW1_Wire
 BENCH_BASELINE = BENCH_kernels.json
 
 build:

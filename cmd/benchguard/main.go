@@ -12,8 +12,11 @@
 // that report a "speedup" custom metric (the batched-vs-looped sweep)
 // are additionally gated downward: the measured speedup must stay
 // within -tolerance of the committed baseline, so the batched path
-// cannot quietly decay back toward the looped one. ns/op and B/op are
-// recorded in the baseline for reference but not gated.
+// cannot quietly decay back toward the looped one. Benchmarks that
+// report a "bytes/task" custom metric (the distributed wire economy)
+// are gated upward like allocs/op: the wire may not quietly bloat past
+// the committed bytes-per-task. ns/op and B/op are recorded in the
+// baseline for reference but not gated.
 package main
 
 import (
@@ -37,6 +40,10 @@ type result struct {
 	// Speedup is the benchmark's "speedup" custom metric (0 when the
 	// benchmark does not report one). Gated as a lower bound.
 	Speedup float64 `json:"speedup,omitempty"`
+	// BytesPerTask is the benchmark's "bytes/task" custom metric (0 when
+	// the benchmark does not report one). Gated as an upper bound, like
+	// allocs/op: wire traffic is deterministic, so growth is a regression.
+	BytesPerTask float64 `json:"bytes_per_task,omitempty"`
 }
 
 // baseline is the committed JSON document.
@@ -128,6 +135,16 @@ func main() {
 			fmt.Printf("%s\t%s: speedup %.3f vs baseline %.3f (floor %.3f)\n",
 				status, name, have.Speedup, want.Speedup, floor)
 		}
+		if want.BytesPerTask > 0 {
+			ceil := want.BytesPerTask * (1 + *tolerance)
+			status := "ok"
+			if have.BytesPerTask > ceil {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%s\t%s: bytes/task %.1f vs baseline %.1f (ceiling %.1f)\n",
+				status, name, have.BytesPerTask, want.BytesPerTask, ceil)
+		}
 	}
 	if failed {
 		os.Exit(1)
@@ -167,6 +184,8 @@ func parseBenchOutput(f *os.File) (map[string]result, error) {
 				r.AllocsOp = v
 			case "speedup":
 				r.Speedup = v
+			case "bytes/task":
+				r.BytesPerTask = v
 			}
 		}
 		out[name] = r

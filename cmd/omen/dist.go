@@ -45,7 +45,7 @@ func workerArgs(s spec.RunSpec, dialAddr string) ([]string, error) {
 // under a bumped epoch (see superviseServe), and a SIGTERM drains it
 // gracefully — no new leases, in-flight results accepted for
 // -drain-timeout, then a resumable exit with status 143.
-func runServeMode(ctx context.Context, b *spec.Built, addr string, prog *progress) error {
+func runServeMode(ctx context.Context, b *spec.Built, addr string, shardHold time.Duration, prog *progress) error {
 	s := b.Spec
 	plan, err := b.Sim.PlanTransmission(b.Grid, nil)
 	if err != nil {
@@ -60,6 +60,9 @@ func runServeMode(ctx context.Context, b *spec.Built, addr string, prog *progres
 		Quarantine:   s.Resilience.Quarantine,
 		OnProgress:   prog.set,
 		SpecHash:     s.SpecHash(),
+		Shards:       s.Exec.Shards,
+		WireFormat:   s.Exec.WireFormat,
+		ShardHold:    shardHold,
 	}
 	j, closeJournal, err := openJournal(s, cluster.WithFsync())
 	if err != nil {
@@ -165,8 +168,13 @@ func runServeMode(ctx context.Context, b *spec.Built, addr string, prog *progres
 	}
 
 	sweep := plan.Assemble(rep.Sweep)
-	core.WriteSweep(os.Stdout, sweep, rep.Perf,
-		fmt.Sprintf("# cluster: %d workers, %d leases re-dispatched", rep.Workers, rep.Redispatched))
+	extra := []string{fmt.Sprintf("# cluster: %d workers, %d leases re-dispatched", rep.Workers, rep.Redispatched)}
+	if rep.Shards > 1 {
+		// Only sharded runs print the line, so single-shard drill output
+		// stays byte-identical across this feature's introduction.
+		extra = append(extra, fmt.Sprintf("# shards: %d, steals: %d", rep.Shards, rep.Steals))
+	}
+	core.WriteSweep(os.Stdout, sweep, rep.Perf, extra...)
 	return nil
 }
 
@@ -241,8 +249,13 @@ func runWorkerMode(ctx context.Context, b *spec.Built, addr string) error {
 	host, _ := os.Hostname()
 	rejoin := b.Spec.Exec.RejoinWindow.Std()
 	return distrib.RunWorker(ctx, conn, nBias, nK, nE, distrib.WorkerOptions{
-		ID:           fmt.Sprintf("%s-%d", host, os.Getpid()),
-		Pool:         plan.Pool(),
+		ID:   fmt.Sprintf("%s-%d", host, os.Getpid()),
+		Pool: plan.Pool(),
+		// Batched leases amortize the request/grant round-trip over
+		// several tasks per width-1 pool; the coalesced uploads piggyback
+		// on the same batch size.
+		Capacity:     distrib.DefaultLeaseBatch,
+		WireFormat:   b.Spec.Exec.WireFormat,
 		Retry:        b.RetryPolicy(),
 		Injector:     b.Injector(),
 		SpecHash:     b.Spec.SpecHash(),

@@ -94,6 +94,9 @@ func main() {
 		leaseTimeout = flag.Duration("lease-timeout", def.Exec.LeaseTimeout.Std(), "coordinator: how long a worker may hold a task lease before it is re-dispatched")
 		rejoinWindow = flag.Duration("rejoin-window", def.Exec.RejoinWindow.Std(), "worker: keep re-dialing for this long after losing the coordinator mid-sweep before giving up (0: a coordinator crash ends the worker)")
 		drainTimeout = flag.Duration("drain-timeout", def.Exec.DrainTimeout.Std(), "coordinator: on SIGTERM, stop granting leases and accept in-flight results for up to this long before exiting with a resumable journal")
+		shards       = flag.Int("shards", def.Exec.Shards, "coordinator: partition the task grid across this many scheduling shards; idle shards steal capacity-sized batches from loaded ones (0 or 1: single queue)")
+		wireFormat   = flag.String("wire", def.Exec.WireFormat, "coordinator/worker wire format for hot messages: binary (compact, default) or json (v3-compatible); pure transport knob, results are bitwise identical")
+		shardHold    = flag.Duration("shard-hold", 0, "coordinator failure drill: freeze shard-0-homed workers for this long after startup so other shards demonstrably steal their work (requires -shards >= 2)")
 
 		checkpoint  = flag.String("checkpoint", def.Resilience.Checkpoint, "sweep journal file for checkpoint/restart (transmission mode)")
 		resume      = flag.Bool("resume", def.Resilience.Resume, "resume from an existing -checkpoint journal, rerunning only unfinished tasks")
@@ -171,6 +174,10 @@ func main() {
 			s.Exec.RejoinWindow = spec.Duration(*rejoinWindow)
 		case "drain-timeout":
 			s.Exec.DrainTimeout = spec.Duration(*drainTimeout)
+		case "shards":
+			s.Exec.Shards = *shards
+		case "wire":
+			s.Exec.WireFormat = *wireFormat
 		case "checkpoint":
 			s.Resilience.Checkpoint = *checkpoint
 		case "resume":
@@ -246,7 +253,7 @@ func main() {
 			return
 		}
 		if *serveAddr != "" {
-			if err := runServeMode(ctx, b, *serveAddr, &prog); err != nil {
+			if err := runServeMode(ctx, b, *serveAddr, *shardHold, &prog); err != nil {
 				fatal(ctx, &prog, err)
 			}
 			return

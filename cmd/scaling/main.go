@@ -100,6 +100,8 @@ func main() {
 		leaseTimeout = flag.Duration("lease-timeout", def.Exec.LeaseTimeout.Std(), "coordinator: how long a worker may hold a task lease before it is re-dispatched")
 		rejoinWindow = flag.Duration("rejoin-window", def.Exec.RejoinWindow.Std(), "worker: keep re-dialing for this long after losing the coordinator mid-study before giving up (0: a coordinator crash ends the worker)")
 		drainTimeout = flag.Duration("drain-timeout", def.Exec.DrainTimeout.Std(), "coordinator: on SIGTERM, stop granting leases and accept in-flight results for up to this long before exiting with a resumable journal")
+		shards       = flag.Int("shards", def.Exec.Shards, "coordinator: partition the study's task grid across this many scheduling shards with work-stealing (0 or 1: single queue)")
+		wireFormat   = flag.String("wire", def.Exec.WireFormat, "coordinator/worker wire format for hot messages: binary (compact, default) or json (v3-compatible)")
 		version      = flag.Bool("version", false, "print the build version (module version plus VCS revision) and exit")
 	)
 	flag.Parse()
@@ -150,6 +152,10 @@ func main() {
 			s.Exec.RejoinWindow = spec.Duration(*rejoinWindow)
 		case "drain-timeout":
 			s.Exec.DrainTimeout = spec.Duration(*drainTimeout)
+		case "shards":
+			s.Exec.Shards = *shards
+		case "wire":
+			s.Exec.WireFormat = *wireFormat
 		}
 	})
 	// The strong study's task grid is its hardcoded core-count list; pin
@@ -240,6 +246,8 @@ func main() {
 			err = distrib.RunWorker(ctx, conn, 1, 1, len(counts), distrib.WorkerOptions{
 				ID:           fmt.Sprintf("%s-%d", host, os.Getpid()),
 				Pool:         sched.New(1),
+				Capacity:     distrib.DefaultLeaseBatch,
+				WireFormat:   s.Exec.WireFormat,
 				Retry:        retry,
 				Injector:     injector,
 				SpecHash:     s.SpecHash(),
@@ -312,6 +320,8 @@ func main() {
 			dopts := distrib.Options{
 				LeaseTimeout: s.Exec.LeaseTimeout.Std(),
 				DrainTimeout: s.Exec.DrainTimeout.Std(),
+				Shards:       s.Exec.Shards,
+				WireFormat:   s.Exec.WireFormat,
 				Journal:      opts.Journal,
 				Restore:      opts.Restore,
 				OnProgress:   prog.set,

@@ -32,6 +32,12 @@ type TaskRecord struct {
 	// journals valid — a damaged Perf at worst skews counters, never
 	// observables.
 	Perf *perf.Snapshot `json:"perf,omitempty"`
+	// Shard records which coordinator scheduling shard owned the task when
+	// the result was committed (sharded coordinators only; zero for serial
+	// journals and single-shard runs). Provenance only — like Perf it rides
+	// outside Digest, so journals from before sharding stay valid and a
+	// resume with a different -shards simply re-derives the partition.
+	Shard int `json:"shard,omitempty"`
 }
 
 // digestOf returns the canonical payload digest.

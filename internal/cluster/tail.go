@@ -26,6 +26,10 @@ import (
 type Tail struct {
 	path string
 	off  int64
+	// r is the scratch read buffer, reused across Polls (Reset onto each
+	// freshly opened file). A long-lived SSE stream polls for the life of
+	// the job; allocating a fresh 64 KiB buffer per poll was pure churn.
+	r *bufio.Reader
 }
 
 // NewTail returns a tail reader starting at the head of the journal.
@@ -50,7 +54,12 @@ func (t *Tail) Poll() ([]TaskRecord, error) {
 	}
 
 	var recs []TaskRecord
-	r := bufio.NewReaderSize(f, 1<<16)
+	if t.r == nil {
+		t.r = bufio.NewReaderSize(f, 1<<16)
+	} else {
+		t.r.Reset(f)
+	}
+	r := t.r
 	for {
 		line, err := r.ReadBytes('\n')
 		if err != nil {

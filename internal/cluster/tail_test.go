@@ -115,3 +115,31 @@ func TestTailTornLine(t *testing.T) {
 		t.Fatalf("Poll past garbage = %+v, %v; want just record 1", recs, err)
 	}
 }
+
+// TestTailIdlePollAllocs pins the scratch-buffer reuse: an idle Poll (no
+// new records — the steady state of a long-lived SSE stream) must not
+// re-allocate its 64 KiB read buffer every time. The budget of 4 covers
+// the open/stat path; the buffer alone would blow it.
+func TestTailIdlePollAllocs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "allocs.journal")
+	j, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	defer j.Close()
+	if err := j.Append(TaskRecord{Index: 0, Payload: []byte("p")}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	tail := NewTail(path)
+	if _, err := tail.Poll(); err != nil {
+		t.Fatalf("warm-up Poll: %v", err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := tail.Poll(); err != nil {
+			t.Fatalf("Poll: %v", err)
+		}
+	})
+	if allocs > 4 {
+		t.Fatalf("idle Poll costs %.0f allocs/op, want <= 4 (is the read buffer being re-created per poll?)", allocs)
+	}
+}

@@ -1,0 +1,190 @@
+package comms
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file is the binary payload codec: varint-based primitives the
+// protocol layer (internal/distrib) composes into compact encodings for
+// its hot message types — lease grants, batched result uploads,
+// heartbeats. The frame layer is content-agnostic, so a binary payload
+// rides exactly the same magic/version/CRC envelope a JSON one does;
+// what changes is the bytes-per-task, which is what caps fleet scaling
+// (NEMO5's internode-communication study: past a few hundred ranks it
+// is message count and volume, not kernel flops, that bound the
+// sustained rate).
+//
+// The decoder contract mirrors ReadFrame's: every malformed input —
+// truncated varint, length prefix past the end of the payload, trailing
+// garbage — is a typed error, never a panic and never an oversized
+// allocation (FuzzBinReader pins this).
+
+// ErrBadPayload is wrapped by every BinReader decoding error: the
+// payload does not parse as the primitives the caller asked for. Like a
+// checksum failure, it means the peer is confused or hostile and the
+// connection should be dropped.
+var ErrBadPayload = errors.New("comms: malformed binary payload")
+
+// BinWriter builds a binary payload by appending primitives to a byte
+// slice. The zero value is ready to use; Reset lets a long-lived writer
+// (one per connection, under the codec's write lock) reuse its buffer
+// across frames. Appends cannot fail — length limits are enforced by
+// WriteFrame when the payload is framed.
+type BinWriter struct {
+	buf []byte
+}
+
+// Reset truncates the writer for a new payload, keeping the allocated
+// capacity.
+func (w *BinWriter) Reset() { w.buf = w.buf[:0] }
+
+// Bytes returns the payload built so far. The slice aliases the
+// writer's buffer and is invalidated by the next Reset or append.
+func (w *BinWriter) Bytes() []byte { return w.buf }
+
+// Byte appends one raw byte.
+func (w *BinWriter) Byte(b byte) { w.buf = append(w.buf, b) }
+
+// Uvarint appends v in unsigned LEB128.
+func (w *BinWriter) Uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Varint appends v in zigzag LEB128.
+func (w *BinWriter) Varint(v int64) { w.buf = binary.AppendVarint(w.buf, v) }
+
+// Blob appends a length-prefixed byte string.
+func (w *BinWriter) Blob(b []byte) {
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *BinWriter) String(s string) {
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// BinReader decodes a binary payload built by BinWriter. Errors are
+// sticky: the first malformed read poisons the reader, every later read
+// returns a zero value, and Err reports the failure — so decoders can
+// read a whole message unconditionally and check once at the end.
+// The reader never panics and never allocates more than the payload it
+// was given (Blob returns subslices).
+type BinReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewBinReader reads from p, which the caller must not mutate while
+// reading (Blob and String return views into it).
+func NewBinReader(p []byte) *BinReader { return &BinReader{buf: p} }
+
+// Err returns the first decoding error, or nil.
+func (r *BinReader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes (0 after an error).
+func (r *BinReader) Remaining() int {
+	if r.err != nil {
+		return 0
+	}
+	return len(r.buf) - r.off
+}
+
+// Finish returns an error unless the payload was fully consumed without
+// a decoding failure — trailing garbage is as malformed as a truncation.
+func (r *BinReader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		r.fail("%d trailing bytes", len(r.buf)-r.off)
+	}
+	return r.err
+}
+
+// fail records the first error.
+func (r *BinReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: at offset %d: %s", ErrBadPayload, r.off, fmt.Sprintf(format, args...))
+	}
+}
+
+// Byte reads one raw byte.
+func (r *BinReader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail("truncated byte")
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// Uvarint reads an unsigned LEB128 value.
+func (r *BinReader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("truncated or overlong uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a zigzag LEB128 value.
+func (r *BinReader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("truncated or overlong varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads a uvarint that must fit a non-negative int — counts and
+// indices. A value that does not fit is malformed, not truncated.
+func (r *BinReader) Int() int {
+	v := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > math.MaxInt64 || int64(v) > int64(math.MaxInt) {
+		r.fail("value %d overflows int", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Blob reads a length-prefixed byte string as a subslice of the payload
+// (no copy: the caller owns the framing buffer). A length prefix
+// pointing past the end of the payload is rejected before any
+// allocation, so a hostile length cannot balloon memory.
+func (r *BinReader) Blob() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail("blob length %d exceeds %d remaining bytes", n, len(r.buf)-r.off)
+		return nil
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+// String reads a length-prefixed string.
+func (r *BinReader) String() string { return string(r.Blob()) }

@@ -1,0 +1,216 @@
+package comms
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+func TestBinRoundTrip(t *testing.T) {
+	var w BinWriter
+	w.Byte(7)
+	w.Uvarint(0)
+	w.Uvarint(math.MaxUint64)
+	w.Varint(-1 << 40)
+	w.Varint(42)
+	w.Blob([]byte{1, 2, 3})
+	w.Blob(nil)
+	w.String("σ-cache")
+
+	r := NewBinReader(w.Bytes())
+	if got := r.Byte(); got != 7 {
+		t.Fatalf("Byte = %d", got)
+	}
+	if got := r.Uvarint(); got != 0 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if got := r.Uvarint(); got != math.MaxUint64 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if got := r.Varint(); got != -1<<40 {
+		t.Fatalf("Varint = %d", got)
+	}
+	if got := r.Varint(); got != 42 {
+		t.Fatalf("Varint = %d", got)
+	}
+	if got := r.Blob(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Blob = %v", got)
+	}
+	if got := r.Blob(); len(got) != 0 {
+		t.Fatalf("empty Blob = %v", got)
+	}
+	if got := r.String(); got != "σ-cache" {
+		t.Fatalf("String = %q", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestBinWriterReset(t *testing.T) {
+	var w BinWriter
+	w.String("first payload")
+	w.Reset()
+	w.Uvarint(9)
+	r := NewBinReader(w.Bytes())
+	if got := r.Uvarint(); got != 9 {
+		t.Fatalf("after Reset: Uvarint = %d", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("after Reset: Finish: %v", err)
+	}
+}
+
+func TestBinReaderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		p    []byte
+		read func(r *BinReader)
+	}{
+		{"byte from empty", nil, func(r *BinReader) { r.Byte() }},
+		{"truncated uvarint", []byte{0x80}, func(r *BinReader) { r.Uvarint() }},
+		{"truncated varint", []byte{0xff}, func(r *BinReader) { r.Varint() }},
+		// Length prefix claims far more bytes than the payload holds: must
+		// be rejected without allocating the claimed length.
+		{"blob overruns payload", []byte{0xff, 0xff, 0xff, 0xff, 0x7f, 1, 2}, func(r *BinReader) { r.Blob() }},
+		{"trailing garbage", []byte{1, 2, 3}, func(r *BinReader) { r.Byte() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewBinReader(tc.p)
+			tc.read(r)
+			if err := r.Finish(); !errors.Is(err, ErrBadPayload) {
+				t.Fatalf("Finish = %v, want ErrBadPayload", err)
+			}
+			// Sticky: every later read is a zero value, no panic.
+			if r.Byte() != 0 || r.Uvarint() != 0 || r.Varint() != 0 || r.Blob() != nil || r.String() != "" {
+				t.Fatal("reads after an error must return zero values")
+			}
+		})
+	}
+}
+
+func TestBinReaderIntOverflow(t *testing.T) {
+	var w BinWriter
+	w.Uvarint(math.MaxUint64)
+	r := NewBinReader(w.Bytes())
+	if got := r.Int(); got != 0 {
+		t.Fatalf("Int on overflow = %d, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrBadPayload) {
+		t.Fatalf("Err = %v, want ErrBadPayload", r.Err())
+	}
+}
+
+// FuzzBinReader pins the decoder's never-panic contract on hostile
+// payloads, mirroring FuzzReadFrame one layer up: whatever the bytes,
+// every read returns and the only failure mode is ErrBadPayload.
+func FuzzBinReader(f *testing.F) {
+	var seed BinWriter
+	seed.Byte(1)
+	seed.Uvarint(300)
+	seed.Varint(-5)
+	seed.Blob([]byte("payload"))
+	seed.String("name")
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x0f})
+
+	f.Fuzz(func(t *testing.T, p []byte) {
+		r := NewBinReader(p)
+		// Drain the payload with a mixed read pattern; must never panic
+		// and never read past the end.
+		for r.Err() == nil && r.Remaining() > 0 {
+			switch r.Remaining() % 5 {
+			case 0:
+				r.Byte()
+			case 1:
+				r.Uvarint()
+			case 2:
+				r.Varint()
+			case 3:
+				r.Blob()
+			default:
+				_ = r.String()
+			}
+		}
+		if err := r.Finish(); err != nil && !errors.Is(err, ErrBadPayload) {
+			t.Fatalf("Finish = %v, want nil or ErrBadPayload", err)
+		}
+	})
+}
+
+// nopRWC is a sink connection for send benchmarks.
+type nopRWC struct{ io.Writer }
+
+func (nopRWC) Read([]byte) (int, error) { return 0, io.EOF }
+func (nopRWC) Close() error             { return nil }
+
+// TestCodecSendMatchesMarshal pins the buffer-reuse refactor: the JSON
+// payload bytes on the wire must be exactly json.Marshal's (the reused
+// json.Encoder appends a newline that Send must strip — a drifted
+// payload would break byte-identical drill output downstream).
+func TestCodecSendMatchesMarshal(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCodec(nopRWC{&buf})
+	msg := map[string]any{"tasks": []int{1, 2, 3}, "ttl": 30}
+	for i := 0; i < 2; i++ { // twice: the second send reuses the buffer
+		buf.Reset()
+		if err := c.Send(5, msg); err != nil {
+			t.Fatal(err)
+		}
+		tp, payload, err := ReadFrame(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tp != 5 {
+			t.Fatalf("type = %d", tp)
+		}
+		want, _ := json.Marshal(msg)
+		if !bytes.Equal(payload, want) {
+			t.Fatalf("payload %q, want %q", payload, want)
+		}
+	}
+}
+
+// BenchmarkCodecSendJSON measures per-frame allocations of the JSON
+// send path; the codec-owned encode buffer keeps the steady state flat
+// regardless of message size.
+func BenchmarkCodecSendJSON(b *testing.B) {
+	c := NewCodec(nopRWC{io.Discard})
+	msg := struct {
+		Tasks []int `json:"tasks"`
+		TTL   int64 `json:"ttl"`
+	}{Tasks: []int{100, 101, 102, 103, 104, 105, 106, 107}, TTL: 30_000_000_000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send(5, &msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecSendBin measures the binary send path: the reused
+// BinWriter makes it allocation-free per frame.
+func BenchmarkCodecSendBin(b *testing.B) {
+	c := NewCodec(nopRWC{io.Discard})
+	tasks := []int{100, 101, 102, 103, 104, 105, 106, 107}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := c.SendBin(5, func(w *BinWriter) {
+			w.Uvarint(uint64(len(tasks)))
+			for _, t := range tasks {
+				w.Uvarint(uint64(t))
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

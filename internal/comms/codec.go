@@ -2,6 +2,7 @@ package comms
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,42 +10,90 @@ import (
 	"time"
 )
 
-// Codec frames JSON messages over a reliable byte stream. Reads are
-// buffered and must come from a single goroutine; writes are serialized
-// by an internal mutex and flushed per message, so any number of
-// goroutines (a worker's task loop plus its heartbeat ticker) can Send
-// concurrently without interleaving frames.
+// Codec frames messages over a reliable byte stream — JSON payloads via
+// Send, binary payloads via SendBin. Reads are buffered and must come
+// from a single goroutine; writes are serialized by an internal mutex
+// and flushed per message, so any number of goroutines (a worker's task
+// loop plus its heartbeat ticker) can send concurrently without
+// interleaving frames. The encode buffers live on the codec and are
+// reused across frames under the write lock, so steady-state sends do
+// not allocate per frame.
 type Codec struct {
-	rwc io.ReadWriteCloser
-	r   *bufio.Reader
+	rwc    io.ReadWriteCloser
+	r      *bufio.Reader
+	onRecv func(frameBytes int)
 
-	wmu sync.Mutex
-	w   *bufio.Writer
+	wmu    sync.Mutex
+	w      *bufio.Writer
+	jbuf   bytes.Buffer
+	jenc   *json.Encoder
+	bw     BinWriter
+	onSend func(frameBytes int)
 }
 
 // NewCodec wraps a connection (anything reliable and byte-ordered; TCP
 // and net.Pipe both qualify).
 func NewCodec(rwc io.ReadWriteCloser) *Codec {
-	return &Codec{
+	c := &Codec{
 		rwc: rwc,
 		r:   bufio.NewReaderSize(rwc, 64<<10),
 		w:   bufio.NewWriterSize(rwc, 64<<10),
 	}
+	c.jenc = json.NewEncoder(&c.jbuf)
+	return c
+}
+
+// Meter installs frame observers: onSend and onRecv are called with the
+// full frame size (header plus payload) of every frame written and read.
+// Either may be nil. Install before the codec is shared between
+// goroutines; the observers themselves must be thread-safe (sends can
+// come from many goroutines).
+func (c *Codec) Meter(onSend, onRecv func(frameBytes int)) {
+	c.onSend = onSend
+	c.onRecv = onRecv
 }
 
 // Send marshals v as JSON and writes it as one frame of type t, flushing
 // before returning. Safe for concurrent use.
 func (c *Codec) Send(t MsgType, v any) error {
-	payload, err := json.Marshal(v)
-	if err != nil {
-		return fmt.Errorf("comms: marshal message type %d: %w", t, err)
-	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	c.jbuf.Reset()
+	if err := c.jenc.Encode(v); err != nil {
+		return fmt.Errorf("comms: marshal message type %d: %w", t, err)
+	}
+	// Encoder appends a newline after each value; strip it so the payload
+	// bytes are exactly json.Marshal's.
+	payload := c.jbuf.Bytes()
+	if n := len(payload); n > 0 && payload[n-1] == '\n' {
+		payload = payload[:n-1]
+	}
+	return c.sendLocked(t, payload)
+}
+
+// SendBin writes one binary-payload frame of type t: encode appends the
+// payload to a BinWriter the codec reuses across frames (valid only for
+// the duration of the call). Safe for concurrent use.
+func (c *Codec) SendBin(t MsgType, encode func(w *BinWriter)) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.bw.Reset()
+	encode(&c.bw)
+	return c.sendLocked(t, c.bw.Bytes())
+}
+
+// sendLocked frames, flushes, and meters one payload. Callers hold wmu.
+func (c *Codec) sendLocked(t MsgType, payload []byte) error {
 	if err := WriteFrame(c.w, t, payload); err != nil {
 		return err
 	}
-	return c.w.Flush()
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	if c.onSend != nil {
+		c.onSend(headerLen + len(payload))
+	}
+	return nil
 }
 
 // Recv reads the next frame and returns its type and raw payload. The
@@ -52,7 +101,11 @@ func (c *Codec) Send(t MsgType, v any) error {
 // boundary, ErrTruncated-wrapping errors on a mid-frame death, typed
 // errors on malformed headers.
 func (c *Codec) Recv() (MsgType, []byte, error) {
-	return ReadFrame(c.r)
+	t, payload, err := ReadFrame(c.r)
+	if err == nil && c.onRecv != nil {
+		c.onRecv(headerLen + len(payload))
+	}
+	return t, payload, err
 }
 
 // SetReadDeadline sets the deadline for future Recv calls when the

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -75,6 +76,29 @@ type Options struct {
 	// older epoch are discarded: their tasks were already re-dispatched
 	// from the journal-seeded lease table. Zero disables fencing.
 	Epoch uint64
+	// Shards is the number of coordinator scheduling shards the task grid
+	// is partitioned across (default 1 — the classic single FIFO). Each
+	// worker is homed on one shard round-robin at registration and is
+	// granted leases from its home shard's queue; a worker whose home
+	// shard is empty steals a capacity-sized batch from the most loaded
+	// shard, so a slow shard never idles the fleet. Shards partition
+	// scheduling, not locking or the journal: all shards share one lease
+	// table, one mutex, and one journal (records are shard-tagged), which
+	// keeps exactly-once commits and epoch fencing exactly as strong as
+	// the single-shard engine — the wire, not the lock, is what caps
+	// scaling at fleet sizes.
+	Shards int
+	// WireFormat picks the wire for the hot messages: "" or "binary"
+	// offers the compact binary payloads to v4 workers that advertise
+	// them; "json" forces the v3 JSON wire for every worker. Pure
+	// transport knob — results are bitwise identical either way.
+	WireFormat string
+	// ShardHold is a failure-drill knob (CLI -shard-hold): for this long
+	// after startup, workers homed on shard 0 are told to back off
+	// instead of being granted leases, so other shards drain their own
+	// partitions and then demonstrably steal shard 0's. Zero (the
+	// default, and anything with Shards < 2) disables it.
+	ShardHold time.Duration
 	// Drain, when non-nil, triggers a graceful drain when it becomes
 	// receivable (close it): the coordinator stops granting leases,
 	// dismisses workers with done as they ask for more work, keeps
@@ -106,7 +130,20 @@ func (o Options) withDefaults() Options {
 	if o.DrainTimeout <= 0 {
 		o.DrainTimeout = 10 * time.Second
 	}
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
 	return o
+}
+
+// binWire reports whether the coordinator offers the binary wire.
+func (o Options) binWire() bool {
+	switch o.WireFormat {
+	case "", "binary", wireBin:
+		return true
+	default:
+		return false
+	}
 }
 
 // Report summarizes a distributed sweep: the familiar per-task accounting
@@ -141,6 +178,12 @@ type Report struct {
 	// by a worker that computed them under a previous coordinator
 	// incarnation.
 	StaleEpoch int
+	// Shards is the number of scheduling shards the grid was partitioned
+	// across (1 for the classic single-queue coordinator).
+	Shards int
+	// Steals counts lease grants served by stealing from another shard's
+	// queue because the worker's home shard was empty.
+	Steals int
 }
 
 // task lease states.
@@ -164,6 +207,8 @@ type workerState struct {
 	id     string
 	cd     *comms.Codec
 	leased map[int]bool
+	wire   string // negotiated wire format for this connection
+	home   int    // scheduling shard this worker is homed on
 }
 
 // coordinator owns the lease table of one sweep.
@@ -180,9 +225,18 @@ type coordinator struct {
 	// and the reaper never wait behind a journal fsync, while Restore
 	// keeps the same never-called-concurrently contract the local
 	// engine's replay gives it.
-	commitMu     sync.Mutex
-	queue        []int // pending task indices, FIFO; may hold stale entries (see popPendingLocked)
-	remaining    int   // tasks not yet done or quarantined
+	commitMu sync.Mutex
+	// shards holds the per-shard pending FIFOs: contiguous blocks of the
+	// flat grid, so shard 0 owns the lowest (bias,k,E) indices. Queues
+	// may hold stale entries (see popPendingLocked). With Shards 1 this
+	// is the classic single queue.
+	shards       [][]int
+	nextHome     int // round-robin cursor for homing new workers
+	start        time.Time
+	steals       int // grants served from another shard's queue
+	grants       int // non-empty lease grants
+	batchedGrant int // grants carrying more than one task
+	remaining    int // tasks not yet done or quarantined
 	quarantined  []int
 	restored     int
 	completed    int
@@ -197,6 +251,22 @@ type coordinator struct {
 	draining     bool // drain requested: grant nothing, dismiss on request
 	drained      bool // drain completed the shutdown before the sweep finished
 	done         chan struct{}
+
+	// Coordinator-side wire accounting (the workers' sides ride their
+	// perf deltas). Atomics: the codec meters fire on every connection
+	// goroutine.
+	framesSent, framesRecv atomic.Int64
+	bytesSent, bytesRecv   atomic.Int64
+}
+
+// shardOf maps a task index to the shard owning it: contiguous balanced
+// blocks, deterministic for the life of the run (journal shard tags stay
+// meaningful across restarts with the same -shards).
+func (c *coordinator) shardOf(idx int) int {
+	if len(c.shards) <= 1 {
+		return 0
+	}
+	return idx * len(c.shards) / c.total
 }
 
 // Serve runs a sweep's coordinator: it shards the nBias × nK × nE task
@@ -211,12 +281,18 @@ func Serve(ctx context.Context, lis net.Listener, nBias, nK, nE int, opts Option
 	}
 	opts = opts.withDefaults()
 	total := nBias * nK * nE
+	nShards := opts.Shards
+	if nShards > total {
+		nShards = total // never more shards than tasks
+	}
 	c := &coordinator{
 		opts:  opts,
 		nBias: nBias, nK: nK, nE: nE,
 		total:         total,
 		maxQuarantine: quarantineBudget(opts, total),
 		st:            make([]taskState, total),
+		shards:        make([][]int, nShards),
+		start:         time.Now(),
 		workers:       make(map[string]*workerState),
 		done:          make(chan struct{}),
 	}
@@ -249,13 +325,14 @@ func Serve(ctx context.Context, lis net.Listener, nBias, nK, nE int, opts Option
 			c.restored++
 		}
 	}
-	c.queue = make([]int, 0, total-c.restored)
+	c.remaining = 0
 	for i := 0; i < total; i++ {
 		if c.st[i].phase == statePending {
-			c.queue = append(c.queue, i)
+			sh := c.shardOf(i)
+			c.shards[sh] = append(c.shards[sh], i)
+			c.remaining++
 		}
 	}
-	c.remaining = len(c.queue)
 	c.progress()
 	if c.remaining == 0 {
 		lis.Close()
@@ -418,6 +495,35 @@ func (c *coordinator) fill(rep *Report) {
 	rep.Redispatched = c.redispatched
 	rep.Perf = c.perf
 	rep.StaleEpoch = c.staleEpoch
+	rep.Shards = len(c.shards)
+	rep.Steals = c.steals
+
+	// Fold the coordinator's own wire and scheduling counters into the
+	// merged perf snapshot (the workers' wire counters already arrived
+	// inside their per-task deltas). Counters are copied before the fold:
+	// rep.Perf shares c.perf's maps, which must stay a pure sum of
+	// deltas for a possible later fill.
+	extra := map[string]int64{
+		"wire-frames-sent": c.framesSent.Load(),
+		"wire-frames-recv": c.framesRecv.Load(),
+		"wire-bytes-sent":  c.bytesSent.Load(),
+		"wire-bytes-recv":  c.bytesRecv.Load(),
+		"shard-steals":     int64(c.steals),
+		"batched-grants":   int64(c.batchedGrant),
+		"lease-grants":     int64(c.grants),
+	}
+	merged := make(map[string]int64, len(c.perf.Counters)+len(extra))
+	for k, v := range c.perf.Counters {
+		merged[k] = v
+	}
+	for k, v := range extra {
+		if v != 0 {
+			merged[k] += v
+		}
+	}
+	if len(merged) > 0 {
+		rep.Perf.Counters = merged
+	}
 }
 
 // acceptLoop admits workers until the listener closes.
@@ -441,6 +547,10 @@ func (c *coordinator) acceptLoop(ctx context.Context, lis net.Listener, wg *sync
 func (c *coordinator) handle(ctx context.Context, conn net.Conn) {
 	cd := comms.NewCodec(conn)
 	defer cd.Close()
+	cd.Meter(
+		func(n int) { c.framesSent.Add(1); c.bytesSent.Add(int64(n)) },
+		func(n int) { c.framesRecv.Add(1); c.bytesRecv.Add(int64(n)) },
+	)
 
 	// The hello must arrive promptly; a connection that never identifies
 	// itself is dropped rather than tracked.
@@ -453,9 +563,10 @@ func (c *coordinator) handle(ctx context.Context, conn net.Conn) {
 	if decode(t, payload, &hello) != nil {
 		return
 	}
-	if hello.Proto != ProtoVersion {
+	if hello.Proto < ProtoVersionMin || hello.Proto > ProtoVersion {
 		cd.Send(msgError, errorMsg{Reason: fmt.Sprintf(
-			"protocol version mismatch: worker speaks %d, coordinator %d", hello.Proto, ProtoVersion)})
+			"protocol version mismatch: worker speaks %d, coordinator accepts %d–%d",
+			hello.Proto, ProtoVersionMin, ProtoVersion)})
 		return
 	}
 	if hello.NBias != c.nBias || hello.NK != c.nK || hello.NE != c.nE {
@@ -471,7 +582,14 @@ func (c *coordinator) handle(ctx context.Context, conn net.Conn) {
 		return
 	}
 
-	w := c.register(cd, hello.ID)
+	// Wire negotiation: binary only when the worker advertised it (which
+	// implies v4) and this coordinator offers it; everything else — v3
+	// workers in particular — gets the JSON wire.
+	wire := wireJSON
+	if hello.Proto >= 4 && hello.Wire == wireBin && c.opts.binWire() {
+		wire = wireBin
+	}
+	w := c.register(cd, hello.ID, wire)
 	if w == nil {
 		// The run is over (or draining): dismiss explicitly so the late
 		// worker exits cleanly instead of reading the close as a crash.
@@ -486,6 +604,7 @@ func (c *coordinator) handle(ctx context.Context, conn net.Conn) {
 		Epoch:          c.opts.Epoch,
 		HeartbeatEvery: c.opts.HeartbeatEvery,
 		LeaseTimeout:   c.opts.LeaseTimeout,
+		Wire:           wire,
 	}); err != nil {
 		return
 	}
@@ -513,7 +632,12 @@ func (c *coordinator) handle(ctx context.Context, conn net.Conn) {
 				}
 				continue // the worker answers with a bye
 			}
-			if err := cd.Send(msgLease, lease); err != nil {
+			if w.wire == wireBin {
+				err = cd.SendBin(msgLeaseBin, func(bw *comms.BinWriter) { appendLeaseBin(bw, lease) })
+			} else {
+				err = cd.Send(msgLease, lease)
+			}
+			if err != nil {
 				return
 			}
 		case msgResult:
@@ -525,7 +649,29 @@ func (c *coordinator) handle(ctx context.Context, conn net.Conn) {
 				c.fail(err)
 				return
 			}
-		case msgHeartbeat:
+		case msgResultBatch:
+			var batch resultBatchMsg
+			if decode(t, payload, &batch) != nil {
+				return
+			}
+			for _, res := range batch.Results {
+				if err := c.applyResult(w, res); err != nil {
+					c.fail(err)
+					return
+				}
+			}
+		case msgResultBatchBin:
+			batch, err := decodeResultBatchBin(payload)
+			if err != nil {
+				return // malformed frame: drop the worker, leases re-dispatch
+			}
+			for _, res := range batch {
+				if err := c.applyResult(w, res); err != nil {
+					c.fail(err)
+					return
+				}
+			}
+		case msgHeartbeat, msgHeartbeatBin:
 			// The deadline refresh above is the entire effect.
 		case msgBye:
 			return
@@ -535,9 +681,10 @@ func (c *coordinator) handle(ctx context.Context, conn net.Conn) {
 	}
 }
 
-// register admits a worker under a unique id, or returns nil when the run
-// is already over or draining.
-func (c *coordinator) register(cd *comms.Codec, id string) *workerState {
+// register admits a worker under a unique id, homing it on the next
+// shard round-robin, or returns nil when the run is already over or
+// draining.
+func (c *coordinator) register(cd *comms.Codec, id, wire string) *workerState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.finished || c.failure != nil || c.draining {
@@ -550,7 +697,8 @@ func (c *coordinator) register(cd *comms.Codec, id string) *workerState {
 	if _, dup := c.workers[id]; dup {
 		id = fmt.Sprintf("%s#%d", id, c.workersSeen)
 	}
-	w := &workerState{id: id, cd: cd, leased: make(map[int]bool)}
+	w := &workerState{id: id, cd: cd, leased: make(map[int]bool), wire: wire, home: c.nextHome}
+	c.nextHome = (c.nextHome + 1) % len(c.shards)
 	c.workers[id] = w
 	return w
 }
@@ -566,7 +714,7 @@ func (c *coordinator) unregister(w *workerState) {
 		if c.st[idx].phase == stateLeased && c.st[idx].worker == w.id {
 			c.st[idx].phase = statePending
 			c.st[idx].worker = ""
-			c.queue = append(c.queue, idx)
+			c.requeueLocked(idx)
 			c.redispatched++
 		}
 	}
@@ -577,7 +725,9 @@ func (c *coordinator) unregister(w *workerState) {
 // dismissed with done — the sweep is complete, failed, or draining (a
 // draining coordinator grants nothing new; a dismissed worker has by
 // construction no results in flight, since it only asks after finishing
-// its previous batch).
+// its previous batch). The grant comes from the worker's home shard
+// when it has pending work, and is stolen from the most loaded shard
+// otherwise.
 func (c *coordinator) grant(w *workerState, capacity int) (lease leaseMsg, over bool) {
 	if capacity < 1 {
 		capacity = 1
@@ -587,15 +737,28 @@ func (c *coordinator) grant(w *workerState, capacity int) (lease leaseMsg, over 
 	if c.finished || c.failure != nil || c.remaining == 0 || c.draining {
 		return leaseMsg{}, true
 	}
-	tasks := c.popPendingLocked(capacity)
+	if c.heldLocked(w) {
+		// Failure-drill hold: this worker's home shard is frozen, and it
+		// may neither drain it nor steal — the other shards must come get
+		// its work.
+		return leaseMsg{RetryAfter: c.opts.RetryAfter}, false
+	}
+	tasks, stolen := c.popShardedLocked(w.home, capacity)
 	if len(tasks) == 0 {
 		// Everything pending is leased elsewhere; reclaim stragglers
 		// opportunistically before telling the worker to wait.
 		c.reclaimExpiredLocked(time.Now())
-		tasks = c.popPendingLocked(capacity)
+		tasks, stolen = c.popShardedLocked(w.home, capacity)
 	}
 	if len(tasks) == 0 {
 		return leaseMsg{RetryAfter: c.opts.RetryAfter}, false
+	}
+	if stolen {
+		c.steals++
+	}
+	c.grants++
+	if len(tasks) > 1 {
+		c.batchedGrant++
 	}
 	deadline := time.Now().Add(c.opts.LeaseTimeout)
 	for _, idx := range tasks {
@@ -605,29 +768,71 @@ func (c *coordinator) grant(w *workerState, capacity int) (lease leaseMsg, over 
 	return leaseMsg{Tasks: tasks, TTL: c.opts.LeaseTimeout}, false
 }
 
-// popPendingLocked removes up to n indices from the head of the queue,
-// returning only those still pending. A queue entry can go stale: when a
-// reclaimed task's original holder reports before the re-dispatched copy
-// is granted, applyResult accepts the straggler's result directly from
-// statePending and the re-queued index now names a finished task. Handing
-// such an index out again would overwrite stateDone with stateLeased and
-// let a second result be accepted — a duplicate journal record and a
-// double decrement of remaining — so stale entries are dropped here.
-func (c *coordinator) popPendingLocked(n int) []int {
+// heldLocked reports whether the failure-drill shard hold currently
+// freezes this worker's grants (see Options.ShardHold).
+func (c *coordinator) heldLocked(w *workerState) bool {
+	return c.opts.ShardHold > 0 && len(c.shards) > 1 && w.home == 0 &&
+		time.Since(c.start) < c.opts.ShardHold
+}
+
+// popShardedLocked pops up to n tasks for a worker homed on shard home:
+// from its own queue if possible, else a steal from the most loaded
+// shard. stolen reports the steal (for the counter; at most one victim
+// per grant — a steal is a whole lease batch).
+func (c *coordinator) popShardedLocked(home, n int) (tasks []int, stolen bool) {
+	if tasks = c.popPendingLocked(home, n); len(tasks) > 0 {
+		return tasks, false
+	}
+	for {
+		victim, max := -1, 0
+		for sh := range c.shards {
+			if sh != home && len(c.shards[sh]) > max {
+				victim, max = sh, len(c.shards[sh])
+			}
+		}
+		if victim < 0 {
+			return nil, false
+		}
+		if tasks = c.popPendingLocked(victim, n); len(tasks) > 0 {
+			return tasks, true
+		}
+		// The victim's queue was all stale entries and is now drained;
+		// look for the next-most-loaded shard.
+	}
+}
+
+// popPendingLocked removes up to n indices from the head of one shard's
+// queue, returning only those still pending. A queue entry can go stale:
+// when a reclaimed task's original holder reports before the
+// re-dispatched copy is granted, applyResult accepts the straggler's
+// result directly from statePending and the re-queued index now names a
+// finished task. Handing such an index out again would overwrite
+// stateDone with stateLeased and let a second result be accepted — a
+// duplicate journal record and a double decrement of remaining — so
+// stale entries are dropped here.
+func (c *coordinator) popPendingLocked(sh, n int) []int {
 	var tasks []int
-	for len(tasks) < n && len(c.queue) > 0 {
-		idx := c.queue[0]
-		c.queue = c.queue[1:]
+	q := c.shards[sh]
+	for len(tasks) < n && len(q) > 0 {
+		idx := q[0]
+		q = q[1:]
 		if c.st[idx].phase != statePending {
 			continue
 		}
 		tasks = append(tasks, idx)
 	}
+	c.shards[sh] = q
 	return tasks
 }
 
+// requeueLocked returns a reclaimed task to its home shard's queue.
+func (c *coordinator) requeueLocked(idx int) {
+	sh := c.shardOf(idx)
+	c.shards[sh] = append(c.shards[sh], idx)
+}
+
 // reclaimExpiredLocked returns every lease past its deadline to the
-// pending queue. The holder may still be running the task — that is the
+// pending queues. The holder may still be running the task — that is the
 // straggler case, and whichever execution reports first wins.
 func (c *coordinator) reclaimExpiredLocked(now time.Time) {
 	for idx := range c.st {
@@ -640,7 +845,7 @@ func (c *coordinator) reclaimExpiredLocked(now time.Time) {
 		}
 		s.phase = statePending
 		s.worker = ""
-		c.queue = append(c.queue, idx)
+		c.requeueLocked(idx)
 		c.redispatched++
 	}
 }
@@ -742,8 +947,13 @@ func (c *coordinator) applyResult(w *workerState, res resultMsg) error {
 	if c.opts.Journal != nil {
 		// Persist the perf delta alongside the payload so a restarted
 		// coordinator can re-sum exactly what this incarnation counted.
+		// The shard tag (which scheduling shard owns the task) is pure
+		// provenance — outside the digest, like the perf delta, so old
+		// journals and single-shard runs are unaffected.
 		delta := res.Perf
-		if err := c.opts.Journal.Append(cluster.TaskRecord{Index: res.Task, Payload: res.Payload, Perf: &delta}); err != nil {
+		if err := c.opts.Journal.Append(cluster.TaskRecord{
+			Index: res.Task, Payload: res.Payload, Perf: &delta, Shard: c.shardOf(res.Task),
+		}); err != nil {
 			c.commitMu.Unlock()
 			return fmt.Errorf("distrib: journal: %w", err)
 		}

@@ -400,7 +400,7 @@ func TestStaleQueueEntryNotRegranted(t *testing.T) {
 		nBias: 1, nK: 1, nE: total,
 		total:     total,
 		st:        make([]taskState, total),
-		queue:     []int{0, 1, 2},
+		shards:    [][]int{{0, 1, 2}},
 		remaining: total,
 		workers:   make(map[string]*workerState),
 		done:      make(chan struct{}),

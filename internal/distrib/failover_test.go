@@ -294,7 +294,7 @@ func TestEpochFenceDiscardsStaleResults(t *testing.T) {
 		nBias: 1, nK: 1, nE: total,
 		total:     total,
 		st:        make([]taskState, total),
-		queue:     []int{0, 1},
+		shards:    [][]int{{0, 1}},
 		remaining: total,
 		workers:   make(map[string]*workerState),
 		done:      make(chan struct{}),

@@ -39,10 +39,29 @@ import (
 // added epoch fencing (run ID + incarnation epoch in the welcome, epoch
 // tags on results) and made sweep completion an explicit done message —
 // before, "coordinator hung up" was the completion signal, which made a
-// coordinator crash indistinguishable from a finished sweep.
-const ProtoVersion = 3
+// coordinator crash indistinguishable from a finished sweep. Version 4
+// added wire-format negotiation (binary payloads for the hot message
+// types) and batched result uploads; the coordinator still accepts
+// ProtoVersionMin workers, which simply get the v3 wire — JSON frames,
+// one result per frame.
+const (
+	ProtoVersion    = 4
+	ProtoVersionMin = 3
+)
 
-// Frame types of the coordinator/worker protocol.
+// Negotiated wire formats. The handshake (hello/welcome) is always
+// JSON — negotiation must precede the thing it negotiates — and every
+// binary-payload message has its own frame type, so the decoder
+// dispatches on the frame, never on connection state.
+const (
+	wireJSON = "json"
+	wireBin  = "bin"
+)
+
+// Frame types of the coordinator/worker protocol. Types 1–9 are the v3
+// protocol (JSON payloads); 10+ are the v4 additions — the binary
+// variants of the hot messages plus batched result uploads in both
+// formats.
 const (
 	msgHello comms.MsgType = iota + 1
 	msgWelcome
@@ -53,6 +72,10 @@ const (
 	msgHeartbeat
 	msgBye
 	msgDone
+	msgLeaseBin       // lease grant, binary payload
+	msgResultBatch    // coalesced result upload, JSON payload
+	msgResultBatchBin // coalesced result upload, binary payload
+	msgHeartbeatBin   // liveness beacon, binary payload
 )
 
 // helloMsg is the worker's opening frame: its identity, protocol version,
@@ -73,6 +96,11 @@ type helloMsg struct {
 	// runs the protocol without a spec, e.g. protocol-level tests; the
 	// check is then skipped on that side).
 	SpecHash string `json:"specHash,omitempty"`
+	// Wire is the wire format the worker supports and prefers for the
+	// hot messages: "bin" or "json" ("" — as every v3 worker sends —
+	// means json). The coordinator confirms the session's format in the
+	// welcome; binary is used only when both sides offer it.
+	Wire string `json:"wire,omitempty"`
 }
 
 // welcomeMsg is the coordinator's accept: the authoritative grid and
@@ -92,6 +120,11 @@ type welcomeMsg struct {
 	Epoch          uint64        `json:"epoch,omitempty"`
 	HeartbeatEvery time.Duration `json:"heartbeatEvery"`
 	LeaseTimeout   time.Duration `json:"leaseTimeout"`
+	// Wire is the coordinator's choice of wire format for this session:
+	// "bin" commits both sides to the binary hot-message variants, ""
+	// or "json" to the v3 JSON wire. v3 workers ignore the field and
+	// are never offered "bin" (they did not advertise it).
+	Wire string `json:"wire,omitempty"`
 }
 
 // errorMsg rejects a worker with a reason (bad protocol version, grid
@@ -139,6 +172,15 @@ type resultMsg struct {
 	// results tagged with an older one (they were already re-dispatched
 	// from the journal-seeded lease table). Zero disables the fence.
 	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// resultBatchMsg is the v4 coalesced result upload: every result the
+// worker finished since the last flush, each carrying its own epoch tag
+// (a batch can in principle straddle a rejoin) and its own perf delta
+// (already delta-compressed: Snapshot.Diff omits unchanged phases and
+// counters). One frame per batch is what cuts frames/task below one.
+type resultBatchMsg struct {
+	Results []resultMsg `json:"results"`
 }
 
 // heartbeatMsg is the worker's periodic liveness beacon, carrying the

@@ -38,8 +38,23 @@ type WorkerOptions struct {
 	// whenever exact merged flop accounting matters.
 	Pool *sched.Pool
 	// Capacity is how many tasks to request per lease (default: the
-	// pool's worker count).
+	// pool's worker count). Production CLIs ask for several tasks per
+	// width-1 pool (DefaultLeaseBatch) so the lease-request/grant
+	// round-trip amortizes over a batch — one of the two halves of
+	// keeping frames/task below one.
 	Capacity int
+	// UploadBatch is how many finished results to coalesce into one
+	// upload frame (default: the lease capacity; minimum 1). A batch is
+	// flushed when it reaches this size, when its oldest result has
+	// waited a quarter of the lease TTL, and at lease end. With
+	// UploadBatch 1 on the JSON wire the worker sends the v3
+	// one-result-per-frame messages — the compatibility (and benchmark
+	// baseline) shape.
+	UploadBatch int
+	// WireFormat is the worker's wire preference: "" or "binary"
+	// advertises the compact binary payloads for hot messages (used only
+	// when the coordinator accepts), "json" forces the v3 JSON wire.
+	WireFormat string
 	// Retry is the per-task retry policy, identical in semantics to
 	// cluster.SweepOptions.Retry (zero value: single attempt).
 	Retry resilience.Policy
@@ -81,7 +96,18 @@ type WorkerOptions struct {
 	// attempts, epoch changes (default: standard error). Set to a no-op
 	// to silence.
 	Logf func(format string, args ...any)
+
+	// forceProto, when non-zero, pins the protocol version announced in
+	// the hello — in-package tests use it to simulate a legacy v3 worker
+	// (JSON wire, one result per frame) against a v4 coordinator.
+	forceProto int
 }
+
+// DefaultLeaseBatch is the lease capacity the CLIs request per width-1
+// worker pool: enough tasks per grant that the request/grant round-trip
+// and the coalesced result upload amortize to well under one frame per
+// task, small enough that a straggling worker strands little work.
+const DefaultLeaseBatch = 8
 
 // RunWorker speaks the worker side of the protocol until the coordinator
 // dismisses it with an explicit done message (returns nil) or ctx is
@@ -116,8 +142,27 @@ func RunWorker(ctx context.Context, conn net.Conn, nBias, nK, nE int, opts Worke
 		}
 	}
 
+	uploadBatch := opts.UploadBatch
+	if uploadBatch < 1 {
+		uploadBatch = capacity
+	}
+	wantBin := true
+	switch opts.WireFormat {
+	case "", "binary", wireBin:
+	case wireJSON:
+		wantBin = false
+	}
+	proto := ProtoVersion
+	if opts.forceProto != 0 {
+		proto = opts.forceProto
+	}
+	if proto < ProtoVersion {
+		wantBin = false // pre-v4 wire: JSON frames, one result per frame
+	}
+
 	w := &worker{
-		pool: pool, capacity: capacity,
+		pool: pool, capacity: capacity, uploadBatch: uploadBatch,
+		proto: proto, wantBin: wantBin,
 		nBias: nBias, nK: nK, nE: nE,
 		retry: opts.Retry, injector: opts.Injector,
 		perfNow: perfNow, fn: fn,
@@ -160,6 +205,10 @@ func RunWorker(ctx context.Context, conn net.Conn, nBias, nK, nE int, opts Worke
 type worker struct {
 	pool          *sched.Pool
 	capacity      int
+	uploadBatch   int
+	proto         int
+	wantBin       bool   // advertise the binary wire in the hello
+	wire          string // the current session's negotiated wire format
 	nBias, nK, nE int
 	retry         resilience.Policy
 	injector      *resilience.Injector
@@ -195,6 +244,11 @@ func (w *worker) name() string {
 func (w *worker) session(ctx context.Context, conn net.Conn) error {
 	cd := comms.NewCodec(conn)
 	defer cd.Close()
+	// Wire observability: frames and bytes this worker moves ride the
+	// process-global perf counters, so for out-of-process workers (whose
+	// deltas come from perf.TakeSnapshot) they travel inside the per-task
+	// deltas and merge cluster-wide at the coordinator.
+	cd.Meter(meterWireSend, meterWireRecv)
 
 	// A session-local context lets the heartbeat goroutine abort the
 	// lease loop when its sends start failing — a one-way wedge (worker
@@ -204,7 +258,11 @@ func (w *worker) session(ctx context.Context, conn net.Conn) error {
 	defer scancel()
 	var hbFailed atomic.Bool
 
-	if err := cd.Send(msgHello, helloMsg{ID: w.opts.ID, Proto: ProtoVersion, NBias: w.nBias, NK: w.nK, NE: w.nE, SpecHash: w.opts.SpecHash}); err != nil {
+	hello := helloMsg{ID: w.opts.ID, Proto: w.proto, NBias: w.nBias, NK: w.nK, NE: w.nE, SpecHash: w.opts.SpecHash}
+	if w.wantBin {
+		hello.Wire = wireBin
+	}
+	if err := cd.Send(msgHello, hello); err != nil {
 		return fmt.Errorf("distrib: hello: %w", err)
 	}
 	hsTimeout := w.opts.HandshakeTimeout
@@ -238,6 +296,14 @@ func (w *worker) session(ctx context.Context, conn net.Conn) error {
 			w.logf("worker %s: rejoined run %s at epoch %d (was %d); results from the dead epoch are fenced off", w.name(), w.runID, welcome.Epoch, w.epoch)
 		}
 		w.epoch = welcome.Epoch
+		// The session's wire format is the coordinator's pick, honored
+		// only if we offered binary — a coordinator cannot talk a JSON
+		// worker into a format it never advertised. Each session (rejoins
+		// included) renegotiates, so mixed-format failover works.
+		w.wire = wireJSON
+		if w.wantBin && welcome.Wire == wireBin {
+			w.wire = wireBin
+		}
 	case msgDone:
 		// The sweep finished before this worker arrived (or got back).
 		cd.Send(msgBye, byeMsg{})
@@ -280,7 +346,14 @@ func (w *worker) session(ctx context.Context, conn net.Conn) error {
 			case <-sctx.Done():
 				return
 			case <-tick.C:
-				if err := cd.Send(msgHeartbeat, heartbeatMsg{Running: int(w.running.Load())}); err != nil {
+				hb := heartbeatMsg{Running: int(w.running.Load())}
+				var err error
+				if w.wire == wireBin {
+					err = cd.SendBin(msgHeartbeatBin, func(bw *comms.BinWriter) { appendHeartbeatBin(bw, hb) })
+				} else {
+					err = cd.Send(msgHeartbeat, hb)
+				}
+				if err != nil {
 					hbFailed.Store(true)
 					scancel()
 					return
@@ -320,8 +393,17 @@ func (w *worker) session(ctx context.Context, conn net.Conn) error {
 			}
 			return failed(fmt.Errorf("distrib: awaiting lease: %w", err))
 		}
+		var lease leaseMsg
 		switch t {
 		case msgLease:
+			if err := decode(t, payload, &lease); err != nil {
+				return err
+			}
+		case msgLeaseBin:
+			var err error
+			if lease, err = decodeLeaseBin(payload); err != nil {
+				return err
+			}
 		case msgDone:
 			cd.Send(msgBye, byeMsg{})
 			return nil
@@ -333,10 +415,6 @@ func (w *worker) session(ctx context.Context, conn net.Conn) error {
 			return resilience.MarkPermanent(fmt.Errorf("distrib: coordinator error: %s", e.Reason))
 		default:
 			return fmt.Errorf("distrib: unexpected message type %d awaiting lease", t)
-		}
-		var lease leaseMsg
-		if err := decode(t, payload, &lease); err != nil {
-			return err
 		}
 		if len(lease.Tasks) == 0 {
 			wait := lease.RetryAfter
@@ -353,7 +431,7 @@ func (w *worker) session(ctx context.Context, conn net.Conn) error {
 			continue
 		}
 		w.running.Store(int64(len(lease.Tasks)))
-		err = w.runLease(sctx, cd, lease.Tasks)
+		err = w.runLease(sctx, cd, lease)
 		w.running.Store(0)
 		if err != nil {
 			return failed(err)
@@ -361,10 +439,13 @@ func (w *worker) session(ctx context.Context, conn net.Conn) error {
 	}
 }
 
-// runLease executes one lease's tasks on the pool and reports each result
+// runLease executes one lease's tasks on the pool and reports results
 // (success or exhausted failure) to the coordinator, tagged with the
-// session's epoch. Only transport-level send failures end the lease early.
-func (w *worker) runLease(ctx context.Context, cd *comms.Codec, tasks []int) error {
+// session's epoch and coalesced into batched uploads (see uploader).
+// Only transport-level send failures end the lease early.
+func (w *worker) runLease(ctx context.Context, cd *comms.Codec, lease leaseMsg) error {
+	up := newUploader(cd, w.wire, w.proto, w.uploadBatch, lease.TTL)
+	tasks := lease.Tasks
 	err := w.pool.ForEach(ctx, "distrib-lease", len(tasks), func(ctx context.Context, i int) error {
 		idx := tasks[i]
 		t := cluster.TaskAt(idx, w.nK, w.nE)
@@ -393,14 +474,101 @@ func (w *worker) runLease(ctx context.Context, cd *comms.Codec, tasks []int) err
 		} else {
 			res.Payload = payload
 		}
-		return cd.Send(msgResult, res)
+		return up.add(res)
 	})
 	if err != nil {
 		if te, ok := sched.AsTaskError(err); ok {
-			return te.Err
+			err = te.Err
 		}
+		if ctx.Err() != nil {
+			return err // canceled: the lease will expire, nothing to flush
+		}
+		// A task failed terminally but results already accumulated still
+		// belong to the coordinator; flush them before surfacing.
+		up.flush()
+		return err
 	}
-	return err
+	return up.flush()
+}
+
+// uploader coalesces finished results into batched upload frames: one
+// frame per UploadBatch results instead of one per task. A batch also
+// flushes when its oldest result has waited a quarter of the lease TTL,
+// so a batch can never age a lease into expiry, and at lease end. On
+// the JSON wire with batch size 1 it degrades to exactly the v3
+// one-result-per-frame messages (what a v3 coordinator understands).
+type uploader struct {
+	cd         *comms.Codec
+	wire       string
+	proto      int
+	max        int
+	flushAfter time.Duration
+
+	mu     sync.Mutex
+	buf    []resultMsg
+	oldest time.Time
+}
+
+// newUploader sizes an uploader for one lease.
+func newUploader(cd *comms.Codec, wire string, proto, max int, ttl time.Duration) *uploader {
+	if max < 1 {
+		max = 1
+	}
+	flushAfter := ttl / 4
+	if flushAfter <= 0 {
+		flushAfter = time.Second
+	}
+	return &uploader{cd: cd, wire: wire, proto: proto, max: max, flushAfter: flushAfter}
+}
+
+// add queues one result, flushing when the batch is full or overdue.
+func (u *uploader) add(res resultMsg) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if len(u.buf) == 0 {
+		u.oldest = time.Now()
+	}
+	u.buf = append(u.buf, res)
+	if len(u.buf) >= u.max || time.Since(u.oldest) >= u.flushAfter {
+		return u.flushLocked()
+	}
+	return nil
+}
+
+// flush sends any buffered results.
+func (u *uploader) flush() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.flushLocked()
+}
+
+// flushLocked sends the buffered batch as one frame (or, pre-v4 or for
+// a single JSON result, as v3 singles). Callers hold mu; the send is
+// serialized by the codec anyway, and holding mu keeps batch order
+// deterministic.
+func (u *uploader) flushLocked() error {
+	if len(u.buf) == 0 {
+		return nil
+	}
+	batch := u.buf
+	u.buf = u.buf[:0]
+	switch {
+	case u.wire == wireBin:
+		return u.cd.SendBin(msgResultBatchBin, func(bw *comms.BinWriter) {
+			appendResultBatchBin(bw, batch)
+		})
+	case u.proto < ProtoVersion || len(batch) == 1:
+		// v3 compatibility (and the minimal shape for a lone result): one
+		// resultMsg frame per task.
+		for i := range batch {
+			if err := u.cd.Send(msgResult, batch[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return u.cd.Send(msgResultBatch, resultBatchMsg{Results: batch})
+	}
 }
 
 // perfDelta returns the counters accrued since the previous delta (or

@@ -491,6 +491,8 @@ func (m *Manager) run(ctx context.Context, j *Job) (sweep *core.TransmissionSwee
 	report, err := distrib.Serve(ctx, lis, nBias, nK, nE, distrib.Options{
 		LeaseTimeout: s.Exec.LeaseTimeout.Std(),
 		DrainTimeout: s.Exec.DrainTimeout.Std(),
+		Shards:       s.Exec.Shards,
+		WireFormat:   s.Exec.WireFormat,
 		Journal:      jnl,
 		Restore:      plan.Restore,
 		Quarantine:   s.Resilience.Quarantine,

@@ -211,6 +211,13 @@ func TestSubmitRunResultStream(t *testing.T) {
 		!strings.Contains(string(metrics), `omend_jobs{state="done"} 1`) {
 		t.Fatalf("metrics missing expected series:\n%s", metrics)
 	}
+	// The coordinator's wire observability (frames/bytes moved, lease
+	// grants) folds into the job's perf merge and must surface here next
+	// to the engine counters.
+	if !strings.Contains(string(metrics), `omend_counter_total{name="wire-bytes-sent"}`) ||
+		!strings.Contains(string(metrics), `omend_counter_total{name="lease-grants"}`) {
+		t.Fatalf("metrics missing wire counters:\n%s", metrics)
+	}
 }
 
 // readStream consumes an SSE stream to its done event.

@@ -34,8 +34,12 @@ func WorkerMain(ctx context.Context, s spec.RunSpec, addr string) error {
 	host, _ := os.Hostname()
 	rejoin := s.Exec.RejoinWindow.Std()
 	return distrib.RunWorker(ctx, conn, nBias, nK, nE, distrib.WorkerOptions{
-		ID:           fmt.Sprintf("%s-%d", host, os.Getpid()),
-		Pool:         plan.Pool(),
+		ID:   fmt.Sprintf("%s-%d", host, os.Getpid()),
+		Pool: plan.Pool(),
+		// Same lean-fabric posture as omen's worker mode: batched leases,
+		// coalesced uploads, the spec's wire preference.
+		Capacity:     distrib.DefaultLeaseBatch,
+		WireFormat:   s.Exec.WireFormat,
 		Retry:        b.RetryPolicy(),
 		Injector:     b.Injector(),
 		SpecHash:     s.SpecHash(),

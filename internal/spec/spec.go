@@ -211,6 +211,18 @@ type ExecSpec struct {
 	// rest of ExecSpec it is unhashed — priority changes when a job runs,
 	// never what it computes.
 	Priority string `json:"priority,omitempty"`
+	// Shards is the number of coordinator scheduling shards the task grid
+	// is partitioned across (0 or 1: the classic single queue). Workers
+	// are homed round-robin and steal from loaded shards when their own
+	// runs dry. Unhashed and omitempty like the rest of ExecSpec: pure
+	// scheduling, byte-stable pre-shard specs.
+	Shards int `json:"shards,omitempty"`
+	// WireFormat picks the coordinator/worker wire for hot messages:
+	// "" or "binary" negotiates the compact binary payloads, "json"
+	// forces the v3 JSON wire. A pure transport knob — results are
+	// bitwise identical either way — so unhashed, and omitempty keeps
+	// older canonical specs byte-stable.
+	WireFormat string `json:"wireFormat,omitempty"`
 }
 
 // RunSpec fully describes one run. The zero value is not usable; start
@@ -576,6 +588,14 @@ func (s RunSpec) Validate() error {
 	case "", "low", "normal", "high":
 	default:
 		return fmt.Errorf("spec: unknown priority %q (want low, normal, or high)", s.Exec.Priority)
+	}
+	if s.Exec.Shards < 0 {
+		return fmt.Errorf("spec: -shards must be ≥ 0, got %d", s.Exec.Shards)
+	}
+	switch s.Exec.WireFormat {
+	case "", "binary", "json":
+	default:
+		return fmt.Errorf("spec: unknown wire format %q (want binary or json)", s.Exec.WireFormat)
 	}
 	return nil
 }

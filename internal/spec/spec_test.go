@@ -90,7 +90,7 @@ func fullyNonDefault() RunSpec {
 		Exec: ExecSpec{
 			Workers: 7, LeaseTimeout: Duration(90 * time.Second),
 			RejoinWindow: Duration(2 * time.Minute), DrainTimeout: Duration(20 * time.Second),
-			Priority: "high",
+			Priority: "high", Shards: 2, WireFormat: "binary",
 		},
 	}
 }
@@ -203,6 +203,8 @@ func TestHashSensitivity(t *testing.T) {
 		{"Exec.RejoinWindow", "", false, func(s *RunSpec) { s.Exec.RejoinWindow += Duration(time.Second) }},
 		{"Exec.DrainTimeout", "", false, func(s *RunSpec) { s.Exec.DrainTimeout += Duration(time.Second) }},
 		{"Exec.Priority", "", false, func(s *RunSpec) { s.Exec.Priority = "low" }},
+		{"Exec.Shards", "", false, func(s *RunSpec) { s.Exec.Shards = 4 }},
+		{"Exec.WireFormat", "", false, func(s *RunSpec) { s.Exec.WireFormat = "json" }},
 	}
 
 	for _, m := range muts {
@@ -294,6 +296,10 @@ func TestValidateRejections(t *testing.T) {
 			[]string{"-fault-rate"}},
 		{"unknown priority", func(s *RunSpec) { s.Exec.Priority = "urgent" }, RoleLocal,
 			[]string{`"urgent"`, "priority"}},
+		{"negative shards", func(s *RunSpec) { s.Exec.Shards = -1 }, RoleLocal,
+			[]string{"-shards"}},
+		{"unknown wire format", func(s *RunSpec) { s.Exec.WireFormat = "xml" }, RoleLocal,
+			[]string{`"xml"`, "wire"}},
 		{"job in iv mode", func(s *RunSpec) { s.Mode = ModeIV }, RoleServer,
 			[]string{`"iv"`, "job"}},
 		{"job with checkpoint", func(s *RunSpec) { s.Resilience.Checkpoint = "x" }, RoleServer,

@@ -120,6 +120,39 @@ if ! grep -q '^# batch' "$WORKDIR/batched.txt"; then
 fi
 echo "drill-dist: PASS — -solve-batch 8 byte-identical with exact flops, serial and distributed"
 
+# Sharded work-stealing leg: the same sweep on 2 coordinator shards with
+# the v3-compatible JSON wire. -shard-hold 60s freezes every shard-0-homed
+# worker for longer than the run, so the shard-1 worker must drain its own
+# half of the grid and then steal the entirety of shard 0's — the drill
+# proves stealing is load-bearing, not decorative. Sharding and the wire
+# format are pure scheduling/transport knobs: observables must stay
+# byte-identical to the serial reference with the exact flop total
+# (DESIGN.md §16).
+SPORT=$((PORT + 2))
+echo "drill-dist: sharded run on 127.0.0.1:$SPORT (-shards 2 -shard-hold 60s -wire json)"
+# shellcheck disable=SC2086
+"$OMEN" $ARGS $FAULTS -serve "127.0.0.1:$SPORT" -workers 3 \
+	-shards 2 -shard-hold 60s -wire json \
+	> "$WORKDIR/shard.txt" 2> "$WORKDIR/shard.err"
+grep -v '^#' "$WORKDIR/shard.txt" > "$WORKDIR/shard_obs.txt"
+if ! diff "$WORKDIR/serial_obs.txt" "$WORKDIR/shard_obs.txt" > /dev/null; then
+	echo "drill-dist: FAIL — sharded observables differ from the serial run" >&2
+	diff "$WORKDIR/serial_obs.txt" "$WORKDIR/shard_obs.txt" | head -20 >&2
+	exit 1
+fi
+SHARD_FLOPS=$(grep '^# flops' "$WORKDIR/shard.txt")
+if [ "$SERIAL_FLOPS" != "$SHARD_FLOPS" ]; then
+	echo "drill-dist: FAIL — sharded flop count differs: '$SHARD_FLOPS' vs '$SERIAL_FLOPS'" >&2
+	exit 1
+fi
+STEALS=$(sed -n 's|^# shards: 2, steals: \([0-9][0-9]*\)$|\1|p' "$WORKDIR/shard.txt")
+if [ -z "$STEALS" ] || [ "$STEALS" -lt 1 ]; then
+	echo "drill-dist: FAIL — sharded run reported no steals (want >= 1):" >&2
+	grep '^#' "$WORKDIR/shard.txt" >&2 || true
+	exit 1
+fi
+echo "drill-dist: PASS — 2-shard run byte-identical with exact flops, $STEALS batches stolen across shards"
+
 # Negative drill: resuming a checkpoint journal with a different spec
 # must fail loudly; resuming with the same spec must succeed.
 SMALL="-device agnr7 -cellsx 6 -ne 64 -emin -1 -emax 1"

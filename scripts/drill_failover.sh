@@ -3,7 +3,8 @@
 #
 # Runs the same transmission sweep twice: once serial, once distributed
 # with the coordinator SIGKILLed mid-sweep and restarted with -resume on
-# the same port. Three externally launched workers carry a -rejoin-window
+# the same port (and a downgraded JSON wire, proving mixed-format
+# rejoins). Three externally launched workers carry a -rejoin-window
 # and must survive the crash: detect the hangup, re-dial the address,
 # re-handshake under the journal-pinned run ID, and finish the sweep
 # under the restarted coordinator's bumped epoch.
@@ -58,10 +59,15 @@ echo "drill-failover: SIGKILL coordinator pid $COORD1 mid-sweep"
 kill -9 "$COORD1" 2>/dev/null || true
 wait "$COORD1" 2>/dev/null || true
 
-echo "drill-failover: restarting coordinator with -resume on the same port"
+# The restart also flips the wire format: the workers negotiated the
+# binary wire with coordinator #1, but #2 only offers JSON, so on rejoin
+# every worker must renegotiate down to JSON frames mid-job. The wire is
+# per-session and unhashed, so the spec hash pinned in the journal still
+# matches — a mixed-format failover has to be bitwise invisible.
+echo "drill-failover: restarting coordinator with -resume -wire json on the same port"
 # shellcheck disable=SC2086
 "$OMEN" $ARGS -serve "127.0.0.1:$PORT" -workers 0 \
-	-checkpoint "$JOURNAL" -resume -lease-timeout 2s \
+	-checkpoint "$JOURNAL" -resume -wire json -lease-timeout 2s \
 	> "$WORKDIR/coord2.txt" 2> "$WORKDIR/coord2.err"
 
 for pid in $WPIDS; do
